@@ -1,0 +1,70 @@
+"""AODV-over-maintained-topology bench: route discovery cost and survival.
+
+Reactive routing exposes a different face of topology quality than floods:
+every route discovery costs a network-wide RREQ, and every link break
+costs a rediscovery.  A well-maintained topology should (1) deliver, and
+(2) amortise — cached routes must survive between packets.
+"""
+
+from __future__ import annotations
+
+from conftest import save_and_print
+from repro.analysis.experiment import ExperimentSpec, build_world
+from repro.analysis.report import format_table
+from repro.routing.aodv import AodvRouting
+
+
+def test_aodv_over_maintained_topologies(benchmark, bench_scale, results_dir):
+    cfg = bench_scale.config(duration=max(bench_scale.duration, 12.0))
+    speed = 20.0
+
+    def measure():
+        rows = []
+        for label, protocol, mechanism, buffer_width in [
+            ("bare mst", "mst", "baseline", 0.0),
+            ("managed mst", "mst", "view-sync", 50.0),
+            ("managed gabriel", "gabriel", "view-sync", 50.0),
+            ("no topology control", "none", "baseline", 0.0),
+        ]:
+            spec = ExperimentSpec(
+                protocol=protocol, mechanism=mechanism, buffer_width=buffer_width,
+                mean_speed=speed, config=cfg,
+            )
+            world = build_world(spec, seed=8800)
+            world.run_until(cfg.warmup + 2.0)
+            aodv = AodvRouting(world)
+            pairs = [(i, cfg.n_nodes - 1 - i) for i in range(6)]
+            for s, d in pairs:
+                aodv.send(s, d)
+            world.run_until(cfg.warmup + 4.0)
+            # second wave: cached routes should cut discovery cost
+            for s, d in pairs:
+                aodv.send(s, d)
+            world.run_until(cfg.duration)
+            stats = aodv.stats()
+            rows.append(
+                {
+                    "configuration": label,
+                    "delivery": stats.delivery_ratio,
+                    "mean_discoveries": stats.mean_discoveries,
+                    "mean_rreq_tx": stats.mean_rreq_cost,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    save_and_print(
+        results_dir,
+        "aodv_study",
+        format_table(rows, title=f"AODV reactive routing at {speed:g} m/s"),
+    )
+    by_label = {r["configuration"]: r for r in rows}
+    # The uncontrolled network is the delivery ceiling.
+    assert by_label["no topology control"]["delivery"] > 0.8
+    # Management must not hurt, and should help the fragile MST topology.
+    assert (
+        by_label["managed mst"]["delivery"] >= by_label["bare mst"]["delivery"]
+    )
+    # Cached-route amortisation: on average well under one discovery per
+    # packet for the healthy configurations.
+    assert by_label["managed gabriel"]["mean_discoveries"] < 1.5

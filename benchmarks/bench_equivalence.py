@@ -1,0 +1,52 @@
+"""Speed-range equivalence bench (Section 5.1's scaling claim).
+
+The paper extrapolates its high-speed sweep to dense short-range networks
+via the mobility index ``v / R``.  This bench runs the grid and asserts:
+
+1. within one mobility index, connectivity is similar across ranges
+   (the equivalence);
+2. across indices, connectivity strictly degrades (the index, not the raw
+   speed, is what hurts).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from conftest import save_and_print
+from repro.analysis.equivalence import generate_equivalence_study
+from repro.analysis.report import format_table
+
+
+def test_speed_range_equivalence(benchmark, bench_scale, results_dir):
+    points = benchmark.pedantic(
+        generate_equivalence_study, args=(bench_scale,), rounds=1, iterations=1
+    )
+    save_and_print(
+        results_dir,
+        "equivalence",
+        format_table(
+            [p.row() for p in points],
+            title="Speed-range equivalence (constant v/R should mean constant connectivity)",
+        ),
+    )
+    by_index: dict[float, list[float]] = {}
+    for p in points:
+        by_index.setdefault(p.mobility_index, []).append(p.connectivity)
+
+    # 1. equal index => similar connectivity across ranges
+    for index, values in by_index.items():
+        spread = max(values) - min(values)
+        assert spread < 0.35, (
+            f"v/R = {index}: connectivity spread {spread:.2f} across ranges "
+            "breaks the equivalence claim"
+        )
+
+    # 2. higher index => (weakly) lower mean connectivity
+    indices = sorted(by_index)
+    means = [float(np.mean(by_index[i])) for i in indices]
+    assert all(b <= a + 0.05 for a, b in zip(means, means[1:])), (
+        f"connectivity must degrade with the mobility index, got {means}"
+    )
+    # and the extremes differ materially
+    assert means[0] > means[-1] + 0.1

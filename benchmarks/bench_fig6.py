@@ -1,0 +1,40 @@
+"""Fig. 6: connectivity ratio of baseline protocols vs mobility.
+
+Paper: every baseline is vulnerable; ordering SPT-2 > RNG >~ SPT-4 > MST;
+MST collapses (~10 %) even at 1 m/s; connectivity decays with speed.
+"""
+
+from __future__ import annotations
+
+from conftest import save_and_print
+from repro.analysis.figures import generate_fig6
+
+
+def test_fig6(benchmark, bench_scale, results_dir):
+    fig = benchmark.pedantic(
+        generate_fig6, args=(bench_scale,), rounds=1, iterations=1
+    )
+    save_and_print(results_dir, "fig6", fig.format())
+
+    low_speed = min(bench_scale.speeds)
+    high_speed = max(bench_scale.speeds)
+
+    def conn(protocol, speed):
+        series = fig.series_by_label(protocol)
+        for p in series.points:
+            if p.x == speed:
+                return p.result.connectivity.mean
+        raise AssertionError(f"missing speed {speed} for {protocol}")
+
+    # Redundancy ordering at the gentlest sweep point.
+    assert conn("spt2", low_speed) >= conn("mst", low_speed)
+    assert conn("rng", low_speed) >= conn("mst", low_speed)
+
+    # Everyone decays with speed.
+    for protocol in ("mst", "rng", "spt4", "spt2"):
+        assert conn(protocol, high_speed) <= conn(protocol, low_speed) + 0.05
+
+    # The paper's headline: even the best baseline is not mobility-tolerant.
+    moderate = [s for s in bench_scale.speeds if 10 <= s <= 40]
+    if moderate:
+        assert conn("mst", moderate[0]) < 0.9

@@ -1,0 +1,47 @@
+"""Fig. 7: connectivity with different buffer-zone widths (buffer alone).
+
+Paper: buffers help monotonically but, alone, do not rescue every
+protocol — SPT-2 tolerates moderate mobility with a 10 m buffer; RNG and
+SPT-4 need ~100 m; MST is not rescued even at 100 m.
+"""
+
+from __future__ import annotations
+
+from conftest import save_and_print
+from repro.analysis.figures import generate_fig7, minimal_tolerating_buffer
+
+
+def test_fig7(benchmark, bench_scale, results_dir):
+    fig = benchmark.pedantic(
+        generate_fig7, args=(bench_scale,), rounds=1, iterations=1
+    )
+    lines = [fig.format(), "", "minimal tolerating buffer (>=90% at <=40 m/s):"]
+    for protocol in ("mst", "rng", "spt4", "spt2"):
+        width = minimal_tolerating_buffer(fig, protocol)
+        lines.append(f"  {protocol:5s}: {width if width is not None else 'not achieved'}")
+    save_and_print(results_dir, "fig7", "\n".join(lines))
+
+    widest = max(bench_scale.buffer_widths)
+    speeds = [s for s in bench_scale.speeds if s <= 40.0]
+
+    def conn(protocol, width, speed):
+        series = fig.series_by_label(f"{protocol}+buf{width:g}")
+        for p in series.points:
+            if p.x == speed:
+                return p.result.connectivity.mean
+        raise AssertionError("missing point")
+
+    # Buffers help: widest vs none, averaged over moderate speeds.
+    for protocol in ("mst", "rng", "spt4", "spt2"):
+        with_buf = sum(conn(protocol, widest, s) for s in speeds) / len(speeds)
+        without = sum(conn(protocol, 0.0, s) for s in speeds) / len(speeds)
+        assert with_buf >= without - 0.02
+
+    # SPT-2 needs a smaller buffer than MST (the paper's redundancy story).
+    spt2_min = minimal_tolerating_buffer(fig, "spt2")
+    mst_min = minimal_tolerating_buffer(fig, "mst")
+    if spt2_min is not None and mst_min is not None:
+        assert spt2_min <= mst_min
+    elif spt2_min is None:
+        # if SPT-2 is not rescued, MST must not be either
+        assert mst_min is None

@@ -1,0 +1,51 @@
+"""Network-lifetime bench: energy savings as operational lifetime.
+
+Table 1's range savings are the means; this bench checks the end — under a
+fixed per-node budget, topology-controlled networks must burn less
+data-plane energy per probe than the uncontrolled network, with the
+protocol ordering of Table 1 (MST cheapest, none most expensive).
+"""
+
+from __future__ import annotations
+
+from conftest import save_and_print
+from repro.analysis.experiment import ExperimentSpec
+from repro.analysis.lifetime_study import run_lifetime_study
+from repro.analysis.report import format_table
+
+
+def test_lifetime_ordering(benchmark, bench_scale, results_dir):
+    cfg = bench_scale.config()
+
+    def measure():
+        rows = []
+        for protocol in ("mst", "rng", "spt2", "none"):
+            spec = ExperimentSpec(
+                protocol=protocol, mechanism="view-sync", buffer_width=10.0,
+                mean_speed=10.0, config=cfg,
+            )
+            result = run_lifetime_study(spec, budget=5e6, seed=8600)
+            row = result.row()
+            row["protocol"] = protocol
+            rows.append(row)
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    save_and_print(
+        results_dir,
+        "lifetime",
+        format_table(rows, title="Per-probe data energy and lifetime by protocol"),
+    )
+    by_proto = {r["protocol"]: r for r in rows}
+    # Energy-per-probe ordering follows the range ordering of Table 1.
+    assert (
+        by_proto["mst"]["data_energy_per_probe"]
+        <= by_proto["spt2"]["data_energy_per_probe"]
+    )
+    assert (
+        by_proto["spt2"]["data_energy_per_probe"]
+        < by_proto["none"]["data_energy_per_probe"]
+    )
+    # Everyone survives a generous budget except possibly the uncontrolled
+    # network; nobody outlives the controlled protocols.
+    assert by_proto["mst"]["alive_at_end"] >= by_proto["none"]["alive_at_end"]

@@ -1,0 +1,98 @@
+"""Micro-benchmarks of the hot paths (regression tracking).
+
+These are conventional pytest-benchmark timings — the engine's event
+throughput, one protocol selection, one snapshot + flood — so performance
+regressions in the simulator core show up without running full sweeps.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.experiment import ExperimentSpec, build_world
+from repro.core.costs import DistanceCost
+from repro.core.framework import LocalCostGraph, apply_removal_condition, mst_removable
+from repro.core.views import Hello, LocalView
+from repro.mobility.base import Area
+from repro.protocols import MstProtocol, RngProtocol, Spt2Protocol
+from repro.sim.config import ScenarioConfig
+from repro.sim.engine import Engine
+from repro.sim.flood import flood
+
+
+def _view(n_neighbors: int = 18, seed: int = 0) -> LocalView:
+    rng = np.random.default_rng(seed)
+    own = Hello(0, 1, (125.0, 125.0), 0.0, 0.0)
+    neighbors = {
+        i: Hello(i, 1, tuple(rng.random(2) * 250.0), 0.0, 0.0)
+        for i in range(1, n_neighbors + 1)
+    }
+    return LocalView(0, own, neighbors, normal_range=250.0, sampled_at=0.0)
+
+
+def test_engine_event_throughput(benchmark):
+    def run_10k_events():
+        eng = Engine()
+        count = [0]
+        def tick():
+            count[0] += 1
+            if count[0] < 10_000:
+                eng.schedule_after(0.001, tick)
+        eng.schedule_at(0.0, tick)
+        eng.run(until=100.0)
+        return count[0]
+
+    assert benchmark(run_10k_events) == 10_000
+
+
+def test_rng_selection_speed(benchmark):
+    view = _view()
+    proto = RngProtocol()
+    result = benchmark(proto.select, view)
+    assert result.owner == 0
+
+
+def test_mst_selection_speed(benchmark):
+    view = _view()
+    proto = MstProtocol()
+    result = benchmark(proto.select, view)
+    assert result.owner == 0
+
+
+def test_spt_selection_speed(benchmark):
+    view = _view()
+    proto = Spt2Protocol()
+    result = benchmark(proto.select, view)
+    assert result.owner == 0
+
+
+def test_cost_graph_construction_speed(benchmark):
+    view = _view()
+    graph = benchmark(LocalCostGraph.from_local_view, view, DistanceCost())
+    assert graph.size == 19
+
+
+def test_removal_condition_speed(benchmark):
+    graph = LocalCostGraph.from_local_view(_view(), DistanceCost())
+    result = benchmark(apply_removal_condition, graph, mst_removable)
+    assert result.owner == 0
+
+
+def test_snapshot_and_flood_speed(benchmark):
+    cfg = ScenarioConfig(
+        n_nodes=100,
+        area=Area(900.0, 900.0),
+        normal_range=250.0,
+        duration=6.0,
+        warmup=2.0,
+        sample_rate=1.0,
+    )
+    spec = ExperimentSpec(protocol="rng", mean_speed=20.0, config=cfg)
+    world = build_world(spec, seed=1)
+    world.run_until(4.0)
+
+    def probe():
+        return flood(world, source=0).delivery_ratio
+
+    ratio = benchmark(probe)
+    assert 0.0 <= ratio <= 1.0

@@ -1,0 +1,98 @@
+"""Mobility-tolerant vs mobility-assisted delivery (future-work bench).
+
+The paper's conclusion proposes combining mobility-tolerant management
+(this repo's main subject: instant delivery over a maintained effective
+topology) with mobility-assisted management (store-and-relay: delayed but
+eventual delivery).  This bench puts the two on one axis: instantaneous
+delivery ratio of the topology-controlled flood versus delivery ratio and
+delay of epidemic / two-hop relaying on the *same* mobility traces.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from conftest import save_and_print
+from repro.analysis.experiment import ExperimentSpec, build_mobility, run_once
+from repro.analysis.report import format_table
+from repro.routing import ContactProcessConfig, EpidemicRouting, TwoHopRelayRouting
+from repro.util.randomness import SeedSequenceFactory
+
+
+def test_tolerant_vs_assisted(benchmark, bench_scale, results_dir):
+    cfg = bench_scale.config(duration=max(30.0, bench_scale.duration))
+    speed = 20.0
+
+    def measure():
+        # Mobility-tolerant: RNG + view sync + buffer; instant delivery.
+        tolerant_spec = ExperimentSpec(
+            protocol="rng", mechanism="view-sync", buffer_width=30.0,
+            mean_speed=speed, config=cfg,
+        )
+        tolerant = run_once(tolerant_spec, seed=7000)
+
+        # Mobility-assisted on the same mobility process.
+        mob_spec = ExperimentSpec(mean_speed=speed, config=cfg)
+        seeds = SeedSequenceFactory(7000)
+        mobility = build_mobility(mob_spec, seeds.rng("mobility"))
+        contact = ContactProcessConfig(
+            contact_range=cfg.normal_range, step=0.5, deadline=cfg.duration
+        )
+        rng = np.random.default_rng(7000)
+        pairs = [
+            tuple(rng.choice(cfg.n_nodes, size=2, replace=False))
+            for _ in range(6)
+        ]
+        rows = []
+        for scheme_name, scheme in (
+            ("epidemic", EpidemicRouting(mobility, contact)),
+            ("two-hop", TwoHopRelayRouting(mobility, contact)),
+        ):
+            outcomes = [scheme.deliver(int(s), int(d)) for s, d in pairs]
+            delivered = [o for o in outcomes if o.delivered]
+            rows.append(
+                {
+                    "scheme": scheme_name,
+                    "delivery_ratio": len(delivered) / len(outcomes),
+                    "mean_delay_s": (
+                        float(np.mean([o.delay for o in delivered]))
+                        if delivered
+                        else math.inf
+                    ),
+                    "mean_copies": float(np.mean([o.copies for o in outcomes])),
+                }
+            )
+        rows.insert(
+            0,
+            {
+                "scheme": "topology-control (instant)",
+                "delivery_ratio": tolerant.connectivity_ratio,
+                "mean_delay_s": 0.0,
+                "mean_copies": 1.0,
+            },
+        )
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    save_and_print(
+        results_dir,
+        "routing_comparison",
+        format_table(
+            rows,
+            title="Mobility-tolerant vs mobility-assisted delivery (20 m/s)",
+        ),
+    )
+    by_name = {r["scheme"]: r for r in rows}
+    # Epidemic eventually delivers at least as often as the instantaneous
+    # snapshot flood (it has the whole run to do it).
+    assert (
+        by_name["epidemic"]["delivery_ratio"]
+        >= by_name["topology-control (instant)"]["delivery_ratio"] - 0.15
+    )
+    # ...but pays in delay and copies.
+    assert by_name["epidemic"]["mean_delay_s"] >= 0.0
+    assert by_name["epidemic"]["mean_copies"] > 1.0
+    # Two-hop bounds its copies below epidemic's.
+    assert by_name["two-hop"]["mean_copies"] <= by_name["epidemic"]["mean_copies"] + 1e-9

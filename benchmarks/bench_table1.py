@@ -1,0 +1,37 @@
+"""Table 1: average transmission range and logical degree of baselines.
+
+Paper (Section 5.2, Table 1): MST smallest on both metrics (degree 2.09,
+near-tree); SPT-2 largest (100 m, 3.46); RNG and SPT-4 between; all far
+below the uncontrolled 250 m / degree-18 reference.
+"""
+
+from __future__ import annotations
+
+from conftest import save_and_print
+from repro.analysis.paper_reference import TABLE1_PAPER
+from repro.analysis.tables import generate_table1
+
+
+def test_table1(benchmark, bench_scale, results_dir):
+    result = benchmark.pedantic(
+        generate_table1, args=(bench_scale,), rounds=1, iterations=1
+    )
+    save_and_print(results_dir, "table1", result.format())
+
+    # Shape assertions — the paper's orderings.
+    assert result.ordering_by_degree() == ["mst", "rng", "spt4", "spt2"]
+    by_range = result.ordering_by_range()
+    assert by_range[0] == "mst" and by_range[-1] == "spt2"
+
+    # Savings against the uncontrolled reference.
+    none_range = result.results["none"].transmission_range.mean
+    none_degree = result.results["none"].logical_degree.mean
+    for name in ("mst", "rng", "spt4", "spt2"):
+        agg = result.results[name]
+        assert agg.transmission_range.mean < 0.75 * none_range
+        assert agg.logical_degree.mean < 0.5 * none_degree
+
+    # MST is near-tree: degree close to 2(n-1)/n (paper: 2.09).
+    mst_degree = result.results["mst"].logical_degree.mean
+    paper = TABLE1_PAPER["mst"].degree
+    assert abs(mst_degree - paper) < 0.5

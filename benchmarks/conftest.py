@@ -1,0 +1,48 @@
+"""Benchmark-suite configuration.
+
+Every paper artifact (Table 1, Figs. 6-10) has one benchmark that runs its
+generator exactly once (``pedantic(rounds=1)``) at a reduced scale, prints
+the paper-vs-measured rows, asserts the qualitative *shape*, and stores the
+ASCII table under ``benchmarks/results/``.
+
+Environment knobs:
+
+- ``REPRO_BENCH_SCALE``: ``smoke`` | ``quick`` (default) | ``standard`` |
+  ``paper`` — trade fidelity for wall clock.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.scales import PAPER, QUICK, SMOKE, STANDARD
+
+_SCALES = {"paper": PAPER, "standard": STANDARD, "quick": QUICK, "smoke": SMOKE}
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def bench_scale():
+    """Scale preset selected by REPRO_BENCH_SCALE (default: quick)."""
+    name = os.environ.get("REPRO_BENCH_SCALE", "quick").lower()
+    if name not in _SCALES:
+        raise ValueError(f"REPRO_BENCH_SCALE must be one of {sorted(_SCALES)}")
+    return _SCALES[name]
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    """Directory where benchmark tables are written."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def save_and_print(results_dir: Path, name: str, text: str) -> None:
+    """Persist a rendered artifact and echo it to stdout."""
+    (results_dir / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+    print()
+    print(text)

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Quickstart: make one topology control protocol mobility-sensitive.
+
+Runs the RNG-based protocol three ways on the same mobile scenario —
+mobility-insensitive baseline, buffer zone only, and the full
+mobility-sensitive stack (view synchronization + buffer zone) — and prints
+what each buys in connectivity and what it costs in transmission range.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import ExperimentSpec, run_once
+from repro.analysis.report import format_table
+from repro.mobility.base import Area
+from repro.sim.config import ScenarioConfig
+
+# A small scenario at the paper's node density (one node per 8100 m^2)
+# so the example finishes in seconds.
+CONFIG = ScenarioConfig(
+    n_nodes=50,
+    area=Area(636.0, 636.0),
+    normal_range=250.0,
+    duration=15.0,
+    warmup=2.0,
+    sample_rate=2.0,
+)
+
+SPEED = 20.0  # m/s — the paper's "driving speed" mobility level
+
+
+def main() -> None:
+    configurations = [
+        ("mobility-insensitive baseline", ExperimentSpec(
+            protocol="rng", mechanism="baseline", buffer_width=0.0,
+            mean_speed=SPEED, config=CONFIG)),
+        ("buffer zone only (30 m)", ExperimentSpec(
+            protocol="rng", mechanism="baseline", buffer_width=30.0,
+            mean_speed=SPEED, config=CONFIG)),
+        ("view sync + buffer (30 m)", ExperimentSpec(
+            protocol="rng", mechanism="view-sync", buffer_width=30.0,
+            mean_speed=SPEED, config=CONFIG)),
+        ("no topology control", ExperimentSpec(
+            protocol="none", mechanism="baseline", buffer_width=0.0,
+            mean_speed=SPEED, config=CONFIG)),
+    ]
+
+    rows = []
+    for label, spec in configurations:
+        result = run_once(spec, seed=42)
+        rows.append({
+            "configuration": label,
+            "connectivity": result.connectivity_ratio,
+            "tx_range_m": result.mean_transmission_range,
+            "logical_degree": result.mean_logical_degree,
+        })
+
+    print(format_table(
+        rows,
+        title=f"RNG-based topology control at {SPEED:g} m/s "
+              f"({CONFIG.n_nodes} nodes, {CONFIG.duration:g} s)",
+    ))
+    print()
+    print("Reading the table:")
+    print(" - the baseline partitions (low connectivity) despite its short range;")
+    print(" - a buffer zone trades a little range for a lot of connectivity;")
+    print(" - view synchronization fixes the *logical* topology on top, at zero")
+    print("   extra range cost — that combination is the paper's contribution;")
+    print(" - 'none' shows what topology control saves: ~2-3x range, ~6x degree.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""High-mobility scenario: keep a vehicular network connected.
+
+The paper's speed sweep goes far beyond pedestrian mobility "to emulate
+dense networks that use much shorter transmission ranges".  This example
+is the reverse reading: vehicles at 20-40 m/s with full-size radios.  It
+sizes the buffer zone *empirically* per mechanism — sweeping widths until
+the 90 % connectivity bar is met — and reports what each mechanism pays.
+
+It also demonstrates using the library below the experiment harness:
+driving a NetworkWorld directly, probing floods by hand, and watching one
+node's logical neighbor set churn as traffic moves.
+
+Run:  python examples/vehicular_convoy.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import ExperimentSpec, run_once
+from repro.analysis.experiment import build_world
+from repro.analysis.report import format_table
+from repro.mobility.base import Area
+from repro.sim.config import ScenarioConfig
+from repro.sim.flood import flood
+
+CONFIG = ScenarioConfig(
+    n_nodes=50,
+    area=Area(636.0, 636.0),
+    normal_range=250.0,
+    duration=12.0,
+    warmup=2.0,
+    sample_rate=2.0,
+)
+
+VEHICLE_SPEED = 30.0  # m/s (~110 km/h)
+TARGET = 0.90
+WIDTHS = (0.0, 10.0, 25.0, 50.0, 100.0)
+
+
+def minimal_width(mechanism: str, pn: bool = False) -> tuple[float | None, dict]:
+    """Smallest swept buffer meeting the target; returns (width, row)."""
+    last_row: dict = {}
+    for width in WIDTHS:
+        spec = ExperimentSpec(
+            protocol="rng",
+            mechanism=mechanism,
+            buffer_width=width,
+            physical_neighbor_mode=pn,
+            mean_speed=VEHICLE_SPEED,
+            config=CONFIG,
+        )
+        result = run_once(spec, seed=11)
+        last_row = {
+            "mechanism": mechanism + ("+pn" if pn else ""),
+            "buffer_m": width,
+            "connectivity": result.connectivity_ratio,
+            "tx_range_m": result.mean_transmission_range,
+        }
+        if result.connectivity_ratio >= TARGET:
+            return width, last_row
+    return None, last_row
+
+
+def watch_logical_churn() -> None:
+    """Drive a world by hand and watch one vehicle's neighbor set change."""
+    spec = ExperimentSpec(
+        protocol="rng", mechanism="view-sync", buffer_width=25.0,
+        mean_speed=VEHICLE_SPEED, config=CONFIG,
+    )
+    world = build_world(spec, seed=11)
+    print("vehicle 0's logical neighbors over time:")
+    previous: frozenset[int] = frozenset()
+    for t in np.arange(2.0, 12.0, 2.0):
+        world.run_until(float(t))
+        probe = flood(world, source=0)
+        current = world.nodes[0].logical_neighbors
+        joined = sorted(current - previous)
+        left = sorted(previous - current)
+        print(
+            f"  t={t:4.1f}s  neighbors={sorted(current)}  "
+            f"+{joined if joined else '[]'} -{left if left else '[]'}  "
+            f"flood reach={probe.delivery_ratio:.2f}"
+        )
+        previous = current
+
+
+def main() -> None:
+    rows = []
+    summary = []
+    for mechanism, pn in [("baseline", False), ("view-sync", False),
+                          ("weak", False), ("baseline", True)]:
+        width, row = minimal_width(mechanism, pn)
+        rows.append(row)
+        label = mechanism + ("+pn" if pn else "")
+        summary.append(
+            f"  {label:12s}: "
+            + (f"{width:.0f} m buffer suffices" if width is not None
+               else "not rescued within the sweep")
+        )
+
+    print(format_table(
+        rows,
+        title=f"RNG at {VEHICLE_SPEED:g} m/s — operating point per mechanism",
+    ))
+    print()
+    print(f"Smallest buffer reaching {TARGET:.0%} connectivity:")
+    print("\n".join(summary))
+    print()
+    watch_logical_churn()
+
+
+if __name__ == "__main__":
+    main()

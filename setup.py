@@ -1,0 +1,10 @@
+"""Legacy shim so `pip install -e .` works without the `wheel` package.
+
+All real metadata lives in pyproject.toml; this file only enables the
+setuptools develop-mode fallback on environments whose pip cannot build
+editable wheels (e.g. offline boxes without the `wheel` distribution).
+"""
+
+from setuptools import setup
+
+setup()

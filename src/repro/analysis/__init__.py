@@ -1,0 +1,90 @@
+"""Experiment harness: specs, sweeps, table/figure regeneration."""
+
+from repro.analysis.experiment import (
+    AggregateResult,
+    ExperimentSpec,
+    RunResult,
+    build_manager,
+    build_mobility,
+    build_world,
+    run_once,
+    run_repetitions,
+)
+from repro.analysis.campaign import (
+    CampaignResult,
+    render_experiments_md,
+    run_campaign,
+)
+from repro.analysis.comparison import PairedComparison, compare_specs
+from repro.analysis.equivalence import EquivalencePoint, generate_equivalence_study
+from repro.analysis.html_report import render_html_report, svg_chart, write_html_report
+from repro.analysis.lifetime_study import LifetimeResult, run_lifetime_study
+from repro.analysis.figures import (
+    FigurePoint,
+    FigureResult,
+    FigureSeries,
+    compare_figures,
+    generate_fig6,
+    generate_fig7,
+    generate_fig8,
+    generate_fig9,
+    generate_fig10,
+    minimal_tolerating_buffer,
+)
+from repro.analysis.plotting import ascii_chart, figure_chart
+from repro.analysis.report import format_kv, format_table, rows_to_csv, write_csv
+from repro.analysis.routing_study import UnicastStudyResult, run_unicast_study
+from repro.analysis.scales import PAPER, QUICK, SMOKE, STANDARD, Scale
+from repro.analysis.sweeps import SweepPoint, grid_sweep, sweep_rows
+from repro.analysis.tables import Table1Result, generate_table1
+
+__all__ = [
+    "ExperimentSpec",
+    "RunResult",
+    "AggregateResult",
+    "run_once",
+    "run_repetitions",
+    "build_manager",
+    "build_mobility",
+    "build_world",
+    "Scale",
+    "PAPER",
+    "STANDARD",
+    "QUICK",
+    "SMOKE",
+    "Table1Result",
+    "generate_table1",
+    "FigurePoint",
+    "FigureSeries",
+    "FigureResult",
+    "generate_fig6",
+    "generate_fig7",
+    "generate_fig8",
+    "generate_fig9",
+    "generate_fig10",
+    "minimal_tolerating_buffer",
+    "compare_figures",
+    "format_table",
+    "format_kv",
+    "rows_to_csv",
+    "write_csv",
+    "ascii_chart",
+    "figure_chart",
+    "CampaignResult",
+    "run_campaign",
+    "render_experiments_md",
+    "SweepPoint",
+    "grid_sweep",
+    "sweep_rows",
+    "EquivalencePoint",
+    "generate_equivalence_study",
+    "UnicastStudyResult",
+    "run_unicast_study",
+    "LifetimeResult",
+    "run_lifetime_study",
+    "render_html_report",
+    "write_html_report",
+    "svg_chart",
+    "PairedComparison",
+    "compare_specs",
+]

@@ -1,0 +1,92 @@
+"""The speed-range equivalence claim of Section 5.1, as an experiment.
+
+The paper justifies sweeping speeds far beyond vehicular ("up to
+160 m/s") by a scaling argument: "when the transmission range is
+33.375 m, the impact of a speed of 20 m/s is equivalent to that of
+160 m/s in a MANET with a transmission range of 250 m" — i.e. what
+matters is the *drift per Hello interval relative to the transmission
+range*, ``v * Delta / R``.
+
+:func:`generate_equivalence_study` puts that claim under test: it runs the
+same protocol at several (range, speed) pairs sharing the mobility index
+``v/R`` (deployment area scaled with the range so density is constant) and
+at mismatched pairs, so reports can check that equal-index configurations
+produce equal connectivity while unequal ones do not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.analysis.experiment import ExperimentSpec, run_repetitions
+from repro.analysis.scales import QUICK, Scale
+from repro.mobility.base import Area
+from repro.util.validate import check_positive
+
+__all__ = ["EquivalencePoint", "generate_equivalence_study"]
+
+
+@dataclass(frozen=True)
+class EquivalencePoint:
+    """One (range, speed) configuration and its measured connectivity."""
+
+    normal_range: float
+    speed: float
+    mobility_index: float  # v / R, 1/s
+    connectivity: float
+    ci: float
+
+    def row(self) -> dict:
+        """Flat dict row for tables."""
+        return {
+            "range_m": self.normal_range,
+            "speed_mps": self.speed,
+            "v_over_R": self.mobility_index,
+            "connectivity": self.connectivity,
+            "ci": self.ci,
+        }
+
+
+def generate_equivalence_study(
+    scale: Scale = QUICK,
+    base_seed: int = 8200,
+    protocol: str = "rng",
+    range_factors: tuple[float, ...] = (1.0, 0.5, 0.25),
+    mobility_indices: tuple[float, ...] = (0.04, 0.16, 0.64),
+) -> list[EquivalencePoint]:
+    """Measure connectivity across the (range, speed) grid.
+
+    For each range factor f the normal range is ``250 * f`` and the area
+    side scales by f (constant density in *range units*); for each
+    mobility index m the speed is ``m * R``.  Equal-m cells across range
+    factors are the paper's "equivalent" configurations.
+    """
+    check_positive("base range", 250.0)
+    base_cfg = scale.config()
+    points: list[EquivalencePoint] = []
+    for f in range_factors:
+        rng_range = 250.0 * f
+        side = scale.area_side * f
+        cfg = replace(base_cfg, normal_range=rng_range, area=Area(side, side))
+        for m in mobility_indices:
+            speed = m * rng_range
+            spec = ExperimentSpec(
+                protocol=protocol,
+                mechanism="baseline",
+                buffer_width=0.0,
+                mean_speed=speed,
+                config=cfg,
+            )
+            agg = run_repetitions(
+                spec, repetitions=scale.repetitions, base_seed=base_seed
+            )
+            points.append(
+                EquivalencePoint(
+                    normal_range=rng_range,
+                    speed=speed,
+                    mobility_index=m,
+                    connectivity=agg.connectivity.mean,
+                    ci=agg.connectivity.half_width,
+                )
+            )
+    return points

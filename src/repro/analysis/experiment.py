@@ -1,0 +1,280 @@
+"""Experiment runner: specs, single runs, repetition aggregates.
+
+An :class:`ExperimentSpec` is a declarative description of one simulated
+configuration (protocol, consistency mechanism, buffer width, PN mode,
+mobility level, scenario).  :func:`run_once` executes it with one seed and
+returns per-sample series; :func:`run_repetitions` averages independent
+repetitions into :class:`~repro.metrics.stats.Estimate` values with 95 %
+confidence intervals — the paper's reporting protocol (20 repetitions,
+10 samples/s, 95 % CIs).
+
+Repetitions are embarrassingly parallel (independent seeds, independent
+worlds); pass ``workers > 1`` to fan them out over processes.  Specs are
+plain picklable dataclasses, and each worker runs one complete simulation,
+so the parallel efficiency is essentially linear until the machine runs
+out of cores.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.core.buffer_zone import BufferZonePolicy
+from repro.core.consistency import make_mechanism
+from repro.core.manager import MobilitySensitiveTopologyControl
+from repro.metrics.connectivity import strictly_connected
+from repro.metrics.stats import Estimate, mean_ci
+from repro.metrics.topology import sample_topology
+from repro.mobility.base import MobilityModel
+from repro.mobility.static import StaticPlacement
+from repro.mobility.waypoint import RandomWaypoint
+from repro.protocols.base import make_protocol
+from repro.sim.config import ScenarioConfig
+from repro.sim.flood import flood
+from repro.sim.world import NetworkWorld
+from repro.util.randomness import SeedSequenceFactory
+from repro.util.validate import check_int_range, check_non_negative
+
+__all__ = ["ExperimentSpec", "RunResult", "AggregateResult", "run_once", "run_repetitions"]
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One simulated configuration.
+
+    Attributes
+    ----------
+    protocol:
+        Registered protocol name (``rng``, ``mst``, ``spt2``, ...).
+    protocol_kwargs:
+        Keyword arguments for the protocol constructor.
+    mechanism:
+        Consistency mechanism name (``baseline``, ``view-sync``,
+        ``proactive``, ``reactive``, ``weak``).
+    mechanism_kwargs:
+        Keyword arguments for the mechanism constructor.
+    buffer_width:
+        Buffer-zone width in metres (0 = no buffer).
+    physical_neighbor_mode:
+        Accept data packets from any in-range sender.
+    mean_speed:
+        Random-waypoint mean speed, m/s; 0 selects a static network.
+    config:
+        Scenario parameters.
+    label:
+        Optional display label (defaults to a generated one).
+    """
+
+    protocol: str = "rng"
+    protocol_kwargs: dict = field(default_factory=dict)
+    mechanism: str = "baseline"
+    mechanism_kwargs: dict = field(default_factory=dict)
+    buffer_width: float = 0.0
+    physical_neighbor_mode: bool = False
+    mean_speed: float = 10.0
+    config: ScenarioConfig = field(default_factory=ScenarioConfig)
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        check_non_negative("buffer_width", self.buffer_width)
+        check_non_negative("mean_speed", self.mean_speed)
+
+    def describe(self) -> str:
+        """Display label for reports."""
+        if self.label:
+            return self.label
+        parts = [self.protocol, self.mechanism]
+        if self.buffer_width:
+            parts.append(f"buf{self.buffer_width:g}")
+        if self.physical_neighbor_mode:
+            parts.append("pn")
+        parts.append(f"v{self.mean_speed:g}")
+        return "+".join(parts)
+
+    def with_(self, **changes) -> "ExperimentSpec":
+        """A copy with the given fields replaced (sweep helper)."""
+        return replace(self, **changes)
+
+
+def build_manager(spec: ExperimentSpec) -> MobilitySensitiveTopologyControl:
+    """Instantiate the topology control stack an :class:`ExperimentSpec` names."""
+    protocol = make_protocol(spec.protocol, **spec.protocol_kwargs)
+    mechanism = make_mechanism(spec.mechanism, **spec.mechanism_kwargs)
+    policy = BufferZonePolicy(width=spec.buffer_width, cap=spec.config.normal_range)
+    return MobilitySensitiveTopologyControl(
+        protocol,
+        mechanism=mechanism,
+        buffer_policy=policy,
+        physical_neighbor_mode=spec.physical_neighbor_mode,
+    )
+
+
+def build_mobility(spec: ExperimentSpec, rng: np.random.Generator) -> MobilityModel:
+    """Random-waypoint mobility at the spec's speed (static when speed = 0)."""
+    cfg = spec.config
+    if spec.mean_speed == 0.0:
+        return StaticPlacement(cfg.area, cfg.n_nodes, cfg.duration, rng=rng)
+    return RandomWaypoint(
+        cfg.area, cfg.n_nodes, cfg.duration, mean_speed=spec.mean_speed, rng=rng
+    )
+
+
+def build_world(spec: ExperimentSpec, seed: int) -> NetworkWorld:
+    """Construct the fully wired world for one repetition."""
+    seeds = SeedSequenceFactory(seed)
+    mobility = build_mobility(spec, seeds.rng("mobility"))
+    manager = build_manager(spec)
+    return NetworkWorld(spec.config, mobility, manager, seed=seed)
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Per-sample series of one simulation run."""
+
+    spec: ExperimentSpec
+    seed: int
+    delivery_ratios: np.ndarray
+    mean_actual_ranges: np.ndarray
+    mean_extended_ranges: np.ndarray
+    mean_logical_degrees: np.ndarray
+    mean_physical_degrees: np.ndarray
+    strict_connected: np.ndarray
+    channel_stats: dict
+
+    @property
+    def connectivity_ratio(self) -> float:
+        """Mean flood delivery ratio over all samples."""
+        return float(self.delivery_ratios.mean())
+
+    @property
+    def mean_transmission_range(self) -> float:
+        """Mean in-force transmission range over nodes and samples."""
+        return float(self.mean_extended_ranges.mean())
+
+    @property
+    def mean_logical_degree(self) -> float:
+        """Mean logical degree over nodes and samples."""
+        return float(self.mean_logical_degrees.mean())
+
+    @property
+    def mean_physical_degree(self) -> float:
+        """Mean physical (in-extended-range) degree over nodes and samples."""
+        return float(self.mean_physical_degrees.mean())
+
+
+def run_once(spec: ExperimentSpec, seed: int = 0) -> RunResult:
+    """Execute one repetition of *spec* and collect all per-sample metrics."""
+    world = build_world(spec, seed)
+    cfg = spec.config
+    seeds = SeedSequenceFactory(seed)
+    source_rng = seeds.rng("flood-sources")
+    sample_times = np.arange(
+        cfg.warmup, cfg.duration + 1e-9, 1.0 / cfg.sample_rate
+    )
+    delivery, act_rng, ext_rng, ldeg, pdeg, strict = [], [], [], [], [], []
+    for t in sample_times:
+        world.run_until(float(t))
+        source = int(source_rng.integers(cfg.n_nodes))
+        result = flood(world, source)
+        delivery.append(result.delivery_ratio)
+        snap = world.snapshot()
+        topo = sample_topology(snap)
+        act_rng.append(topo.mean_actual_range)
+        ext_rng.append(topo.mean_extended_range)
+        ldeg.append(topo.mean_logical_degree)
+        pdeg.append(topo.mean_physical_degree)
+        strict.append(strictly_connected(snap, world.manager.physical_neighbor_mode))
+    return RunResult(
+        spec=spec,
+        seed=seed,
+        delivery_ratios=np.asarray(delivery),
+        mean_actual_ranges=np.asarray(act_rng),
+        mean_extended_ranges=np.asarray(ext_rng),
+        mean_logical_degrees=np.asarray(ldeg),
+        mean_physical_degrees=np.asarray(pdeg),
+        strict_connected=np.asarray(strict, dtype=bool),
+        channel_stats=world.channel.stats.as_dict(),
+    )
+
+
+@dataclass(frozen=True)
+class AggregateResult:
+    """Repetition-averaged metrics with 95 % confidence intervals."""
+
+    spec: ExperimentSpec
+    n_repetitions: int
+    connectivity: Estimate
+    transmission_range: Estimate
+    logical_degree: Estimate
+    physical_degree: Estimate
+    strict_connectivity: Estimate
+
+    def row(self) -> dict:
+        """Flat dict row for tables / CSV."""
+        return {
+            "label": self.spec.describe(),
+            "protocol": self.spec.protocol,
+            "mechanism": self.spec.mechanism,
+            "buffer": self.spec.buffer_width,
+            "pn": self.spec.physical_neighbor_mode,
+            "speed": self.spec.mean_speed,
+            "connectivity": self.connectivity.mean,
+            "connectivity_ci": self.connectivity.half_width,
+            "tx_range": self.transmission_range.mean,
+            "logical_degree": self.logical_degree.mean,
+            "physical_degree": self.physical_degree.mean,
+            "strict": self.strict_connectivity.mean,
+        }
+
+
+def _run_once_star(args: tuple[ExperimentSpec, int]) -> RunResult:
+    """Top-level helper so ProcessPoolExecutor can pickle the call."""
+    spec, seed = args
+    return run_once(spec, seed=seed)
+
+
+def default_workers() -> int:
+    """Worker count from ``REPRO_WORKERS`` (default 1 = sequential)."""
+    try:
+        return max(1, int(os.environ.get("REPRO_WORKERS", "1")))
+    except ValueError:
+        return 1
+
+
+def run_repetitions(
+    spec: ExperimentSpec,
+    repetitions: int = 5,
+    base_seed: int = 1000,
+    workers: int | None = None,
+) -> AggregateResult:
+    """Run *repetitions* independent seeds of *spec* and aggregate.
+
+    Parameters
+    ----------
+    workers:
+        Processes to spread repetitions over; default from the
+        ``REPRO_WORKERS`` environment variable (1 = in-process).  Results
+        are identical regardless of worker count — seeds, not schedulers,
+        define each run.
+    """
+    check_int_range("repetitions", repetitions, 1)
+    workers = default_workers() if workers is None else max(1, int(workers))
+    jobs = [(spec, base_seed + i) for i in range(repetitions)]
+    if workers == 1 or repetitions == 1:
+        runs = [run_once(s, seed=seed) for s, seed in jobs]
+    else:
+        with ProcessPoolExecutor(max_workers=min(workers, repetitions)) as pool:
+            runs = list(pool.map(_run_once_star, jobs))
+    return AggregateResult(
+        spec=spec,
+        n_repetitions=repetitions,
+        connectivity=mean_ci([r.connectivity_ratio for r in runs]),
+        transmission_range=mean_ci([r.mean_transmission_range for r in runs]),
+        logical_degree=mean_ci([r.mean_logical_degree for r in runs]),
+        physical_degree=mean_ci([r.mean_physical_degree for r in runs]),
+        strict_connectivity=mean_ci([float(r.strict_connected.mean()) for r in runs]),
+    )

@@ -1,0 +1,328 @@
+"""Figures 6-10 of the paper: the connectivity / mobility sweeps.
+
+Each generator returns a :class:`FigureResult` holding every curve as
+aggregate estimates, with paper-claim annotations, ASCII rendering, and CSV
+rows.  The sweeps:
+
+- **Fig. 6** — baseline connectivity ratio vs speed (all protocols).
+- **Fig. 7** — connectivity vs speed for several buffer widths, per
+  protocol (buffer zone alone).
+- **Fig. 8** — (a) average transmission range and (b) average physical
+  neighbor count vs buffer width.
+- **Fig. 9** — Fig. 7 with the view-synchronization mechanism.
+- **Fig. 10** — Fig. 7 with physical-neighbor forwarding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.experiment import AggregateResult, ExperimentSpec, run_repetitions
+from repro.analysis.paper_reference import (
+    BASELINE_PROTOCOLS,
+    MODERATE_SPEED,
+    TARGET_CONNECTIVITY,
+)
+from repro.analysis.report import format_table
+from repro.analysis.scales import QUICK, Scale
+
+__all__ = [
+    "FigurePoint",
+    "FigureSeries",
+    "FigureResult",
+    "generate_fig6",
+    "generate_fig7",
+    "generate_fig8",
+    "generate_fig9",
+    "generate_fig10",
+    "minimal_tolerating_buffer",
+    "compare_figures",
+]
+
+
+@dataclass(frozen=True)
+class FigurePoint:
+    """One point of one curve."""
+
+    x: float
+    result: AggregateResult
+
+
+@dataclass(frozen=True)
+class FigureSeries:
+    """One curve: a labelled sweep along x."""
+
+    label: str
+    x_name: str
+    points: tuple[FigurePoint, ...]
+
+    def y(self, metric: str = "connectivity") -> list[float]:
+        """Curve y-values for a metric attribute of the aggregates."""
+        return [getattr(p.result, metric).mean for p in self.points]
+
+    def xs(self) -> list[float]:
+        """Curve x-values."""
+        return [p.x for p in self.points]
+
+
+@dataclass(frozen=True)
+class FigureResult:
+    """A regenerated figure: all curves plus provenance."""
+
+    figure_id: str
+    title: str
+    scale: Scale
+    series: tuple[FigureSeries, ...] = field(default_factory=tuple)
+    metric: str = "connectivity"
+
+    def rows(self) -> list[dict]:
+        """Flat rows (series label, x, y, ci) for tables and CSV."""
+        out = []
+        for s in self.series:
+            for p in s.points:
+                est = getattr(p.result, self.metric)
+                out.append(
+                    {
+                        "series": s.label,
+                        s.x_name: p.x,
+                        self.metric: est.mean,
+                        "ci": est.half_width,
+                    }
+                )
+        return out
+
+    def format(self) -> str:
+        """ASCII rendering of all curves."""
+        return format_table(
+            self.rows(),
+            title=f"{self.figure_id} — {self.title} (scale={self.scale.name})",
+        )
+
+    def series_by_label(self, label: str) -> FigureSeries:
+        """Look up one curve by its label."""
+        for s in self.series:
+            if s.label == label:
+                return s
+        raise KeyError(f"no series {label!r} in {self.figure_id}")
+
+
+def _speed_sweep(
+    protocol: str,
+    scale: Scale,
+    base_seed: int,
+    mechanism: str = "baseline",
+    buffer_width: float = 0.0,
+    physical_neighbor_mode: bool = False,
+    label: str | None = None,
+) -> FigureSeries:
+    """Run one protocol/config over the scale's speed grid."""
+    points = []
+    for speed in scale.speeds:
+        spec = ExperimentSpec(
+            protocol=protocol,
+            mechanism=mechanism,
+            buffer_width=buffer_width,
+            physical_neighbor_mode=physical_neighbor_mode,
+            mean_speed=speed,
+            config=scale.config(),
+        )
+        agg = run_repetitions(spec, repetitions=scale.repetitions, base_seed=base_seed)
+        points.append(FigurePoint(x=speed, result=agg))
+    return FigureSeries(
+        label=label or protocol, x_name="speed_mps", points=tuple(points)
+    )
+
+
+def generate_fig6(scale: Scale = QUICK, base_seed: int = 3000) -> FigureResult:
+    """Fig. 6: connectivity ratio of the baseline protocols vs speed."""
+    series = tuple(
+        _speed_sweep(p, scale, base_seed) for p in BASELINE_PROTOCOLS
+    )
+    return FigureResult(
+        figure_id="fig6",
+        title="connectivity ratio of baseline protocols",
+        scale=scale,
+        series=series,
+    )
+
+
+def _buffer_family(
+    scale: Scale,
+    base_seed: int,
+    mechanism: str,
+    physical_neighbor_mode: bool,
+    figure_id: str,
+    title: str,
+) -> FigureResult:
+    """Figs. 7/9/10 share this shape: per protocol, one curve per buffer."""
+    series = []
+    for protocol in BASELINE_PROTOCOLS:
+        for width in scale.buffer_widths:
+            series.append(
+                _speed_sweep(
+                    protocol,
+                    scale,
+                    base_seed,
+                    mechanism=mechanism,
+                    buffer_width=width,
+                    physical_neighbor_mode=physical_neighbor_mode,
+                    label=f"{protocol}+buf{width:g}",
+                )
+            )
+    return FigureResult(
+        figure_id=figure_id, title=title, scale=scale, series=tuple(series)
+    )
+
+
+def generate_fig7(scale: Scale = QUICK, base_seed: int = 3700) -> FigureResult:
+    """Fig. 7: connectivity with different buffer widths (buffer alone)."""
+    return _buffer_family(
+        scale,
+        base_seed,
+        mechanism="baseline",
+        physical_neighbor_mode=False,
+        figure_id="fig7",
+        title="connectivity ratio with different buffer zone widths",
+    )
+
+
+def generate_fig9(scale: Scale = QUICK, base_seed: int = 3900) -> FigureResult:
+    """Fig. 9: connectivity with view synchronization + buffer zones."""
+    return _buffer_family(
+        scale,
+        base_seed,
+        mechanism="view-sync",
+        physical_neighbor_mode=False,
+        figure_id="fig9",
+        title="connectivity ratio with and without view synchronization",
+    )
+
+
+def generate_fig10(scale: Scale = QUICK, base_seed: int = 4100) -> FigureResult:
+    """Fig. 10: connectivity with physical-neighbor forwarding + buffers."""
+    return _buffer_family(
+        scale,
+        base_seed,
+        mechanism="baseline",
+        physical_neighbor_mode=True,
+        figure_id="fig10",
+        title="connectivity ratio before and after using physical neighbors",
+    )
+
+
+def generate_fig8(
+    scale: Scale = QUICK,
+    base_seed: int = 3800,
+    speed: float = MODERATE_SPEED,
+    widths: tuple[float, ...] | None = None,
+) -> tuple[FigureResult, FigureResult]:
+    """Fig. 8: (a) tx range and (b) physical degree vs buffer width.
+
+    Returns the two panels as separate :class:`FigureResult` objects with
+    metrics ``transmission_range`` and ``physical_degree``.
+    """
+    widths = widths or tuple(sorted(set(scale.buffer_widths) | {30.0}))
+    series_range = []
+    series_pdeg = []
+    for protocol in BASELINE_PROTOCOLS:
+        pts = []
+        for width in widths:
+            spec = ExperimentSpec(
+                protocol=protocol,
+                mechanism="baseline",
+                buffer_width=width,
+                mean_speed=speed,
+                config=scale.config(),
+            )
+            agg = run_repetitions(
+                spec, repetitions=scale.repetitions, base_seed=base_seed
+            )
+            pts.append(FigurePoint(x=width, result=agg))
+        series_range.append(
+            FigureSeries(label=protocol, x_name="buffer_m", points=tuple(pts))
+        )
+        series_pdeg.append(
+            FigureSeries(label=protocol, x_name="buffer_m", points=tuple(pts))
+        )
+    fig8a = FigureResult(
+        figure_id="fig8a",
+        title="average transmission range vs buffer zone width",
+        scale=scale,
+        series=tuple(series_range),
+        metric="transmission_range",
+    )
+    fig8b = FigureResult(
+        figure_id="fig8b",
+        title="average physical neighbors vs buffer zone width",
+        scale=scale,
+        series=tuple(series_pdeg),
+        metric="physical_degree",
+    )
+    return fig8a, fig8b
+
+
+def compare_figures(
+    figure_a: FigureResult,
+    figure_b: FigureResult,
+    metric: str = "connectivity",
+) -> list[dict]:
+    """Per-point deltas between two figures with matching series/points.
+
+    The paper presents Figs. 9 and 10 as *with-vs-without* comparisons
+    against Fig. 7; this helper produces those delta rows (B - A) for any
+    two figures whose series labels and x grids coincide — generate both
+    with the same base seed for exactly-paired worlds.
+
+    Series or points present in only one figure are skipped (coarser grids
+    compare on their intersection).
+    """
+    rows: list[dict] = []
+    b_series = {s.label: s for s in figure_b.series}
+    for series_a in figure_a.series:
+        series_b = b_series.get(series_a.label)
+        if series_b is None:
+            continue
+        b_points = {p.x: p for p in series_b.points}
+        for point_a in series_a.points:
+            point_b = b_points.get(point_a.x)
+            if point_b is None:
+                continue
+            a_val = getattr(point_a.result, metric).mean
+            b_val = getattr(point_b.result, metric).mean
+            rows.append(
+                {
+                    "series": series_a.label,
+                    series_a.x_name: point_a.x,
+                    f"{metric}_a": a_val,
+                    f"{metric}_b": b_val,
+                    "delta": b_val - a_val,
+                }
+            )
+    return rows
+
+
+def minimal_tolerating_buffer(
+    figure: FigureResult,
+    protocol: str,
+    moderate_speed: float = MODERATE_SPEED,
+    target: float = TARGET_CONNECTIVITY,
+) -> float | None:
+    """Smallest swept buffer width whose curve tolerates moderate mobility.
+
+    "Tolerates" per the paper: connectivity >= *target* at every swept
+    speed <= *moderate_speed*.  Returns None when no swept width works —
+    matching how Figs. 7/9/10 are summarised in the text.
+    """
+    best: float | None = None
+    for s in figure.series:
+        if not s.label.startswith(f"{protocol}+buf"):
+            continue
+        width = float(s.label.split("+buf", 1)[1])
+        ok = all(
+            p.result.connectivity.mean >= target
+            for p in s.points
+            if p.x <= moderate_speed
+        )
+        if ok and (best is None or width < best):
+            best = width
+    return best

@@ -1,0 +1,187 @@
+"""Standalone HTML report rendering (tables + inline SVG charts).
+
+EXPERIMENTS.md is the canonical diffable artifact; this module renders the
+same campaign data as a single self-contained HTML file — no external
+assets, no JavaScript — for sharing results with people who will not read
+a terminal.  The SVG charts are drawn directly (no plotting dependency).
+"""
+
+from __future__ import annotations
+
+import html
+from collections.abc import Sequence
+
+from repro.analysis.campaign import CampaignResult
+
+__all__ = ["svg_chart", "render_html_report", "write_html_report"]
+
+_PALETTE = ("#4363d8", "#e6194B", "#3cb44b", "#f58231", "#911eb4",
+            "#42d4f4", "#f032e6", "#9A6324")
+
+
+def svg_chart(
+    series: dict[str, tuple[Sequence[float], Sequence[float]]],
+    width: int = 560,
+    height: int = 280,
+    y_range: tuple[float, float] | None = None,
+    title: str = "",
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render named (xs, ys) curves as a standalone ``<svg>`` element."""
+    if not series:
+        return "<svg/>"
+    margin = 48
+    plot_w, plot_h = width - 2 * margin, height - 2 * margin
+    all_x = [x for xs, _ in series.values() for x in xs]
+    all_y = [y for _, ys in series.values() for y in ys]
+    if not all_x:
+        return "<svg/>"
+    x_lo, x_hi = min(all_x), max(all_x)
+    if y_range is None:
+        y_lo, y_hi = min(all_y), max(all_y)
+    else:
+        y_lo, y_hi = y_range
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+
+    def sx(x: float) -> float:
+        return margin + (x - x_lo) / (x_hi - x_lo) * plot_w
+
+    def sy(y: float) -> float:
+        return margin + (1.0 - (y - y_lo) / (y_hi - y_lo)) * plot_h
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height + 18 * len(series)}" font-family="sans-serif" font-size="11">'
+    ]
+    if title:
+        parts.append(
+            f'<text x="{width / 2}" y="16" text-anchor="middle" '
+            f'font-size="13">{html.escape(title)}</text>'
+        )
+    # axes
+    parts.append(
+        f'<rect x="{margin}" y="{margin}" width="{plot_w}" height="{plot_h}" '
+        'fill="none" stroke="#888"/>'
+    )
+    for frac in (0.0, 0.5, 1.0):
+        y_val = y_lo + frac * (y_hi - y_lo)
+        parts.append(
+            f'<text x="{margin - 6}" y="{sy(y_val) + 4}" text-anchor="end">'
+            f"{y_val:.2f}</text>"
+        )
+        x_val = x_lo + frac * (x_hi - x_lo)
+        parts.append(
+            f'<text x="{sx(x_val)}" y="{margin + plot_h + 14}" '
+            f'text-anchor="middle">{x_val:g}</text>'
+        )
+    parts.append(
+        f'<text x="{width / 2}" y="{margin + plot_h + 30}" text-anchor="middle">'
+        f"{html.escape(x_label)}</text>"
+    )
+    parts.append(
+        f'<text x="14" y="{margin + plot_h / 2}" text-anchor="middle" '
+        f'transform="rotate(-90 14 {margin + plot_h / 2})">{html.escape(y_label)}</text>'
+    )
+    # curves + legend
+    legend_y = height + 4
+    for idx, (label, (xs, ys)) in enumerate(series.items()):
+        color = _PALETTE[idx % len(_PALETTE)]
+        pts = " ".join(f"{sx(float(x)):.1f},{sy(float(y)):.1f}" for x, y in zip(xs, ys))
+        parts.append(
+            f'<polyline points="{pts}" fill="none" stroke="{color}" stroke-width="1.6"/>'
+        )
+        for x, y in zip(xs, ys):
+            parts.append(
+                f'<circle cx="{sx(float(x)):.1f}" cy="{sy(float(y)):.1f}" '
+                f'r="2.6" fill="{color}"/>'
+            )
+        parts.append(
+            f'<rect x="{margin}" y="{legend_y + 18 * idx}" width="12" height="3" '
+            f'fill="{color}"/>'
+            f'<text x="{margin + 18}" y="{legend_y + 6 + 18 * idx}">'
+            f"{html.escape(label)}</text>"
+        )
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def _html_table(rows: list[dict]) -> str:
+    if not rows:
+        return "<p><em>(no data)</em></p>"
+    cols = list(rows[0].keys())
+
+    def cell(v: object) -> str:
+        if isinstance(v, bool):
+            return "yes" if v else "no"
+        if isinstance(v, float):
+            return f"{v:.3f}"
+        return html.escape("" if v is None else str(v))
+
+    out = ["<table><thead><tr>"]
+    out.extend(f"<th>{html.escape(c)}</th>" for c in cols)
+    out.append("</tr></thead><tbody>")
+    for row in rows:
+        out.append("<tr>" + "".join(f"<td>{cell(row.get(c))}</td>" for c in cols) + "</tr>")
+    out.append("</tbody></table>")
+    return "".join(out)
+
+
+def _figure_section(figure, heading: str) -> str:
+    series = {s.label: (s.xs(), s.y(figure.metric)) for s in figure.series}
+    y_range = (0.0, 1.0) if figure.metric == "connectivity" else None
+    x_name = figure.series[0].x_name if figure.series else "x"
+    chart = svg_chart(
+        series, y_range=y_range, title=figure.title,
+        x_label=x_name, y_label=figure.metric,
+    )
+    return (
+        f"<section><h2>{html.escape(heading)}</h2>{chart}"
+        f"<details><summary>data</summary>{_html_table(figure.rows())}</details>"
+        "</section>"
+    )
+
+
+_STYLE = """
+body { font-family: sans-serif; max-width: 60rem; margin: 2rem auto; color: #222; }
+table { border-collapse: collapse; margin: .6rem 0; font-size: .85rem; }
+td, th { border: 1px solid #ccc; padding: .25rem .5rem; text-align: right; }
+th { background: #f2f2f2; }
+section { margin-bottom: 2rem; }
+details { margin-top: .4rem; }
+"""
+
+
+def render_html_report(result: CampaignResult) -> str:
+    """Render a campaign as one self-contained HTML page."""
+    scale = result.scale
+    parts = [
+        "<!DOCTYPE html><html><head><meta charset='utf-8'>",
+        "<title>Mobility-sensitive topology control — reproduction report</title>",
+        f"<style>{_STYLE}</style></head><body>",
+        "<h1>Mobility-sensitive topology control — reproduction report</h1>",
+        f"<p>Scale <b>{html.escape(scale.name)}</b>: {scale.n_nodes} nodes, "
+        f"{scale.area_side:g} m square, {scale.duration:g} s, "
+        f"{scale.repetitions} repetitions; base seed {result.base_seed}; "
+        f"{result.wall_clock_s:.0f} s of simulation.</p>",
+        "<section><h2>Table 1 — range and degree</h2>",
+        _html_table(result.table1.rows()),
+        "</section>",
+        _figure_section(result.fig6, "Fig. 6 — baselines vs mobility"),
+        _figure_section(result.fig7, "Fig. 7 — buffer zones alone"),
+        _figure_section(result.fig8a, "Fig. 8a — transmission range vs buffer"),
+        _figure_section(result.fig8b, "Fig. 8b — physical neighbors vs buffer"),
+        _figure_section(result.fig9, "Fig. 9 — view synchronization"),
+        _figure_section(result.fig10, "Fig. 10 — physical-neighbor forwarding"),
+        "</body></html>",
+    ]
+    return "".join(parts)
+
+
+def write_html_report(result: CampaignResult, path) -> None:
+    """Render and write the HTML report to *path*."""
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(render_html_report(result))

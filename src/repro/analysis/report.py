@@ -1,0 +1,89 @@
+"""Plain-text and CSV reporting for tables and figures.
+
+The harness regenerates the paper's artifacts as ASCII tables (one row per
+curve point) so results diff cleanly and read in CI logs; CSV export feeds
+external plotting when wanted.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from collections.abc import Iterable, Mapping, Sequence
+
+__all__ = ["format_table", "rows_to_csv", "write_csv", "format_kv"]
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Sequence[str] | None = None,
+    title: str | None = None,
+    float_format: str = "{:.3f}",
+) -> str:
+    """Render dict rows as a fixed-width ASCII table.
+
+    Parameters
+    ----------
+    rows:
+        Mapping per row; missing keys render empty.
+    columns:
+        Column order (defaults to the keys of the first row).
+    title:
+        Optional heading line.
+    float_format:
+        Format applied to float cells.
+    """
+    if not rows:
+        return (title + "\n" if title else "") + "(no data)"
+    cols = list(columns) if columns else list(rows[0].keys())
+
+    def cell(value: object) -> str:
+        if isinstance(value, bool):
+            return "yes" if value else "no"
+        if isinstance(value, float):
+            return float_format.format(value)
+        return "" if value is None else str(value)
+
+    text_rows = [[cell(row.get(c)) for c in cols] for row in rows]
+    widths = [
+        max(len(c), *(len(r[i]) for r in text_rows)) for i, c in enumerate(cols)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(c.ljust(w) for c, w in zip(cols, widths))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for r in text_rows:
+        lines.append("  ".join(v.ljust(w) for v, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def rows_to_csv(rows: Iterable[Mapping[str, object]], columns: Sequence[str] | None = None) -> str:
+    """Serialise dict rows as CSV text."""
+    rows = list(rows)
+    if not rows:
+        return ""
+    cols = list(columns) if columns else list(rows[0].keys())
+    buf = io.StringIO()
+    writer = csv.DictWriter(buf, fieldnames=cols, extrasaction="ignore")
+    writer.writeheader()
+    for row in rows:
+        writer.writerow(row)
+    return buf.getvalue()
+
+
+def write_csv(path, rows: Iterable[Mapping[str, object]], columns: Sequence[str] | None = None) -> None:
+    """Write dict rows to a CSV file."""
+    text = rows_to_csv(rows, columns)
+    with open(path, "w", encoding="utf-8", newline="") as fh:
+        fh.write(text)
+
+
+def format_kv(pairs: Mapping[str, object], title: str | None = None) -> str:
+    """Render key/value pairs one per line (config echo in reports)."""
+    lines = [title] if title else []
+    width = max((len(k) for k in pairs), default=0)
+    for key, value in pairs.items():
+        lines.append(f"  {key.ljust(width)} : {value}")
+    return "\n".join(lines)

@@ -1,0 +1,108 @@
+"""Experiment scales: the paper's full setup and scaled-down presets.
+
+The paper runs 100 nodes for 100 s, 10 samples/s, 20 repetitions per data
+point.  That is minutes of wall-clock per *point* in pure Python, so the
+benchmark suite uses scaled presets that keep the *shape* of every curve
+(who wins, where the crossovers fall) while fitting in CI; the CLI exposes
+the full scale for faithful runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.mobility.base import Area
+from repro.sim.config import ScenarioConfig
+from repro.util.validate import check_int_range
+
+__all__ = ["Scale", "PAPER", "STANDARD", "QUICK", "SMOKE"]
+
+
+@dataclass(frozen=True)
+class Scale:
+    """Sizing of one experiment campaign.
+
+    Attributes
+    ----------
+    name:
+        Preset label.
+    n_nodes, duration, sample_rate, warmup:
+        Scenario sizing (see :class:`~repro.sim.config.ScenarioConfig`).
+    repetitions:
+        Independent seeds per data point.
+    speeds:
+        Mean random-waypoint speeds (m/s) swept by the figures.
+    buffer_widths:
+        Buffer-zone widths (m) swept by Figs. 7-10.
+    """
+
+    name: str
+    n_nodes: int = 100
+    area_side: float = 900.0
+    duration: float = 100.0
+    sample_rate: float = 10.0
+    warmup: float = 2.0
+    repetitions: int = 20
+    speeds: tuple[float, ...] = (1.0, 20.0, 40.0, 80.0, 160.0)
+    buffer_widths: tuple[float, ...] = (0.0, 1.0, 10.0, 100.0)
+
+    def __post_init__(self) -> None:
+        check_int_range("repetitions", self.repetitions, 1)
+        if not self.speeds:
+            raise ValueError("at least one speed is required")
+
+    def config(self, **overrides) -> ScenarioConfig:
+        """Scenario config at this scale (extra overrides win).
+
+        Reduced presets shrink the area along with the node count so the
+        mean degree stays near the paper's ~18 — sparser networks would
+        change *every* curve's ceiling, not just its noise.
+        """
+        base = dict(
+            n_nodes=self.n_nodes,
+            area=Area(self.area_side, self.area_side),
+            duration=self.duration,
+            sample_rate=self.sample_rate,
+            warmup=self.warmup,
+        )
+        base.update(overrides)
+        return ScenarioConfig(**base)
+
+
+#: The paper's exact evaluation scale (Section 5.1).
+PAPER = Scale(name="paper")
+
+#: Full curve shapes at a fraction of the cost — good for overnight runs.
+STANDARD = Scale(
+    name="standard",
+    n_nodes=100,
+    duration=30.0,
+    sample_rate=5.0,
+    repetitions=5,
+)
+
+#: Benchmark-suite default: minutes for the whole figure set.
+QUICK = Scale(
+    name="quick",
+    n_nodes=50,
+    area_side=636.0,  # 8100 m^2 per node, the paper's density
+    duration=10.0,
+    sample_rate=2.0,
+    warmup=2.0,
+    repetitions=3,
+    speeds=(1.0, 20.0, 40.0, 160.0),
+    buffer_widths=(0.0, 10.0, 30.0, 100.0),
+)
+
+#: Smoke-test scale: seconds end-to-end, shape only loosely preserved.
+SMOKE = Scale(
+    name="smoke",
+    n_nodes=30,
+    area_side=493.0,  # 8100 m^2 per node, the paper's density
+    duration=6.0,
+    sample_rate=1.0,
+    warmup=2.0,
+    repetitions=2,
+    speeds=(1.0, 40.0),
+    buffer_widths=(0.0, 100.0),
+)

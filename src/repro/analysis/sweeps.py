@@ -1,0 +1,100 @@
+"""Generic parameter sweeps over experiment specs.
+
+The figure generators hard-code the paper's sweeps; :func:`grid_sweep` is
+the general tool behind user-defined studies: give it a base spec and a
+mapping of axes to value lists, and it runs the full cartesian product
+with aggregated repetitions.  Axis names address either an
+:class:`ExperimentSpec` field (``"buffer_width"``) or, with a ``config.``
+prefix, a :class:`~repro.sim.config.ScenarioConfig` field
+(``"config.hello_interval"``).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, fields, replace
+
+from repro.analysis.experiment import (
+    AggregateResult,
+    ExperimentSpec,
+    run_repetitions,
+)
+from repro.sim.config import ScenarioConfig
+from repro.util.errors import ConfigurationError
+
+__all__ = ["SweepPoint", "grid_sweep", "sweep_rows"]
+
+_SPEC_FIELDS = {f.name for f in fields(ExperimentSpec)}
+_CONFIG_FIELDS = {f.name for f in fields(ScenarioConfig)}
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One grid point: the axis assignment and its aggregated result."""
+
+    assignment: dict
+    result: AggregateResult
+
+
+def _apply(base: ExperimentSpec, assignment: dict) -> ExperimentSpec:
+    spec_changes: dict = {}
+    config_changes: dict = {}
+    for key, value in assignment.items():
+        if key.startswith("config."):
+            name = key[len("config."):]
+            if name not in _CONFIG_FIELDS:
+                raise ConfigurationError(f"unknown config field {name!r}")
+            config_changes[name] = value
+        elif key in _SPEC_FIELDS:
+            spec_changes[key] = value
+        else:
+            raise ConfigurationError(
+                f"unknown sweep axis {key!r}; spec fields: {sorted(_SPEC_FIELDS)}, "
+                "config fields use a 'config.' prefix"
+            )
+    spec = base.with_(**spec_changes) if spec_changes else base
+    if config_changes:
+        spec = spec.with_(config=replace(spec.config, **config_changes))
+    return spec
+
+
+def grid_sweep(
+    base: ExperimentSpec,
+    axes: dict[str, list],
+    repetitions: int = 3,
+    base_seed: int = 1000,
+    workers: int | None = None,
+) -> list[SweepPoint]:
+    """Run the cartesian product of *axes* around *base*.
+
+    Axis order in *axes* defines the nesting order of the product; the
+    returned points iterate the last axis fastest.  Every point shares
+    *base_seed*, so two points differing in one axis are paired runs.
+    """
+    if not axes:
+        raise ConfigurationError("at least one sweep axis is required")
+    names = list(axes)
+    points: list[SweepPoint] = []
+    for combo in itertools.product(*(axes[name] for name in names)):
+        assignment = dict(zip(names, combo))
+        spec = _apply(base, assignment)
+        result = run_repetitions(
+            spec, repetitions=repetitions, base_seed=base_seed, workers=workers
+        )
+        points.append(SweepPoint(assignment=assignment, result=result))
+    return points
+
+
+def sweep_rows(points: list[SweepPoint]) -> list[dict]:
+    """Flatten sweep points to dict rows (axes + headline metrics)."""
+    rows = []
+    for point in points:
+        row = dict(point.assignment)
+        row.update(
+            connectivity=point.result.connectivity.mean,
+            connectivity_ci=point.result.connectivity.half_width,
+            tx_range=point.result.transmission_range.mean,
+            logical_degree=point.result.logical_degree.mean,
+        )
+        rows.append(row)
+    return rows

@@ -1,0 +1,261 @@
+"""Command-line entry point: regenerate the paper's tables and figures.
+
+Examples
+--------
+Run everything at the quick (CI) scale::
+
+    python -m repro.cli all --scale quick
+
+Regenerate Fig. 9 at the paper's full scale and save CSV::
+
+    python -m repro.cli fig9 --scale paper --csv fig9.csv
+
+Run one custom configuration::
+
+    python -m repro.cli run --protocol rng --mechanism view-sync \
+        --buffer 10 --speed 40 --repetitions 5
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.analysis.experiment import ExperimentSpec, run_repetitions
+from repro.analysis.figures import (
+    generate_fig6,
+    generate_fig7,
+    generate_fig8,
+    generate_fig9,
+    generate_fig10,
+)
+from repro.analysis.plotting import figure_chart
+from repro.analysis.report import format_kv, write_csv
+from repro.analysis.scales import PAPER, QUICK, SMOKE, STANDARD, Scale
+from repro.analysis.tables import generate_table1
+from repro.protocols import available_protocols
+
+__all__ = ["main", "build_parser"]
+
+_SCALES: dict[str, Scale] = {
+    "paper": PAPER,
+    "standard": STANDARD,
+    "quick": QUICK,
+    "smoke": SMOKE,
+}
+
+_FIGURES = {
+    "table1": lambda scale, seed: [generate_table1(scale, base_seed=seed)],
+    "fig6": lambda scale, seed: [generate_fig6(scale, base_seed=seed)],
+    "fig7": lambda scale, seed: [generate_fig7(scale, base_seed=seed)],
+    "fig8": lambda scale, seed: list(generate_fig8(scale, base_seed=seed)),
+    "fig9": lambda scale, seed: [generate_fig9(scale, base_seed=seed)],
+    "fig10": lambda scale, seed: [generate_fig10(scale, base_seed=seed)],
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The repro-experiment argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiment",
+        description="Reproduce Wu & Dai, mobility-sensitive topology control.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    for name in [*_FIGURES, "all"]:
+        p = sub.add_parser(name, help=f"regenerate {name}" if name != "all" else "everything")
+        p.add_argument("--scale", choices=sorted(_SCALES), default="quick")
+        p.add_argument("--seed", type=int, default=2026)
+        p.add_argument("--csv", help="write result rows to this CSV file")
+        p.add_argument(
+            "--no-chart", dest="chart", action="store_false",
+            help="suppress the ASCII chart rendering",
+        )
+
+    p = sub.add_parser("report", help="run the full campaign and write EXPERIMENTS.md")
+    p.add_argument("--scale", choices=sorted(_SCALES), default="quick")
+    p.add_argument("--seed", type=int, default=2026)
+    p.add_argument("--output", default="EXPERIMENTS.md")
+    p.add_argument("--html", help="also write a standalone HTML report here")
+
+    p = sub.add_parser("unicast", help="GFG/GPSR unicast over maintained topologies")
+    p.add_argument("--scale", choices=sorted(_SCALES), default="quick")
+    p.add_argument("--seed", type=int, default=2026)
+    p.add_argument("--speed", type=float, default=20.0)
+
+    p = sub.add_parser("lifetime", help="network-lifetime study per protocol")
+    p.add_argument("--scale", choices=sorted(_SCALES), default="quick")
+    p.add_argument("--seed", type=int, default=2026)
+    p.add_argument("--budget", type=float, default=5e6)
+
+    p = sub.add_parser("equivalence", help="speed-range equivalence study (Sec. 5.1)")
+    p.add_argument("--scale", choices=sorted(_SCALES), default="quick")
+    p.add_argument("--seed", type=int, default=2026)
+
+    p = sub.add_parser("run", help="run one custom configuration")
+    p.add_argument("--protocol", choices=available_protocols(), default="rng")
+    p.add_argument(
+        "--mechanism",
+        choices=["baseline", "view-sync", "proactive", "reactive", "weak"],
+        default="baseline",
+    )
+    p.add_argument("--buffer", type=float, default=0.0, help="buffer width, m")
+    p.add_argument("--speed", type=float, default=20.0, help="mean speed, m/s")
+    p.add_argument("--pn", action="store_true", help="physical-neighbor mode")
+    p.add_argument("--nodes", type=int, default=100)
+    p.add_argument("--duration", type=float, default=100.0)
+    p.add_argument("--sample-rate", type=float, default=10.0)
+    p.add_argument("--repetitions", type=int, default=5)
+    p.add_argument("--seed", type=int, default=2026)
+    return parser
+
+
+def _run_figures(args: argparse.Namespace) -> int:
+    names = list(_FIGURES) if args.command == "all" else [args.command]
+    scale = _SCALES[args.scale]
+    all_rows = []
+    for name in names:
+        t0 = time.perf_counter()
+        for result in _FIGURES[name](scale, args.seed):
+            print(result.format())
+            print()
+            if getattr(result, "series", None) and getattr(args, "chart", True):
+                print(figure_chart(result))
+                print()
+            rows = result.rows()
+            tag = getattr(result, "figure_id", name)
+            for row in rows:
+                all_rows.append({"artifact": tag, **row})
+        print(f"[{name} done in {time.perf_counter() - t0:.1f}s]\n")
+    if args.csv and all_rows:
+        write_csv(args.csv, all_rows)
+        print(f"wrote {len(all_rows)} rows to {args.csv}")
+    return 0
+
+
+def _run_single(args: argparse.Namespace) -> int:
+    scale_cfg = Scale(
+        name="custom",
+        n_nodes=args.nodes,
+        duration=args.duration,
+        sample_rate=args.sample_rate,
+        repetitions=args.repetitions,
+    )
+    spec = ExperimentSpec(
+        protocol=args.protocol,
+        mechanism=args.mechanism,
+        buffer_width=args.buffer,
+        physical_neighbor_mode=args.pn,
+        mean_speed=args.speed,
+        config=scale_cfg.config(),
+    )
+    t0 = time.perf_counter()
+    agg = run_repetitions(spec, repetitions=args.repetitions, base_seed=args.seed)
+    elapsed = time.perf_counter() - t0
+    print(format_kv(
+        {
+            "configuration": spec.describe(),
+            "connectivity": str(agg.connectivity),
+            "strict connectivity": str(agg.strict_connectivity),
+            "tx range (m)": str(agg.transmission_range),
+            "logical degree": str(agg.logical_degree),
+            "physical degree": str(agg.physical_degree),
+            "repetitions": agg.n_repetitions,
+            "wall clock (s)": f"{elapsed:.1f}",
+        },
+        title="single-configuration run",
+    ))
+    return 0
+
+
+def _run_report(args: argparse.Namespace) -> int:
+    from repro.analysis.campaign import render_experiments_md, run_campaign
+
+    result = run_campaign(_SCALES[args.scale], base_seed=args.seed)
+    text = render_experiments_md(result)
+    with open(args.output, "w", encoding="utf-8") as fh:
+        fh.write(text)
+    print(text)
+    print(f"\nwrote {args.output} ({result.wall_clock_s:.0f}s of simulation)")
+    if getattr(args, "html", None):
+        from repro.analysis.html_report import write_html_report
+
+        write_html_report(result, args.html)
+        print(f"wrote {args.html}")
+    return 0
+
+
+def _run_unicast(args: argparse.Namespace) -> int:
+    from repro.analysis.report import format_table
+    from repro.analysis.routing_study import run_unicast_study
+
+    scale = _SCALES[args.scale]
+    cfg = scale.config()
+    rows = []
+    for protocol, mechanism, buffer_width in [
+        ("rng", "baseline", 0.0),
+        ("rng", "view-sync", 30.0),
+        ("gabriel", "view-sync", 30.0),
+        ("none", "baseline", 0.0),
+    ]:
+        spec = ExperimentSpec(
+            protocol=protocol, mechanism=mechanism, buffer_width=buffer_width,
+            mean_speed=args.speed, config=cfg,
+        )
+        rows.append(run_unicast_study(spec, seed=args.seed).row())
+    print(format_table(rows, title=f"GFG/GPSR unicast at {args.speed:g} m/s"))
+    return 0
+
+
+def _run_lifetime(args: argparse.Namespace) -> int:
+    from repro.analysis.lifetime_study import run_lifetime_study
+    from repro.analysis.report import format_table
+
+    scale = _SCALES[args.scale]
+    cfg = scale.config()
+    rows = []
+    for protocol in ("mst", "rng", "spt2", "none"):
+        spec = ExperimentSpec(
+            protocol=protocol, mechanism="view-sync", buffer_width=10.0,
+            mean_speed=10.0, config=cfg,
+        )
+        rows.append(
+            run_lifetime_study(spec, budget=args.budget, seed=args.seed).row()
+        )
+    print(format_table(rows, title=f"Network lifetime (budget {args.budget:g})"))
+    return 0
+
+
+def _run_equivalence(args: argparse.Namespace) -> int:
+    from repro.analysis.equivalence import generate_equivalence_study
+    from repro.analysis.report import format_table
+
+    points = generate_equivalence_study(_SCALES[args.scale], base_seed=args.seed)
+    print(
+        format_table(
+            [p.row() for p in points],
+            title="Speed-range equivalence (constant v/R => constant connectivity)",
+        )
+    )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "run":
+        return _run_single(args)
+    if args.command == "report":
+        return _run_report(args)
+    if args.command == "unicast":
+        return _run_unicast(args)
+    if args.command == "lifetime":
+        return _run_lifetime(args)
+    if args.command == "equivalence":
+        return _run_equivalence(args)
+    return _run_figures(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

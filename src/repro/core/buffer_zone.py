@@ -1,0 +1,149 @@
+"""Buffer zones: delay and mobility management (Section 4.3, Theorem 5).
+
+Each node transmits with an *extended* range ``r + l`` where ``r`` is the
+actual range chosen by the topology control protocol and the buffer width
+
+    l = 2 * Delta'' * v_max
+
+covers the worst case: both end nodes moving apart at full speed for the
+age ``Delta''`` of the oldest Hello a current local view may rely on.
+``Delta''`` depends on the consistency mechanism in use:
+
+- proactive strong consistency: ``2 * Delta'``, where ``Delta'`` is the
+  Hello interval plus clock skew;
+- reactive strong consistency: ``Delta`` plus the initiation-flood delay;
+- weak consistency with ``k`` retained Hellos: ``(k + 1) * Delta``.
+
+The paper also observes (via [35]) that much thinner buffers preserve
+links with high probability, so the width is an explicit policy knob in
+experiments rather than always the worst-case law.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.util.validate import check_in, check_int_range, check_non_negative
+
+__all__ = [
+    "max_delay_bound",
+    "buffer_width",
+    "required_history_depth",
+    "BufferZonePolicy",
+]
+
+
+def max_delay_bound(
+    mechanism: str,
+    hello_interval: float,
+    clock_skew: float = 0.0,
+    flood_delay: float = 0.0,
+    history_depth: int = 3,
+) -> float:
+    """Worst-case age ``Delta''`` of location information used in a view.
+
+    Parameters
+    ----------
+    mechanism:
+        One of ``"baseline"``, ``"view-sync"``, ``"proactive"``,
+        ``"reactive"``, ``"weak"``.
+    hello_interval:
+        The (maximum) Hello interval ``Delta``, seconds.
+    clock_skew:
+        Bound on physical clock skew between nodes, seconds.
+    flood_delay:
+        Propagation bound of the reactive initiation flood, seconds.
+    history_depth:
+        ``k``, the retained Hellos per neighbor (weak consistency only).
+    """
+    check_in(
+        "mechanism", mechanism, ["baseline", "view-sync", "proactive", "reactive", "weak"]
+    )
+    delta = check_non_negative("hello_interval", hello_interval)
+    skew = check_non_negative("clock_skew", clock_skew)
+    if mechanism == "proactive":
+        # Delta' = Delta + skew; a view may use a Hello sent Delta' ago and
+        # stay in force another Delta'.
+        return 2.0 * (delta + skew)
+    if mechanism == "reactive":
+        return delta + check_non_negative("flood_delay", flood_delay)
+    if mechanism == "weak":
+        k = check_int_range("history_depth", history_depth, 1)
+        return (k + 1) * delta
+    # Baseline / view-sync: the latest Hello can be up to one interval old
+    # and is used until the next decision, up to another interval later.
+    return 2.0 * delta + skew
+
+
+def buffer_width(max_speed: float, max_delay: float) -> float:
+    """Theorem 5's buffer width ``l = 2 * Delta'' * v``.
+
+    Both end nodes may have moved up to ``Delta'' * v`` since the positions
+    in the deciding view were sampled, in opposite directions.
+    """
+    return 2.0 * check_non_negative("max_delay", max_delay) * check_non_negative(
+        "max_speed", max_speed
+    )
+
+
+def required_history_depth(view_time_spread: float, hello_interval: float) -> int:
+    """Theorem 3's ``k = ceil(delta / Delta) + 1`` retained Hellos.
+
+    *view_time_spread* is ``delta``, the bound on the difference between
+    sampling times of any two local views (``d`` for instantaneous
+    updating, ``Delta + d`` for periodical updating — Corollary 1).
+    """
+    delta = check_non_negative("view_time_spread", view_time_spread)
+    interval = check_non_negative("hello_interval", hello_interval)
+    if interval <= 0:
+        raise ValueError("hello_interval must be positive")
+    return int(math.ceil(delta / interval - 1e-12)) + 1
+
+
+@dataclass(frozen=True)
+class BufferZonePolicy:
+    """How a node extends its actual transmission range.
+
+    Attributes
+    ----------
+    width:
+        Buffer width ``l`` in metres (0 disables the mechanism).
+    cap:
+        Optional ceiling on the extended range (a radio cannot exceed its
+        normal/maximum power); ``None`` = uncapped.
+    """
+
+    width: float = 0.0
+    cap: float | None = None
+
+    def __post_init__(self) -> None:
+        check_non_negative("width", self.width)
+        if self.cap is not None:
+            check_non_negative("cap", self.cap)
+
+    @classmethod
+    def from_theorem5(
+        cls,
+        max_speed: float,
+        mechanism: str,
+        hello_interval: float,
+        cap: float | None = None,
+        **delay_kwargs,
+    ) -> "BufferZonePolicy":
+        """Worst-case-safe policy for a mechanism and mobility level."""
+        delay = max_delay_bound(mechanism, hello_interval, **delay_kwargs)
+        return cls(width=buffer_width(max_speed, delay), cap=cap)
+
+    def extended_range(self, actual_range: float) -> float:
+        """Extended transmission range for a node with *actual_range*.
+
+        A node with no logical neighbors (actual range 0) keeps range 0:
+        it has no logical links to protect.
+        """
+        if actual_range <= 0.0:
+            return 0.0
+        extended = actual_range + self.width
+        if self.cap is not None:
+            extended = min(extended, self.cap)
+        return extended

@@ -1,0 +1,214 @@
+"""View-consistency mechanisms (Sections 4.1-4.2).
+
+Each mechanism is a strategy answering one question: *which view does a
+node base its logical-neighbor decision on, and when does it re-decide?*
+
+- :class:`BaselineConsistency` — the mobility-insensitive status quo:
+  latest Hello per neighbor, own true position, decide at Hello time.
+- :class:`ViewSynchronization` — the paper's simulated lightweight scheme:
+  re-decide *on every packet send* from the latest Hellos, using the own
+  position advertised in the node's last Hello (so nodes a fast packet
+  visits share nearly consistent views).
+- :class:`ProactiveConsistency` — strong consistency via timestamped
+  Hellos: packets carry the source's version ``s``; every node on the path
+  decides from its version-``s`` view, which enforces ``|M(t, v)| = 1``
+  (Theorem 2).
+- :class:`ReactiveConsistency` — strong consistency via synchronized
+  rounds: an initiation flood stamps one version on every Hello of the
+  round, and decisions use exactly that round's view.
+- :class:`WeakConsistency` — no synchronization: keep ``k`` recent Hellos,
+  evaluate the protocol's *conservative* (enhanced-condition) mode
+  (Theorem 4).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.core.framework import SelectionResult
+from repro.core.tables import NeighborTable
+from repro.core.views import Hello
+from repro.protocols.base import TopologyControlProtocol
+from repro.util.errors import ViewError
+from repro.util.validate import check_int_range
+
+__all__ = [
+    "ConsistencyMechanism",
+    "BaselineConsistency",
+    "ViewSynchronization",
+    "ProactiveConsistency",
+    "ReactiveConsistency",
+    "WeakConsistency",
+    "make_mechanism",
+]
+
+
+class ConsistencyMechanism(ABC):
+    """Strategy: how a node builds the view behind each decision."""
+
+    #: registry key and report label
+    name: str = ""
+    #: True if logical sets must be recomputed when forwarding a packet
+    recompute_on_packet: bool = False
+    #: True if Hello versions must be globally aligned (epoch-based)
+    synchronized_versions: bool = False
+
+    @abstractmethod
+    def decide(
+        self,
+        protocol: TopologyControlProtocol,
+        table: NeighborTable,
+        now: float,
+        current_hello: Hello,
+        version: int | None = None,
+    ) -> SelectionResult:
+        """Run *protocol* on the view this mechanism prescribes.
+
+        Parameters
+        ----------
+        protocol:
+            The (unchanged) base topology control protocol.
+        table:
+            The deciding node's neighbor table.
+        now:
+            Physical time of the decision.
+        current_hello:
+            A Hello describing the node's *current true* position (only
+            mechanisms that are allowed to use it do).
+        version:
+            Global Hello version a packet mandates (proactive/reactive).
+        """
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class BaselineConsistency(ConsistencyMechanism):
+    """Mobility-insensitive default: latest Hellos, own true position."""
+
+    name = "baseline"
+
+    def decide(self, protocol, table, now, current_hello, version=None):
+        view = table.latest_view(now, own_hello=current_hello)
+        return protocol.select(view)
+
+
+class ViewSynchronization(ConsistencyMechanism):
+    """On-the-fly almost-consistent views (Section 5.1, "view synchronization").
+
+    Decisions use the latest received Hellos but the node's **previously
+    advertised** own position — the paper is explicit that using the true
+    current position instead would re-introduce inconsistency.  The
+    simulator additionally re-decides whenever a packet is sent
+    (:attr:`recompute_on_packet`), so all nodes a fast-travelling packet
+    visits decide from nearly the same Hello generation.
+    """
+
+    name = "view-sync"
+    recompute_on_packet = True
+
+    def decide(self, protocol, table, now, current_hello, version=None):
+        own = table.last_advertised
+        if own is None:
+            # Nothing advertised yet: the node is invisible to neighbors
+            # anyway, so deciding from the current position is harmless.
+            own = current_hello
+        view = table.latest_view(now, own_hello=own)
+        return protocol.select(view)
+
+
+class ProactiveConsistency(ConsistencyMechanism):
+    """Strong consistency from timestamped Hellos (the proactive approach).
+
+    Requires globally aligned versions (nodes stamp Hello *i* during epoch
+    *i*; clock skew only shifts the stamping instant).  A decision for
+    version ``s`` uses exactly the version-``s`` Hello of every neighbor
+    that produced one — so all nodes relaying a packet stamped ``s`` use
+    the same version of everyone's location, satisfying Theorem 2.
+    """
+
+    name = "proactive"
+    recompute_on_packet = True
+    synchronized_versions = True
+
+    def decide(self, protocol, table, now, current_hello, version=None):
+        if version is None:
+            version = max(table.available_versions(), default=None)
+            if version is None:
+                raise ViewError(
+                    f"node {table.owner} cannot decide proactively before advertising"
+                )
+        try:
+            view = table.versioned_view(now, version)
+        except ViewError:
+            # The node has not reached epoch `version` yet (clock skew or a
+            # packet racing ahead of Hello emission): fall back to the most
+            # recent version it *has* advertised — the paper's "wait before
+            # migrating to the next local view" rule seen from the packet's
+            # perspective.
+            candidates = [v for v in table.available_versions() if v < version]
+            if not candidates:
+                raise
+            view = table.versioned_view(now, max(candidates))
+        return protocol.select(view)
+
+
+class ReactiveConsistency(ProactiveConsistency):
+    """Strong consistency from synchronized Hello rounds (reactive approach).
+
+    Functionally a versioned decision like the proactive scheme; the
+    difference is *how* versions get aligned (an initiation flood rather
+    than clocks) and its traffic cost, which the simulator accounts
+    separately.  Decisions do not depend on packets, so logical sets are
+    refreshed once per round, not per packet.
+    """
+
+    name = "reactive"
+    recompute_on_packet = False
+    synchronized_versions = True
+
+
+class WeakConsistency(ConsistencyMechanism):
+    """Conservative decisions from k recent Hellos — no synchronization.
+
+    Runs the protocol's enhanced link-removal conditions
+    (:meth:`~repro.protocols.base.TopologyControlProtocol
+    .select_conservative`) on a :class:`~repro.core.views.MultiVersionView`.
+    Theorem 4 guarantees a connected logical topology when views are weakly
+    consistent, which Theorem 3 guarantees for sufficient *k*.
+    """
+
+    name = "weak"
+
+    def __init__(self, history_depth: int = 3) -> None:
+        self.history_depth = check_int_range("history_depth", history_depth, 1)
+
+    def decide(self, protocol, table, now, current_hello, version=None):
+        view = table.multi_view(now, own_hello=current_hello)
+        return protocol.select_conservative(view)
+
+    def __repr__(self) -> str:
+        return f"WeakConsistency(history_depth={self.history_depth})"
+
+
+_MECHANISMS = {
+    cls.name: cls
+    for cls in (
+        BaselineConsistency,
+        ViewSynchronization,
+        ProactiveConsistency,
+        ReactiveConsistency,
+        WeakConsistency,
+    )
+}
+
+
+def make_mechanism(name: str, **kwargs) -> ConsistencyMechanism:
+    """Instantiate a consistency mechanism by name (CLI / config entry)."""
+    try:
+        cls = _MECHANISMS[name]
+    except KeyError:
+        raise ViewError(
+            f"unknown consistency mechanism {name!r}; available: {sorted(_MECHANISMS)}"
+        ) from None
+    return cls(**kwargs)

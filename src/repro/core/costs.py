@@ -1,0 +1,82 @@
+"""Link-cost models (Section 3.1 of the paper).
+
+Each link (u, v) in a local view gets a cost ``c_{u,v}`` computed from the
+physical distance ``d_{u,v}``:
+
+- RNG- and MST-based protocols use ``c = d``;
+- the SPT-based (minimum-energy) protocol uses ``c = d**alpha + const``,
+  the transmission-power law (alpha = 2 free space, alpha = 4 two-ray
+  ground reflection).
+
+The paper assumes link costs form a total order, with end-node IDs breaking
+ties; :func:`cost_key` realises that order.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.util.validate import check_non_negative, check_positive
+
+__all__ = ["CostModel", "DistanceCost", "EnergyCost", "cost_key", "CostKey"]
+
+#: Total-order key for a link: (cost, smaller end ID, larger end ID).
+CostKey = tuple[float, int, int]
+
+
+def cost_key(cost: float, u: int, v: int) -> CostKey:
+    """Total-order key for link (u, v): cost first, ID pair breaks ties."""
+    return (float(cost), min(u, v), max(u, v))
+
+
+class CostModel(ABC):
+    """Maps physical link distance to link cost.
+
+    Implementations must be strictly increasing in distance so that cost
+    comparisons and distance comparisons induce the same order on links —
+    the property all three removal conditions rely on.
+    """
+
+    #: short name used in reports ("distance", "energy-2", ...)
+    name: str
+
+    @abstractmethod
+    def from_distance(self, d: float | np.ndarray) -> float | np.ndarray:
+        """Cost of a link of length *d* (vectorized over arrays)."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name})"
+
+
+class DistanceCost(CostModel):
+    """``c = d`` — the cost model of RNG- and MST-based protocols."""
+
+    name = "distance"
+
+    def from_distance(self, d: float | np.ndarray) -> float | np.ndarray:
+        return np.asarray(d, dtype=np.float64) if isinstance(d, np.ndarray) else float(d)
+
+
+class EnergyCost(CostModel):
+    """``c = d**alpha + const`` — minimum-energy (SPT) cost model.
+
+    Parameters
+    ----------
+    alpha:
+        Path-loss exponent (paper uses 2 and 4).
+    const:
+        Constant per-hop overhead (receiver/electronics energy); the paper's
+        simulation uses 0.
+    """
+
+    def __init__(self, alpha: float = 2.0, const: float = 0.0) -> None:
+        self.alpha = check_positive("alpha", alpha)
+        self.const = check_non_negative("const", const)
+        self.name = f"energy-{alpha:g}" if const == 0 else f"energy-{alpha:g}+{const:g}"
+
+    def from_distance(self, d: float | np.ndarray) -> float | np.ndarray:
+        if isinstance(d, np.ndarray):
+            return np.power(d, self.alpha) + self.const
+        return float(d) ** self.alpha + self.const

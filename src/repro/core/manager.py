@@ -1,0 +1,147 @@
+"""The paper's headline object: mobility-sensitive topology control.
+
+:class:`MobilitySensitiveTopologyControl` wraps an *unmodified* base
+protocol with the three mobility mechanisms the paper proposes/evaluates:
+
+1. a **consistency mechanism** choosing the view behind each decision
+   (baseline / view synchronization / proactive / reactive / weak),
+2. a **buffer zone** extending the actual transmission range
+   (Theorem 5 width or an experimental width),
+3. optional **physical-neighbor forwarding** (accept packets from any
+   in-range sender, not only logical neighbors).
+
+The object is simulator-agnostic: it turns a neighbor table + current
+position into a :class:`NodeDecision`.  The simulator calls it at Hello
+time and (for packet-recomputing mechanisms) at forward time; library
+users can call it directly on hand-built tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.buffer_zone import BufferZonePolicy
+from repro.core.consistency import BaselineConsistency, ConsistencyMechanism
+from repro.core.tables import NeighborTable
+from repro.core.views import Hello
+from repro.protocols.base import TopologyControlProtocol
+from repro.util.errors import ProtocolError
+
+__all__ = ["NodeDecision", "MobilitySensitiveTopologyControl"]
+
+
+@dataclass(frozen=True, slots=True)
+class NodeDecision:
+    """One node's complete topology control state after a decision.
+
+    Attributes
+    ----------
+    owner:
+        Deciding node.
+    logical_neighbors:
+        Selected logical neighbor IDs.
+    actual_range:
+        Range covering the farthest logical neighbor (protocol output).
+    extended_range:
+        Actual range plus the buffer-zone width (what the radio uses).
+    decided_at:
+        Physical decision time.
+    """
+
+    owner: int
+    logical_neighbors: frozenset[int]
+    actual_range: float
+    extended_range: float
+    decided_at: float
+
+
+class MobilitySensitiveTopologyControl:
+    """Bundle a base protocol with the paper's mobility mechanisms.
+
+    Parameters
+    ----------
+    protocol:
+        Any registered :class:`TopologyControlProtocol`, unmodified.
+    mechanism:
+        View-consistency strategy (default: mobility-insensitive baseline).
+    buffer_policy:
+        Buffer-zone policy (default: no buffer — width 0).
+    physical_neighbor_mode:
+        When True, receivers accept data packets from *any* in-range
+        sender ("enabling physical neighbors", Section 5.1); the logical
+        set still determines each node's transmission range.
+
+    Examples
+    --------
+    >>> from repro.protocols import RngProtocol
+    >>> from repro.core.buffer_zone import BufferZonePolicy
+    >>> mstc = MobilitySensitiveTopologyControl(
+    ...     RngProtocol(), buffer_policy=BufferZonePolicy(width=10.0))
+    >>> mstc.describe()
+    'rng+baseline+buf10'
+    """
+
+    def __init__(
+        self,
+        protocol: TopologyControlProtocol,
+        mechanism: ConsistencyMechanism | None = None,
+        buffer_policy: BufferZonePolicy | None = None,
+        physical_neighbor_mode: bool = False,
+    ) -> None:
+        self.protocol = protocol
+        self.mechanism = mechanism or BaselineConsistency()
+        self.buffer_policy = buffer_policy or BufferZonePolicy(width=0.0)
+        self.physical_neighbor_mode = bool(physical_neighbor_mode)
+        if (
+            self.mechanism.name == "weak"
+            and not protocol.supports_conservative
+        ):
+            raise ProtocolError(
+                f"protocol {protocol.name!r} has no conservative mode; "
+                "weak consistency cannot drive it"
+            )
+
+    @property
+    def recompute_on_packet(self) -> bool:
+        """Whether forwarding a packet triggers a fresh decision."""
+        return self.mechanism.recompute_on_packet
+
+    @property
+    def synchronized_versions(self) -> bool:
+        """Whether Hello versions must be globally epoch-aligned."""
+        return self.mechanism.synchronized_versions
+
+    def decide(
+        self,
+        table: NeighborTable,
+        now: float,
+        current_hello: Hello,
+        version: int | None = None,
+    ) -> NodeDecision:
+        """Make a full topology control decision for one node."""
+        result = self.mechanism.decide(
+            self.protocol, table, now, current_hello, version=version
+        )
+        return NodeDecision(
+            owner=result.owner,
+            logical_neighbors=result.logical_neighbors,
+            actual_range=result.actual_range,
+            extended_range=self.buffer_policy.extended_range(result.actual_range),
+            decided_at=now,
+        )
+
+    def describe(self) -> str:
+        """Compact configuration label used in reports and figures."""
+        parts = [self.protocol.name, self.mechanism.name]
+        if self.buffer_policy.width > 0:
+            parts.append(f"buf{self.buffer_policy.width:g}")
+        if self.physical_neighbor_mode:
+            parts.append("pn")
+        return "+".join(parts)
+
+    def __repr__(self) -> str:
+        return (
+            f"MobilitySensitiveTopologyControl(protocol={self.protocol!r}, "
+            f"mechanism={self.mechanism!r}, buffer={self.buffer_policy!r}, "
+            f"physical_neighbor_mode={self.physical_neighbor_mode})"
+        )

@@ -1,0 +1,317 @@
+"""Hello messages and local views (Sections 3.1-3.2 of the paper).
+
+A node never reads another node's true position: everything it knows
+arrives in timestamped, versioned :class:`Hello` messages.  A
+:class:`LocalView` freezes one Hello per view member (the paper's local
+view); a :class:`MultiVersionView` retains the ``k`` most recent Hellos per
+member and yields cost *sets* per link, the raw material of weak view
+consistency (Definition 2).
+
+View-consistency predicates (Definitions 1 and 2) live here too so that
+tests and the consistency mechanisms share one authoritative definition.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Mapping
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.costs import CostModel, DistanceCost
+from repro.util.errors import ViewError
+
+__all__ = [
+    "Hello",
+    "LocalView",
+    "MultiVersionView",
+    "link_cost",
+    "views_consistent",
+    "views_weakly_consistent",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class Hello:
+    """One periodic "Hello" advertisement.
+
+    Attributes
+    ----------
+    sender:
+        Advertising node's ID.
+    version:
+        Monotone per-sender message number (1 = first); under the proactive
+        strong-consistency scheme versions are globally aligned.
+    position:
+        Advertised (x, y) position at send time.
+    sent_at:
+        Physical (global simulation) send time — used by the omniscient
+        metrics layer, never by protocol decisions.
+    timestamp:
+        Sender's local-clock reading at send time — what receivers see.
+    """
+
+    sender: int
+    version: int
+    position: tuple[float, float]
+    sent_at: float
+    timestamp: float
+
+    def distance_to(self, other: "Hello") -> float:
+        """Euclidean distance between two advertised positions."""
+        return math.hypot(
+            self.position[0] - other.position[0],
+            self.position[1] - other.position[1],
+        )
+
+
+def link_cost(a: Hello, b: Hello, cost_model: CostModel) -> float:
+    """Cost of link (a.sender, b.sender) as seen from these two Hellos."""
+    return float(cost_model.from_distance(a.distance_to(b)))
+
+
+class LocalView:
+    """A single-version local view: one Hello per member, plus the owner's.
+
+    Parameters
+    ----------
+    owner:
+        The deciding node's ID.
+    own_hello:
+        The owner's position record used for its decisions.  In baseline
+        mode this is a fresh Hello at the current true position; under view
+        synchronization it is the owner's *last advertised* Hello (the
+        paper is explicit that the node "must use its previous location
+        advertised in the last Hello").
+    neighbor_hellos:
+        Most recent retained Hello per 1-hop neighbor.
+    normal_range:
+        The (large) normal transmission range; pairs further apart than
+        this are not links of the view.
+    sampled_at:
+        Physical time at which the view was frozen.
+    """
+
+    __slots__ = ("owner", "own_hello", "neighbor_hellos", "normal_range", "sampled_at")
+
+    def __init__(
+        self,
+        owner: int,
+        own_hello: Hello,
+        neighbor_hellos: Mapping[int, Hello],
+        normal_range: float,
+        sampled_at: float,
+    ) -> None:
+        if own_hello.sender != owner:
+            raise ViewError(
+                f"own_hello.sender={own_hello.sender} does not match owner={owner}"
+            )
+        if owner in neighbor_hellos:
+            raise ViewError(f"owner {owner} cannot be its own neighbor")
+        self.owner = owner
+        self.own_hello = own_hello
+        self.neighbor_hellos = dict(neighbor_hellos)
+        self.normal_range = float(normal_range)
+        self.sampled_at = float(sampled_at)
+
+    @property
+    def members(self) -> list[int]:
+        """All node IDs in the view: the owner first, then sorted neighbors."""
+        return [self.owner, *sorted(self.neighbor_hellos)]
+
+    def hello_of(self, node: int) -> Hello:
+        """The Hello record of *node* within this view."""
+        if node == self.owner:
+            return self.own_hello
+        try:
+            return self.neighbor_hellos[node]
+        except KeyError:
+            raise ViewError(f"node {node} is not in the view of {self.owner}") from None
+
+    def position_of(self, node: int) -> tuple[float, float]:
+        """Advertised position of *node* within this view."""
+        return self.hello_of(node).position
+
+    def positions(self) -> tuple[list[int], np.ndarray]:
+        """(member IDs, ``(m, 2)`` positions) in a fixed, reproducible order."""
+        ids = self.members
+        pts = np.array([self.hello_of(i).position for i in ids], dtype=np.float64)
+        return ids, pts
+
+    def has_link(self, u: int, v: int) -> bool:
+        """True iff (u, v) is a link of this view (distinct members within range)."""
+        if u == v:
+            return False
+        return self.hello_of(u).distance_to(self.hello_of(v)) <= self.normal_range
+
+    def distance(self, u: int, v: int) -> float:
+        """Advertised distance between two view members."""
+        return self.hello_of(u).distance_to(self.hello_of(v))
+
+    def __contains__(self, node: int) -> bool:
+        return node == self.owner or node in self.neighbor_hellos
+
+    def __len__(self) -> int:
+        return 1 + len(self.neighbor_hellos)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"LocalView(owner={self.owner}, neighbors={sorted(self.neighbor_hellos)}, "
+            f"t={self.sampled_at:.3f})"
+        )
+
+
+class MultiVersionView:
+    """A local view retaining up to ``k`` recent Hellos per member.
+
+    The cost of a link (u, v) is no longer a scalar but the *set* of costs
+    over all retained position pairs; :meth:`cost_bounds` exposes the
+    ``cMin`` / ``cMax`` bounds the enhanced link-removal conditions use
+    (Section 4.2).
+    """
+
+    __slots__ = ("owner", "own_hellos", "neighbor_hellos", "normal_range", "sampled_at")
+
+    def __init__(
+        self,
+        owner: int,
+        own_hellos: Iterable[Hello],
+        neighbor_hellos: Mapping[int, Iterable[Hello]],
+        normal_range: float,
+        sampled_at: float,
+    ) -> None:
+        self.owner = owner
+        self.own_hellos = tuple(own_hellos)
+        if not self.own_hellos:
+            raise ViewError("MultiVersionView requires at least one own Hello")
+        if any(h.sender != owner for h in self.own_hellos):
+            raise ViewError("own_hellos must all be sent by the owner")
+        self.neighbor_hellos = {
+            nid: tuple(hs) for nid, hs in neighbor_hellos.items() if nid != owner
+        }
+        for nid, hs in self.neighbor_hellos.items():
+            if not hs:
+                raise ViewError(f"neighbor {nid} has an empty Hello history")
+            if any(h.sender != nid for h in hs):
+                raise ViewError(f"history of neighbor {nid} contains foreign Hellos")
+        self.normal_range = float(normal_range)
+        self.sampled_at = float(sampled_at)
+
+    @property
+    def members(self) -> list[int]:
+        """All node IDs in the view: the owner first, then sorted neighbors."""
+        return [self.owner, *sorted(self.neighbor_hellos)]
+
+    def hellos_of(self, node: int) -> tuple[Hello, ...]:
+        """All retained Hellos of *node*, oldest first."""
+        if node == self.owner:
+            return self.own_hellos
+        try:
+            return self.neighbor_hellos[node]
+        except KeyError:
+            raise ViewError(f"node {node} is not in the view of {self.owner}") from None
+
+    def latest(self, node: int) -> Hello:
+        """Most recent retained Hello of *node*."""
+        return self.hellos_of(node)[-1]
+
+    def cost_set(self, u: int, v: int, cost_model: CostModel) -> list[float]:
+        """The cost set ``Ce`` of link (u, v): costs over all position pairs."""
+        return [
+            link_cost(a, b, cost_model)
+            for a in self.hellos_of(u)
+            for b in self.hellos_of(v)
+        ]
+
+    def cost_bounds(self, u: int, v: int, cost_model: CostModel) -> tuple[float, float]:
+        """(cMin, cMax) of link (u, v) in this view."""
+        costs = self.cost_set(u, v, cost_model)
+        return (min(costs), max(costs))
+
+    def has_link(self, u: int, v: int) -> bool:
+        """True iff (u, v) could be a link: some position pair within range.
+
+        Weak consistency is conservative: a link is part of the view as
+        long as *any* retained position pair supports it, so no decision is
+        made on the assumption a possibly-present link is absent.
+        """
+        if u == v:
+            return False
+        return any(
+            a.distance_to(b) <= self.normal_range
+            for a in self.hellos_of(u)
+            for b in self.hellos_of(v)
+        )
+
+    def to_local_view(self) -> LocalView:
+        """Collapse to a single-version view using each member's latest Hello."""
+        return LocalView(
+            owner=self.owner,
+            own_hello=self.own_hellos[-1],
+            neighbor_hellos={nid: hs[-1] for nid, hs in self.neighbor_hellos.items()},
+            normal_range=self.normal_range,
+            sampled_at=self.sampled_at,
+        )
+
+    def __contains__(self, node: int) -> bool:
+        return node == self.owner or node in self.neighbor_hellos
+
+    def __len__(self) -> int:
+        return 1 + len(self.neighbor_hellos)
+
+
+def _iter_view_links(view: LocalView) -> Iterable[tuple[int, int]]:
+    ids = view.members
+    for i, u in enumerate(ids):
+        for v in ids[i + 1 :]:
+            if view.has_link(u, v):
+                yield (u, v)
+
+
+def views_consistent(
+    views: Iterable[LocalView],
+    cost_model: CostModel | None = None,
+    tol: float = 1e-9,
+) -> bool:
+    """Definition 1: every link has the same cost in all views containing it.
+
+    Because every cost model is strictly increasing in distance, checking
+    distances is equivalent to checking any particular cost model; *cost_model*
+    is accepted for call-site clarity but does not change the verdict.
+    """
+    model = cost_model or DistanceCost()
+    seen: dict[tuple[int, int], float] = {}
+    for view in views:
+        for (u, v) in _iter_view_links(view):
+            c = float(model.from_distance(view.distance(u, v)))
+            key = (min(u, v), max(u, v))
+            if key in seen and abs(seen[key] - c) > tol:
+                return False
+            seen.setdefault(key, c)
+    return True
+
+
+def views_weakly_consistent(
+    views: Iterable[MultiVersionView],
+    cost_model: CostModel | None = None,
+) -> bool:
+    """Definition 2: for every link, ``cMinMax >= cMaxMin`` across views.
+
+    ``cMinMax`` is the smallest per-view cMax, ``cMaxMin`` the largest
+    per-view cMin, over all views containing the link.
+    """
+    model = cost_model or DistanceCost()
+    min_of_max: dict[tuple[int, int], float] = {}
+    max_of_min: dict[tuple[int, int], float] = {}
+    for view in views:
+        ids = view.members
+        for i, u in enumerate(ids):
+            for v in ids[i + 1 :]:
+                if not view.has_link(u, v):
+                    continue
+                lo, hi = view.cost_bounds(u, v, model)
+                key = (min(u, v), max(u, v))
+                min_of_max[key] = min(min_of_max.get(key, math.inf), hi)
+                max_of_min[key] = max(max_of_min.get(key, -math.inf), lo)
+    return all(min_of_max[key] >= max_of_min[key] - 1e-12 for key in min_of_max)

@@ -1,0 +1,47 @@
+"""Computational-geometry substrate: point kernels and proximity graphs."""
+
+from repro.geometry.cones import cone_index, covers_with_alpha, max_angular_gap
+from repro.geometry.graphs import (
+    connected_components,
+    delaunay_graph,
+    edge_list,
+    euclidean_mst,
+    gabriel_graph,
+    is_connected,
+    largest_component_fraction,
+    relative_neighborhood_graph,
+    unit_disk_graph,
+    yao_graph,
+)
+from repro.geometry.points import (
+    angle_of,
+    angular_difference,
+    as_points,
+    distance,
+    distances_from,
+    neighbors_within,
+    pairwise_distances,
+)
+
+__all__ = [
+    "as_points",
+    "distance",
+    "pairwise_distances",
+    "distances_from",
+    "neighbors_within",
+    "angle_of",
+    "angular_difference",
+    "unit_disk_graph",
+    "relative_neighborhood_graph",
+    "gabriel_graph",
+    "euclidean_mst",
+    "yao_graph",
+    "delaunay_graph",
+    "edge_list",
+    "is_connected",
+    "connected_components",
+    "largest_component_fraction",
+    "max_angular_gap",
+    "covers_with_alpha",
+    "cone_index",
+]

@@ -1,0 +1,52 @@
+"""Angular-coverage helpers for cone-based topology control (CBTC).
+
+CBTC (Li, Halpern, Bahl, Wang, Wattenhofer 2001) grows a node's search
+radius until the directions to its selected neighbors leave no angular gap
+larger than ``alpha``.  These helpers answer the gap questions.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = ["max_angular_gap", "covers_with_alpha", "cone_index"]
+
+_TWO_PI = 2.0 * math.pi
+
+
+def max_angular_gap(angles: np.ndarray | list[float]) -> float:
+    """Largest gap (radians) between consecutive directions on the circle.
+
+    With no directions the gap is a full circle; with one it is also a full
+    circle (the single direction cannot bound any cone).
+    """
+    arr = np.asarray(angles, dtype=np.float64) % _TWO_PI
+    if arr.size == 0:
+        return _TWO_PI
+    arr = np.sort(arr)
+    if arr.size == 1:
+        return _TWO_PI
+    gaps = np.diff(arr)
+    wrap = _TWO_PI - (arr[-1] - arr[0])
+    return float(max(gaps.max(), wrap))
+
+
+def covers_with_alpha(angles: np.ndarray | list[float], alpha: float) -> bool:
+    """True iff every angular gap between chosen directions is <= *alpha*.
+
+    This is CBTC's termination test: the disk around the node is covered by
+    cones of angle *alpha* anchored on neighbor directions.
+    """
+    if alpha <= 0:
+        raise ValueError(f"alpha must be positive, got {alpha}")
+    return max_angular_gap(angles) <= alpha + 1e-12
+
+
+def cone_index(angle: float, k: int) -> int:
+    """Index in ``[0, k)`` of the cone containing *angle* (Yao partitioning)."""
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    idx = int((angle % _TWO_PI) / (_TWO_PI / k))
+    return min(idx, k - 1)

@@ -1,0 +1,205 @@
+"""Global geometric-graph constructions.
+
+These are *reference* implementations computed from true global positions.
+The localized protocols in :mod:`repro.protocols` must coincide with them on
+static networks with consistent views (a key validation invariant), and the
+metrics layer uses them to characterise snapshots.
+
+Graphs over ``n`` points are represented as dense boolean adjacency
+matrices — for the paper's network sizes (~100 nodes) this is the fastest
+and simplest representation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.sparse import csr_matrix
+from scipy.sparse.csgraph import connected_components as _cc
+from scipy.sparse.csgraph import minimum_spanning_tree as _mst
+
+from repro.geometry.points import as_points, pairwise_distances
+
+__all__ = [
+    "unit_disk_graph",
+    "relative_neighborhood_graph",
+    "gabriel_graph",
+    "euclidean_mst",
+    "yao_graph",
+    "delaunay_graph",
+    "is_connected",
+    "connected_components",
+    "largest_component_fraction",
+    "edge_list",
+]
+
+
+def unit_disk_graph(points: np.ndarray, radius: float) -> np.ndarray:
+    """Adjacency of the unit-disk graph: edge iff ``0 < d(u, v) <= radius``."""
+    dist = pairwise_distances(points)
+    adj = dist <= radius
+    np.fill_diagonal(adj, False)
+    return adj
+
+
+def relative_neighborhood_graph(
+    points: np.ndarray, radius: float | None = None
+) -> np.ndarray:
+    """Adjacency of the RNG restricted to a unit-disk graph.
+
+    Edge (u, v) survives iff no witness w has
+    ``max(d(u, w), d(w, v)) < d(u, v)`` (Toussaint 1980).  When *radius* is
+    given, only unit-disk edges are considered and only unit-disk-visible
+    witnesses count, which is exactly the localized setting of the paper.
+    """
+    pts = as_points(points)
+    n = pts.shape[0]
+    dist = pairwise_distances(pts)
+    adj = np.ones((n, n), dtype=bool) if radius is None else dist <= radius
+    np.fill_diagonal(adj, False)
+    out = adj.copy()
+    for u in range(n):
+        for v in range(u + 1, n):
+            if not adj[u, v]:
+                continue
+            duv = dist[u, v]
+            witnesses = np.flatnonzero(
+                np.maximum(dist[u], dist[v]) < duv
+            )
+            if radius is not None:
+                witnesses = witnesses[adj[u, witnesses] & adj[v, witnesses]]
+            if witnesses.size:
+                out[u, v] = out[v, u] = False
+    return out
+
+
+def gabriel_graph(points: np.ndarray, radius: float | None = None) -> np.ndarray:
+    """Adjacency of the Gabriel graph (witness restricted to the diametral disk).
+
+    Edge (u, v) survives iff no w satisfies
+    ``d(u, w)^2 + d(w, v)^2 < d(u, v)^2``.
+    """
+    pts = as_points(points)
+    n = pts.shape[0]
+    dist = pairwise_distances(pts)
+    adj = np.ones((n, n), dtype=bool) if radius is None else dist <= radius
+    np.fill_diagonal(adj, False)
+    sq = dist * dist
+    out = adj.copy()
+    for u in range(n):
+        for v in range(u + 1, n):
+            if not adj[u, v]:
+                continue
+            witnesses = np.flatnonzero(sq[u] + sq[v] < sq[u, v])
+            if radius is not None:
+                witnesses = witnesses[adj[u, witnesses] & adj[v, witnesses]]
+            if witnesses.size:
+                out[u, v] = out[v, u] = False
+    return out
+
+
+def euclidean_mst(points: np.ndarray) -> np.ndarray:
+    """Adjacency of the Euclidean minimum spanning tree of *points*."""
+    pts = as_points(points)
+    n = pts.shape[0]
+    out = np.zeros((n, n), dtype=bool)
+    if n <= 1:
+        return out
+    tree = _mst(csr_matrix(pairwise_distances(pts))).tocoo()
+    out[tree.row, tree.col] = True
+    return out | out.T
+
+
+def yao_graph(points: np.ndarray, k: int = 6, radius: float | None = None) -> np.ndarray:
+    """Adjacency of the (symmetrised) Yao graph with *k* cones.
+
+    Each node keeps, in each of *k* equal cones around it, a directed edge
+    to its nearest visible neighbor; the result here is the undirected
+    union, which is how the paper's protocols use it (logical links are
+    bidirectional).
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    pts = as_points(points)
+    n = pts.shape[0]
+    dist = pairwise_distances(pts)
+    visible = np.ones((n, n), dtype=bool) if radius is None else dist <= radius
+    np.fill_diagonal(visible, False)
+    out = np.zeros((n, n), dtype=bool)
+    sector = 2.0 * np.pi / k
+    for u in range(n):
+        nbrs = np.flatnonzero(visible[u])
+        if nbrs.size == 0:
+            continue
+        vecs = pts[nbrs] - pts[u]
+        angles = np.arctan2(vecs[:, 1], vecs[:, 0]) % (2.0 * np.pi)
+        cones = np.minimum((angles / sector).astype(np.intp), k - 1)
+        for c in range(k):
+            in_cone = nbrs[cones == c]
+            if in_cone.size:
+                best = in_cone[np.argmin(dist[u, in_cone])]
+                out[u, best] = out[best, u] = True
+    return out
+
+
+def delaunay_graph(points: np.ndarray) -> np.ndarray:
+    """Adjacency of the Delaunay triangulation of *points*.
+
+    The classic proximity-graph hierarchy
+    ``EMST ⊆ RNG ⊆ Gabriel ⊆ Delaunay`` makes this the outermost
+    reference construction; degenerate inputs (< 3 points, collinear
+    sets) fall back to the complete graph on the points, which preserves
+    the hierarchy's containment property.
+    """
+    pts = as_points(points)
+    n = pts.shape[0]
+    out = np.zeros((n, n), dtype=bool)
+    if n <= 1:
+        return out
+    if n == 2:
+        out[0, 1] = out[1, 0] = True
+        return out
+    from scipy.spatial import Delaunay, QhullError
+
+    try:
+        tri = Delaunay(pts)
+    except QhullError:
+        out[:] = True
+        np.fill_diagonal(out, False)
+        return out
+    for simplex in tri.simplices:
+        for i in range(3):
+            a, b = simplex[i], simplex[(i + 1) % 3]
+            out[a, b] = out[b, a] = True
+    return out
+
+
+def edge_list(adj: np.ndarray) -> list[tuple[int, int]]:
+    """Sorted list of undirected edges (u < v) of a boolean adjacency matrix."""
+    iu, iv = np.nonzero(np.triu(adj, k=1))
+    return list(zip(iu.tolist(), iv.tolist()))
+
+
+def connected_components(adj: np.ndarray) -> np.ndarray:
+    """Component label per node for an undirected boolean adjacency matrix."""
+    n = adj.shape[0]
+    if n == 0:
+        return np.zeros(0, dtype=np.intp)
+    _, labels = _cc(csr_matrix(adj), directed=False)
+    return labels
+
+
+def is_connected(adj: np.ndarray) -> bool:
+    """True iff the undirected graph is connected (vacuously for n <= 1)."""
+    if adj.shape[0] <= 1:
+        return True
+    labels = connected_components(adj)
+    return bool(labels.max() == 0)
+
+
+def largest_component_fraction(adj: np.ndarray) -> float:
+    """Fraction of nodes in the largest connected component."""
+    n = adj.shape[0]
+    if n == 0:
+        return 1.0
+    labels = connected_components(adj)
+    return float(np.bincount(labels).max() / n)

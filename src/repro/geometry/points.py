@@ -1,0 +1,76 @@
+"""Vectorized planar-point kernels.
+
+All heavy distance work in the simulator funnels through these functions so
+the hot paths stay in NumPy (see the optimization guide: vectorize, use
+views, avoid per-pair Python loops).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "as_points",
+    "distance",
+    "pairwise_distances",
+    "distances_from",
+    "neighbors_within",
+    "angle_of",
+    "angular_difference",
+]
+
+
+def as_points(points: np.ndarray | list | tuple) -> np.ndarray:
+    """Coerce *points* to a ``(n, 2)`` float64 array (no copy when possible)."""
+    arr = np.asarray(points, dtype=np.float64)
+    if arr.ndim == 1 and arr.shape[0] == 2:
+        arr = arr[np.newaxis, :]
+    if arr.ndim != 2 or arr.shape[1] != 2:
+        raise ValueError(f"expected (n, 2) points, got shape {arr.shape}")
+    return arr
+
+
+def distance(p: np.ndarray, q: np.ndarray) -> float:
+    """Euclidean distance between two 2-vectors."""
+    dx = float(p[0]) - float(q[0])
+    dy = float(p[1]) - float(q[1])
+    return float(np.hypot(dx, dy))
+
+
+def pairwise_distances(points: np.ndarray) -> np.ndarray:
+    """Dense ``(n, n)`` symmetric Euclidean distance matrix.
+
+    For the network sizes studied in the paper (~100 nodes) a dense matrix
+    is both faster and simpler than a spatial index.
+    """
+    pts = as_points(points)
+    diff = pts[:, np.newaxis, :] - pts[np.newaxis, :, :]
+    return np.sqrt(np.einsum("ijk,ijk->ij", diff, diff))
+
+
+def distances_from(point: np.ndarray, points: np.ndarray) -> np.ndarray:
+    """Distances from one *point* to each row of *points* (shape ``(n,)``)."""
+    pts = as_points(points)
+    diff = pts - np.asarray(point, dtype=np.float64)[np.newaxis, :]
+    return np.sqrt(np.einsum("ij,ij->i", diff, diff))
+
+
+def neighbors_within(point: np.ndarray, points: np.ndarray, radius: float) -> np.ndarray:
+    """Indices of rows of *points* strictly within *radius* of *point*.
+
+    The boundary (distance exactly equal to *radius*) is treated as
+    reachable, matching the unit-disk convention ``d <= r``.
+    """
+    return np.flatnonzero(distances_from(point, points) <= radius)
+
+
+def angle_of(origin: np.ndarray, target: np.ndarray) -> float:
+    """Angle of the vector origin→target in radians, in ``[-pi, pi]``."""
+    d = np.asarray(target, dtype=np.float64) - np.asarray(origin, dtype=np.float64)
+    return float(np.arctan2(d[1], d[0]))
+
+
+def angular_difference(a: float, b: float) -> float:
+    """Smallest non-negative angle between two directions, in ``[0, pi]``."""
+    diff = (a - b) % (2.0 * np.pi)
+    return float(min(diff, 2.0 * np.pi - diff))

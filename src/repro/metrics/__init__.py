@@ -1,0 +1,57 @@
+"""Metrics: connectivity, topology quality, confidence intervals."""
+
+from repro.metrics.connectivity import (
+    largest_effective_component,
+    logical_topology_connected,
+    original_topology_connected,
+    pairwise_connectivity_ratio,
+    strictly_connected,
+)
+from repro.metrics.energy import EnergyModel, flood_energy, mean_transmit_power_proxy
+from repro.metrics.interference import (
+    edge_interference,
+    graph_interference,
+    snapshot_interference,
+)
+from repro.metrics.links import LinkLifetimeSummary, LinkLifetimeTracker
+from repro.metrics.overhead import OverheadReport, measure_overhead
+from repro.metrics.partitions import PartitionSummary, PartitionTracker
+from repro.metrics.kconn import (
+    edge_connectivity,
+    min_link_failures_to_partition,
+    snapshot_edge_connectivity,
+    vertex_connectivity,
+)
+from repro.metrics.spanner import StretchReport, stretch_factors
+from repro.metrics.stats import Estimate, mean_ci
+from repro.metrics.topology import TopologySample, sample_topology
+
+__all__ = [
+    "Estimate",
+    "mean_ci",
+    "strictly_connected",
+    "largest_effective_component",
+    "pairwise_connectivity_ratio",
+    "logical_topology_connected",
+    "original_topology_connected",
+    "TopologySample",
+    "sample_topology",
+    "edge_connectivity",
+    "vertex_connectivity",
+    "snapshot_edge_connectivity",
+    "min_link_failures_to_partition",
+    "edge_interference",
+    "graph_interference",
+    "snapshot_interference",
+    "StretchReport",
+    "stretch_factors",
+    "LinkLifetimeTracker",
+    "LinkLifetimeSummary",
+    "PartitionTracker",
+    "PartitionSummary",
+    "OverheadReport",
+    "measure_overhead",
+    "EnergyModel",
+    "flood_energy",
+    "mean_transmit_power_proxy",
+]

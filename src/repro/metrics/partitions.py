@@ -1,0 +1,111 @@
+"""Partition-episode tracking: when does the network break, and for how long?
+
+The connectivity ratio averages over time; operators ask a different
+question — *how long do partitions last when they happen?*  Feed this
+tracker snapshots at the sampling cadence and it segments the run into
+connected/partitioned episodes of the (undirected) effective topology,
+yielding episode counts, durations, and availability.  A mechanism that
+converts one long partition into many brief ones is invisible to the mean
+connectivity ratio but very visible here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.metrics.connectivity import strictly_connected
+from repro.sim.world import WorldSnapshot
+from repro.util.errors import SimulationError
+
+__all__ = ["PartitionSummary", "PartitionTracker"]
+
+
+@dataclass(frozen=True)
+class PartitionSummary:
+    """Episode statistics of one observed run.
+
+    Attributes
+    ----------
+    availability:
+        Fraction of observed time the network was strictly connected.
+    episodes:
+        Number of completed partition episodes (entered and exited).
+    mean_duration / max_duration:
+        Statistics over completed partition episodes, seconds (NaN/0 if
+        none completed).
+    ongoing:
+        True if the run ended inside a partition episode.
+    """
+
+    availability: float
+    episodes: int
+    mean_duration: float
+    max_duration: float
+    ongoing: bool
+
+
+class PartitionTracker:
+    """Segments a snapshot sequence into connected/partitioned episodes.
+
+    Parameters
+    ----------
+    physical_neighbor_mode:
+        Acceptance rule used for the effective topology.
+    """
+
+    def __init__(self, physical_neighbor_mode: bool = False) -> None:
+        self.physical_neighbor_mode = physical_neighbor_mode
+        self._durations: list[float] = []
+        self._partition_since: float | None = None
+        self._first_time: float | None = None
+        self._last_time: float | None = None
+        self._connected_time = 0.0
+        self._last_connected: bool | None = None
+        self._finished = False
+
+    def observe(self, snap: WorldSnapshot) -> None:
+        """Record one snapshot (call in increasing time order)."""
+        if self._finished:
+            raise SimulationError("tracker already finished")
+        if self._last_time is not None and snap.time < self._last_time:
+            raise SimulationError("snapshots must be observed in time order")
+        connected = strictly_connected(snap, self.physical_neighbor_mode)
+        if self._first_time is None:
+            self._first_time = snap.time
+        else:
+            dt = snap.time - self._last_time
+            if self._last_connected:
+                self._connected_time += dt
+        if connected and self._partition_since is not None:
+            self._durations.append(snap.time - self._partition_since)
+            self._partition_since = None
+        elif not connected and self._partition_since is None:
+            self._partition_since = snap.time
+        self._last_time = snap.time
+        self._last_connected = connected
+
+    def finish(self) -> PartitionSummary:
+        """Close observation and summarise."""
+        self._finished = True
+        total = (
+            (self._last_time - self._first_time)
+            if self._first_time is not None and self._last_time is not None
+            else 0.0
+        )
+        availability = self._connected_time / total if total > 0 else 1.0
+        if self._durations:
+            arr = np.asarray(self._durations)
+            mean = float(arr.mean())
+            longest = float(arr.max())
+        else:
+            mean = float("nan")
+            longest = 0.0
+        return PartitionSummary(
+            availability=availability,
+            episodes=len(self._durations),
+            mean_duration=mean,
+            max_duration=longest,
+            ongoing=self._partition_since is not None,
+        )

@@ -1,0 +1,86 @@
+"""Spanner / stretch-factor metrics (the paper's reference [28]).
+
+A topology control scheme with "constant stretch ratio" keeps every
+shortest path in the reduced topology within a constant factor of its
+length in the original topology.  Two stretches matter here:
+
+- **distance stretch** — Euclidean path length ratio;
+- **energy stretch** — ratio under the energy cost ``d**alpha`` (SPT-based
+  protocols are exactly the energy-stretch-1 constructions).
+
+Both are computed between a reduced (logical/effective) topology and the
+original unit-disk topology of the same snapshot.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from scipy.sparse import csr_matrix
+from scipy.sparse.csgraph import shortest_path
+
+from repro.geometry.points import pairwise_distances
+
+__all__ = ["stretch_factors", "StretchReport"]
+
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class StretchReport:
+    """Stretch of a reduced topology versus a reference topology.
+
+    Attributes
+    ----------
+    max_stretch / mean_stretch:
+        Over all node pairs connected in the reference topology.
+    disconnected_pairs:
+        Pairs connected in the reference but not in the reduced topology
+        (infinite stretch — reported separately, not folded into the max).
+    """
+
+    max_stretch: float
+    mean_stretch: float
+    disconnected_pairs: int
+
+
+def _all_pairs(adjacency: np.ndarray, weights: np.ndarray) -> np.ndarray:
+    masked = np.where(adjacency, weights, 0.0)
+    return shortest_path(csr_matrix(masked), method="D", directed=False)
+
+
+def stretch_factors(
+    reduced: np.ndarray,
+    reference: np.ndarray,
+    positions: np.ndarray,
+    alpha: float = 1.0,
+) -> StretchReport:
+    """Stretch of *reduced* w.r.t. *reference* under cost ``d**alpha``.
+
+    ``alpha = 1`` gives distance stretch; ``alpha = 2`` or ``4`` energy
+    stretch.  Both graphs are treated as undirected.
+    """
+    dist = pairwise_distances(positions)
+    weights = np.power(dist, alpha, where=dist > 0, out=np.zeros_like(dist))
+    ref_sp = _all_pairs(reference | reference.T, weights)
+    red_sp = _all_pairs(reduced | reduced.T, weights)
+    n = dist.shape[0]
+    iu, iv = np.triu_indices(n, k=1)
+    ref_vals = ref_sp[iu, iv]
+    red_vals = red_sp[iu, iv]
+    connected_ref = np.isfinite(ref_vals) & (ref_vals > 0)
+    if not connected_ref.any():
+        return StretchReport(1.0, 1.0, 0)
+    red_of_interest = red_vals[connected_ref]
+    ref_of_interest = ref_vals[connected_ref]
+    broken = ~np.isfinite(red_of_interest)
+    ratios = red_of_interest[~broken] / ref_of_interest[~broken]
+    if ratios.size == 0:
+        return StretchReport(math.inf, math.inf, int(broken.sum()))
+    return StretchReport(
+        max_stretch=float(ratios.max()),
+        mean_stretch=float(ratios.mean()),
+        disconnected_pairs=int(broken.sum()),
+    )

@@ -1,0 +1,27 @@
+"""Mobility models compiled to analytic piecewise-linear trajectories."""
+
+from repro.mobility.base import Area, MobilityModel, TrajectorySet
+from repro.mobility.gauss_markov import GaussMarkov
+from repro.mobility.rpgm import ReferencePointGroupMobility
+from repro.mobility.scenario_io import (
+    ScenarioFileMobility,
+    export_setdest,
+    parse_setdest,
+)
+from repro.mobility.static import StaticPlacement
+from repro.mobility.walk import RandomWalk
+from repro.mobility.waypoint import RandomWaypoint
+
+__all__ = [
+    "Area",
+    "MobilityModel",
+    "TrajectorySet",
+    "RandomWaypoint",
+    "RandomWalk",
+    "GaussMarkov",
+    "ReferencePointGroupMobility",
+    "StaticPlacement",
+    "ScenarioFileMobility",
+    "export_setdest",
+    "parse_setdest",
+]

@@ -1,0 +1,128 @@
+"""Gauss-Markov mobility (temporally correlated velocities).
+
+Velocity is updated at a fixed cadence:
+
+    s_k = a * s_{k-1} + (1 - a) * s_mean + sqrt(1 - a^2) * sigma_s * w
+    d_k = a * d_{k-1} + (1 - a) * d_mean + sqrt(1 - a^2) * sigma_d * w'
+
+with speed ``s`` and direction ``d``; motion between updates is a constant-
+velocity leg, so the model compiles to the shared trajectory format.  Nodes
+approaching the boundary have their mean direction steered back inward
+(the standard edge treatment for this model).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.mobility.base import Area, MobilityModel, TrajectorySet
+from repro.mobility.waypoint import _pad_legs
+from repro.util.validate import check_non_negative, check_positive, check_probability
+
+__all__ = ["GaussMarkov"]
+
+
+class GaussMarkov(MobilityModel):
+    """Gauss-Markov correlated mobility.
+
+    Parameters
+    ----------
+    mean_speed:
+        Long-run mean speed, m/s.
+    alpha:
+        Memory parameter in [0, 1]: 0 = memoryless, 1 = constant velocity.
+    update_interval:
+        Seconds between velocity updates (leg duration).
+    speed_sigma, direction_sigma:
+        Standard deviations of the speed (m/s) and direction (radians)
+        innovations.
+    """
+
+    def __init__(
+        self,
+        area: Area,
+        n_nodes: int,
+        horizon: float,
+        mean_speed: float,
+        rng: np.random.Generator,
+        alpha: float = 0.75,
+        update_interval: float = 1.0,
+        speed_sigma: float | None = None,
+        direction_sigma: float = 0.4,
+    ) -> None:
+        super().__init__(area, n_nodes, horizon)
+        self.mean_speed = check_positive("mean_speed", mean_speed)
+        self.alpha = check_probability("alpha", alpha)
+        self.update_interval = check_positive("update_interval", update_interval)
+        self.speed_sigma = (
+            0.2 * self.mean_speed
+            if speed_sigma is None
+            else check_non_negative("speed_sigma", speed_sigma)
+        )
+        self.direction_sigma = check_non_negative("direction_sigma", direction_sigma)
+        self._rng = rng
+
+    def _compile(self) -> TrajectorySet:
+        rng = self._rng
+        margin = 0.1 * min(self.area.width, self.area.height)
+        noise_scale = math.sqrt(max(0.0, 1.0 - self.alpha * self.alpha))
+        times: list[list[float]] = []
+        points: list[list[np.ndarray]] = []
+        velocities: list[list[np.ndarray]] = []
+        start_positions = self.area.sample(rng, self.n_nodes)
+        for i in range(self.n_nodes):
+            pos = start_positions[i].copy()
+            speed = self.mean_speed
+            direction = float(rng.uniform(0.0, 2.0 * math.pi))
+            t = 0.0
+            row_t: list[float] = []
+            row_p: list[np.ndarray] = []
+            row_v: list[np.ndarray] = []
+            while t < self.horizon:
+                mean_dir = self._steer_mean(pos, direction, margin)
+                speed = (
+                    self.alpha * speed
+                    + (1.0 - self.alpha) * self.mean_speed
+                    + noise_scale * self.speed_sigma * float(rng.standard_normal())
+                )
+                speed = max(speed, 0.05 * self.mean_speed)
+                direction = (
+                    self.alpha * direction
+                    + (1.0 - self.alpha) * mean_dir
+                    + noise_scale * self.direction_sigma * float(rng.standard_normal())
+                )
+                vel = speed * np.array([math.cos(direction), math.sin(direction)])
+                step = min(self.update_interval, self.horizon - t)
+                nxt = pos + vel * step
+                # Clamp and bounce if the leg would leave the area.
+                for axis, limit in ((0, self.area.width), (1, self.area.height)):
+                    if nxt[axis] < 0.0 or nxt[axis] > limit:
+                        vel[axis] = -vel[axis]
+                        nxt = pos + vel * step
+                        nxt[axis] = min(max(nxt[axis], 0.0), limit)
+                        direction = math.atan2(vel[1], vel[0])
+                row_t.append(t)
+                row_p.append(pos.copy())
+                row_v.append(vel.copy())
+                pos = nxt
+                t += step
+            times.append(row_t)
+            points.append(row_p)
+            velocities.append(row_v)
+        return _pad_legs(times, points, velocities, self.horizon)
+
+    def _steer_mean(self, pos: np.ndarray, direction: float, margin: float) -> float:
+        """Mean direction, steered toward the area centre near the boundary."""
+        near_edge = (
+            pos[0] < margin
+            or pos[0] > self.area.width - margin
+            or pos[1] < margin
+            or pos[1] > self.area.height - margin
+        )
+        if not near_edge:
+            return direction
+        centre = np.array([self.area.width / 2.0, self.area.height / 2.0])
+        to_centre = centre - pos
+        return math.atan2(to_centre[1], to_centre[0])

@@ -1,0 +1,145 @@
+"""Reference Point Group Mobility (RPGM; Hong et al. 1999).
+
+The group-mobility model from the survey the paper cites for its mobility
+methodology ([5], Camp, Boleng & Davies): nodes belong to groups; each
+group's *logical centre* performs random waypoint motion, and members
+jitter around reference points that move rigidly with the centre.
+Platoon/convoy scenarios — where relative mobility inside a group is far
+lower than global mobility — probe the buffer-zone law's dependence on
+*relative* rather than absolute speed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mobility.base import Area, MobilityModel, TrajectorySet
+from repro.mobility.waypoint import RandomWaypoint, _pad_legs
+from repro.util.errors import ConfigurationError
+from repro.util.validate import check_int_range, check_non_negative, check_positive
+
+__all__ = ["ReferencePointGroupMobility"]
+
+
+class ReferencePointGroupMobility(MobilityModel):
+    """Groups of nodes moving with jittered group centres.
+
+    Parameters
+    ----------
+    n_groups:
+        Number of groups; nodes are dealt round-robin.
+    group_speed:
+        Mean speed of each group centre (random waypoint), m/s.
+    jitter_radius:
+        Maximum member offset from its reference point, metres.
+    jitter_speed:
+        Speed scale of the within-group random offsets, m/s (the
+        *relative* mobility the buffer zone must absorb).
+    jitter_interval:
+        Seconds between member-offset re-draws.
+    """
+
+    def __init__(
+        self,
+        area: Area,
+        n_nodes: int,
+        horizon: float,
+        rng: np.random.Generator,
+        n_groups: int = 4,
+        group_speed: float = 10.0,
+        jitter_radius: float = 50.0,
+        jitter_speed: float = 2.0,
+        jitter_interval: float = 2.0,
+    ) -> None:
+        super().__init__(area, n_nodes, horizon)
+        check_int_range("n_groups", n_groups, 1)
+        if n_groups > n_nodes:
+            raise ConfigurationError("cannot have more groups than nodes")
+        self.n_groups = n_groups
+        self.group_speed = check_positive("group_speed", group_speed)
+        self.jitter_radius = check_non_negative("jitter_radius", jitter_radius)
+        self.jitter_speed = check_non_negative("jitter_speed", jitter_speed)
+        self.jitter_interval = check_positive("jitter_interval", jitter_interval)
+        self._rng = rng
+
+    def _compile(self) -> TrajectorySet:
+        rng = self._rng
+        # Group centres: random waypoint inside a margin-shrunk area so
+        # jittered members stay inside the full area.
+        margin = min(self.jitter_radius, 0.4 * min(self.area.width, self.area.height))
+        inner = Area(
+            max(self.area.width - 2 * margin, 1.0),
+            max(self.area.height - 2 * margin, 1.0),
+        )
+        centres = RandomWaypoint(
+            inner,
+            self.n_groups,
+            horizon=self.horizon,
+            mean_speed=self.group_speed,
+            rng=rng,
+        ).trajectories
+
+        group_of = [i % self.n_groups for i in range(self.n_nodes)]
+        times: list[list[float]] = []
+        points: list[list[np.ndarray]] = []
+        velocities: list[list[np.ndarray]] = []
+        n_steps = int(np.ceil(self.horizon / self.jitter_interval)) + 1
+        for i in range(self.n_nodes):
+            g = group_of[i]
+            # Piecewise-linear member path: sample centre + offset at the
+            # jitter cadence and connect with constant-velocity legs.
+            offs = _offset_walk(
+                rng, n_steps, self.jitter_radius, self.jitter_speed, self.jitter_interval
+            )
+            row_t: list[float] = []
+            row_p: list[np.ndarray] = []
+            row_v: list[np.ndarray] = []
+            prev_pos = None
+            for s in range(n_steps):
+                t = min(s * self.jitter_interval, self.horizon)
+                centre = centres.position(g, t) + margin
+                pos = np.clip(
+                    centre + offs[s],
+                    [0.0, 0.0],
+                    [self.area.width, self.area.height],
+                )
+                if prev_pos is not None:
+                    dt = t - row_t[-1]
+                    vel = (pos - prev_pos) / dt if dt > 0 else np.zeros(2)
+                    row_v.append(vel)
+                row_t.append(t)
+                row_p.append(pos)
+                prev_pos = pos
+                if t >= self.horizon:
+                    break
+            row_v.append(np.zeros(2))
+            times.append(row_t)
+            points.append(row_p)
+            velocities.append(row_v)
+        return _pad_legs(times, points, velocities, self.horizon)
+
+
+def _offset_walk(
+    rng: np.random.Generator,
+    n_steps: int,
+    radius: float,
+    speed: float,
+    interval: float,
+) -> np.ndarray:
+    """Bounded random walk of member offsets around the reference point."""
+    offs = np.zeros((n_steps, 2))
+    if radius == 0.0:
+        return offs
+    # initial offset uniform in the disk
+    angle = rng.uniform(0, 2 * np.pi)
+    r = radius * np.sqrt(rng.uniform())
+    offs[0] = [r * np.cos(angle), r * np.sin(angle)]
+    step_scale = speed * interval
+    for s in range(1, n_steps):
+        step = rng.normal(0.0, step_scale / np.sqrt(2.0), size=2)
+        candidate = offs[s - 1] + step
+        norm = float(np.hypot(*candidate))
+        if norm > radius:
+            candidate *= radius / norm
+        offs[s] = candidate
+    return offs

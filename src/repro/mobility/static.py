@@ -1,0 +1,58 @@
+"""Static placement: nodes never move.
+
+The degenerate mobility model every topology control proof assumes; used as
+the control case in experiments and the base case in property tests (on a
+static network all localized protocols must preserve connectivity exactly).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mobility.base import Area, MobilityModel, TrajectorySet
+from repro.util.errors import ConfigurationError
+
+__all__ = ["StaticPlacement"]
+
+
+class StaticPlacement(MobilityModel):
+    """Nodes stay at their initial (uniform or user-supplied) positions.
+
+    Parameters
+    ----------
+    positions:
+        Optional explicit ``(n, 2)`` placement; if omitted, *rng* draws a
+        uniform placement over *area*.
+    """
+
+    def __init__(
+        self,
+        area: Area,
+        n_nodes: int,
+        horizon: float,
+        rng: np.random.Generator | None = None,
+        positions: np.ndarray | None = None,
+    ) -> None:
+        super().__init__(area, n_nodes, horizon)
+        if positions is None:
+            if rng is None:
+                raise ConfigurationError("StaticPlacement needs either rng or positions")
+            self._positions = area.sample(rng, n_nodes)
+        else:
+            pts = np.asarray(positions, dtype=np.float64)
+            if pts.shape != (n_nodes, 2):
+                raise ConfigurationError(
+                    f"positions must have shape ({n_nodes}, 2), got {pts.shape}"
+                )
+            if not bool(area.contains(pts).all()):
+                raise ConfigurationError("some positions fall outside the area")
+            self._positions = pts.copy()
+
+    def _compile(self) -> TrajectorySet:
+        n = self.n_nodes
+        return TrajectorySet(
+            leg_times=np.zeros((n, 1)),
+            leg_points=self._positions[:, np.newaxis, :],
+            leg_velocities=np.zeros((n, 1, 2)),
+            horizon=self.horizon,
+        )

@@ -1,0 +1,101 @@
+"""Random-walk (random direction) mobility with reflecting boundaries.
+
+Each node repeatedly picks a uniform direction, walks at a fixed speed for
+an exponentially distributed epoch, and reflects specularly off the area
+boundary.  Included alongside the paper's random waypoint model so the
+harness can check that the mobility-management conclusions are not an
+artifact of one mobility pattern.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.mobility.base import Area, MobilityModel, TrajectorySet
+from repro.mobility.waypoint import _pad_legs
+from repro.util.validate import check_positive
+
+__all__ = ["RandomWalk"]
+
+
+class RandomWalk(MobilityModel):
+    """Random direction walk with specular boundary reflection.
+
+    Parameters
+    ----------
+    speed:
+        Constant walking speed, m/s (every node's instantaneous speed).
+    mean_epoch:
+        Mean duration between direction changes, s.
+    """
+
+    def __init__(
+        self,
+        area: Area,
+        n_nodes: int,
+        horizon: float,
+        speed: float,
+        rng: np.random.Generator,
+        mean_epoch: float = 5.0,
+    ) -> None:
+        super().__init__(area, n_nodes, horizon)
+        self.speed = check_positive("speed", speed)
+        self.mean_epoch = check_positive("mean_epoch", mean_epoch)
+        self._rng = rng
+
+    def _compile(self) -> TrajectorySet:
+        rng = self._rng
+        times: list[list[float]] = []
+        points: list[list[np.ndarray]] = []
+        velocities: list[list[np.ndarray]] = []
+        start_positions = self.area.sample(rng, self.n_nodes)
+        for i in range(self.n_nodes):
+            t = 0.0
+            pos = start_positions[i].copy()
+            row_t: list[float] = []
+            row_p: list[np.ndarray] = []
+            row_v: list[np.ndarray] = []
+            theta = float(rng.uniform(0.0, 2.0 * math.pi))
+            vel = self.speed * np.array([math.cos(theta), math.sin(theta)])
+            epoch_left = float(rng.exponential(self.mean_epoch))
+            while t < self.horizon:
+                hit = _time_to_boundary(pos, vel, self.area)
+                step = min(epoch_left, hit)
+                row_t.append(t)
+                row_p.append(pos.copy())
+                row_v.append(vel.copy())
+                pos = pos + vel * step
+                t += step
+                if hit <= epoch_left:
+                    # Reflect off whichever wall was reached (both, in a corner).
+                    if pos[0] <= 1e-9 or pos[0] >= self.area.width - 1e-9:
+                        vel = vel * np.array([-1.0, 1.0])
+                    if pos[1] <= 1e-9 or pos[1] >= self.area.height - 1e-9:
+                        vel = vel * np.array([1.0, -1.0])
+                    epoch_left -= step
+                    if epoch_left <= 1e-9:
+                        epoch_left = float(rng.exponential(self.mean_epoch))
+                else:
+                    theta = float(rng.uniform(0.0, 2.0 * math.pi))
+                    vel = self.speed * np.array([math.cos(theta), math.sin(theta)])
+                    epoch_left = float(rng.exponential(self.mean_epoch))
+                pos[0] = min(max(pos[0], 0.0), self.area.width)
+                pos[1] = min(max(pos[1], 0.0), self.area.height)
+            times.append(row_t)
+            points.append(row_p)
+            velocities.append(row_v)
+        return _pad_legs(times, points, velocities, self.horizon)
+
+
+def _time_to_boundary(pos: np.ndarray, vel: np.ndarray, area: Area) -> float:
+    """Time until the ray ``pos + t * vel`` first exits the area (inf if never)."""
+    t_hit = math.inf
+    for axis, limit in ((0, area.width), (1, area.height)):
+        v = vel[axis]
+        if v > 1e-12:
+            t_hit = min(t_hit, (limit - pos[axis]) / v)
+        elif v < -1e-12:
+            t_hit = min(t_hit, (0.0 - pos[axis]) / v)
+    return max(t_hit, 1e-9)

@@ -1,0 +1,128 @@
+"""Random waypoint mobility (Camp, Boleng & Davies 2002), zero pause time.
+
+This is the paper's mobility model (Section 5.1): each node repeatedly
+picks a uniform destination in the area and travels there in a straight
+line at a speed drawn per leg.  The paper reports the *average* moving
+speed and (Section 5.2) treats the *maximal* speed as twice the average, so
+per-leg speeds here are drawn uniformly from
+``[speed_ratio * mean, (2 - speed_ratio) * mean]`` — mean preserved, max
+just under twice the mean, and bounded away from zero to avoid the
+classical RWP speed-decay pathology.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mobility.base import Area, MobilityModel, TrajectorySet
+from repro.util.errors import ConfigurationError
+from repro.util.validate import check_positive, check_probability
+
+__all__ = ["RandomWaypoint"]
+
+
+class RandomWaypoint(MobilityModel):
+    """Zero-pause random waypoint motion.
+
+    Parameters
+    ----------
+    area, n_nodes, horizon:
+        Deployment rectangle, node count, covered time range (s).
+    mean_speed:
+        Average moving speed in m/s (the paper sweeps 1..160).
+    rng:
+        Source of randomness (placement, destinations, per-leg speeds).
+    speed_ratio:
+        Lower speed bound as a fraction of *mean_speed* (default 0.1, so
+        speeds are uniform in ``[0.1 v, 1.9 v]``).
+    pause_time:
+        Pause at each waypoint, s (paper uses 0).
+    """
+
+    def __init__(
+        self,
+        area: Area,
+        n_nodes: int,
+        horizon: float,
+        mean_speed: float,
+        rng: np.random.Generator,
+        speed_ratio: float = 0.1,
+        pause_time: float = 0.0,
+    ) -> None:
+        super().__init__(area, n_nodes, horizon)
+        self.mean_speed = check_positive("mean_speed", mean_speed)
+        check_probability("speed_ratio", speed_ratio)
+        if speed_ratio >= 1.0:
+            raise ConfigurationError(
+                f"speed_ratio must be < 1 so the speed interval is non-empty, got {speed_ratio}"
+            )
+        self.speed_ratio = float(speed_ratio)
+        if pause_time < 0:
+            raise ConfigurationError(f"pause_time must be >= 0, got {pause_time}")
+        self.pause_time = float(pause_time)
+        self._rng = rng
+
+    def _compile(self) -> TrajectorySet:
+        rng = self._rng
+        lo = self.speed_ratio * self.mean_speed
+        hi = (2.0 - self.speed_ratio) * self.mean_speed
+        times: list[list[float]] = []
+        points: list[list[np.ndarray]] = []
+        velocities: list[list[np.ndarray]] = []
+        start_positions = self.area.sample(rng, self.n_nodes)
+        for i in range(self.n_nodes):
+            t = 0.0
+            pos = start_positions[i]
+            row_t: list[float] = []
+            row_p: list[np.ndarray] = []
+            row_v: list[np.ndarray] = []
+            while t < self.horizon:
+                dest = self.area.sample(rng, 1)[0]
+                speed = float(rng.uniform(lo, hi))
+                dist = float(np.hypot(*(dest - pos)))
+                if dist < 1e-9:
+                    # Degenerate draw: destination coincides with the node.
+                    continue
+                duration = dist / speed
+                row_t.append(t)
+                row_p.append(pos)
+                row_v.append((dest - pos) / duration)
+                t += duration
+                pos = dest
+                if self.pause_time > 0 and t < self.horizon:
+                    row_t.append(t)
+                    row_p.append(pos)
+                    row_v.append(np.zeros(2))
+                    t += self.pause_time
+            times.append(row_t)
+            points.append(row_p)
+            velocities.append(row_v)
+        return _pad_legs(times, points, velocities, self.horizon)
+
+
+def _pad_legs(
+    times: list[list[float]],
+    points: list[list[np.ndarray]],
+    velocities: list[list[np.ndarray]],
+    horizon: float,
+) -> TrajectorySet:
+    """Pack ragged per-node leg lists into rectangular arrays.
+
+    Rows are padded with zero-velocity legs pinned at the node's position at
+    the horizon, so queries past the last real leg stay frozen and valid.
+    """
+    n = len(times)
+    k = max(len(row) for row in times)
+    leg_times = np.empty((n, k), dtype=np.float64)
+    leg_points = np.empty((n, k, 2), dtype=np.float64)
+    leg_velocities = np.zeros((n, k, 2), dtype=np.float64)
+    for i in range(n):
+        m = len(times[i])
+        leg_times[i, :m] = times[i]
+        leg_points[i, :m] = points[i]
+        leg_velocities[i, :m] = velocities[i]
+        if m < k:
+            last_p = points[i][-1] + velocities[i][-1] * (horizon - times[i][-1])
+            leg_times[i, m:] = horizon
+            leg_points[i, m:] = last_p
+    return TrajectorySet(leg_times, leg_points, leg_velocities, horizon)

@@ -1,0 +1,127 @@
+"""Protocol interface: pure functions from local views to logical neighbors.
+
+A protocol never touches simulator state; it maps a :class:`LocalView`
+(or, in conservative mode, a :class:`MultiVersionView`) to a
+:class:`SelectionResult`.  This is what lets the same implementations run
+unchanged under baseline, view-synchronized, strongly consistent, and
+weakly consistent regimes — the paper's whole point is that the base
+protocols need no modification (or only this *conservative* evaluation
+mode, for weak consistency).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.core.costs import CostModel, DistanceCost
+from repro.core.framework import LocalCostGraph, SelectionResult, apply_removal_condition
+from repro.core.views import LocalView, MultiVersionView
+from repro.util.errors import ProtocolError
+
+__all__ = ["TopologyControlProtocol", "ConditionProtocol", "register_protocol", "make_protocol", "available_protocols"]
+
+_REGISTRY: dict[str, type["TopologyControlProtocol"]] = {}
+
+
+def register_protocol(cls: type["TopologyControlProtocol"]) -> type["TopologyControlProtocol"]:
+    """Class decorator: register a protocol under its ``name`` attribute."""
+    key = cls.name  # type: ignore[attr-defined]
+    if key in _REGISTRY:
+        raise ProtocolError(f"protocol name {key!r} registered twice")
+    _REGISTRY[key] = cls
+    return cls
+
+
+def available_protocols() -> list[str]:
+    """Names of all registered protocols."""
+    return sorted(_REGISTRY)
+
+
+def make_protocol(name: str, **kwargs) -> "TopologyControlProtocol":
+    """Instantiate a registered protocol by name (CLI / config entry point).
+
+    Composite names join registered names with ``&`` (e.g. ``"rng&spt2"``)
+    and build the intersection protocol; keyword arguments are not
+    supported for composites (configure constituents by registering them
+    or constructing :class:`~repro.protocols.composite.CompositeProtocol`
+    directly).
+    """
+    if "&" in name:
+        if kwargs:
+            raise ProtocolError("composite protocol names take no kwargs")
+        from repro.protocols.composite import CompositeProtocol
+
+        return CompositeProtocol([make_protocol(part) for part in name.split("&")])
+    try:
+        cls = _REGISTRY[name]
+    except KeyError:
+        raise ProtocolError(
+            f"unknown protocol {name!r}; available: {available_protocols()}"
+        ) from None
+    return cls(**kwargs)
+
+
+class TopologyControlProtocol(ABC):
+    """Base class for localized topology control protocols.
+
+    Subclasses set :attr:`name` and implement :meth:`select`.  Protocols
+    whose decisions are pure cost comparisons (RNG / SPT / MST / Gabriel)
+    also support :meth:`select_conservative` for weak view consistency;
+    geometric protocols (Yao, CBTC) fall back to the latest versions and
+    say so via :attr:`supports_conservative`.
+    """
+
+    #: registry key and report label, e.g. ``"rng"``
+    name: str = ""
+    #: True if select_conservative implements the enhanced conditions
+    supports_conservative: bool = False
+
+    @abstractmethod
+    def select(self, view: LocalView) -> SelectionResult:
+        """Choose logical neighbors and actual range from a one-version view."""
+
+    def select_conservative(self, view: MultiVersionView) -> SelectionResult:
+        """Choose conservatively from a k-version view (enhanced conditions).
+
+        The default raises, because a protocol without cost-comparison
+        structure has no sound conservative mode; cost-based subclasses
+        override this.
+        """
+        raise ProtocolError(
+            f"protocol {self.name!r} does not support conservative (weak-consistency) mode"
+        )
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class ConditionProtocol(TopologyControlProtocol):
+    """Shared machinery for the three link-removal-condition protocols.
+
+    Subclasses provide a cost model and a removal predicate
+    ``f(LocalCostGraph, owner_index, neighbor_index) -> bool``; both plain
+    and conservative selection then come for free (the predicate reads
+    lower bounds for the candidate link and upper bounds for witnesses,
+    which coincide on single-version views).
+    """
+
+    supports_conservative = True
+
+    def __init__(self, cost_model: CostModel | None = None) -> None:
+        self.cost_model = cost_model or DistanceCost()
+
+    @property
+    @abstractmethod
+    def _removable(self):
+        """The removal predicate for this protocol."""
+
+    def select(self, view: LocalView) -> SelectionResult:
+        graph = LocalCostGraph.from_local_view(view, self.cost_model)
+        return apply_removal_condition(graph, self._removable)
+
+    def select_conservative(self, view: MultiVersionView) -> SelectionResult:
+        graph = LocalCostGraph.from_multi_version_view(view, self.cost_model)
+        return apply_removal_condition(graph, self._removable)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(cost_model={self.cost_model!r})"

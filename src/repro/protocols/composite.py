@@ -1,0 +1,88 @@
+"""Composite topology control: apply several removal conditions at once.
+
+Section 2.1 closes with "the above schemes can be combined or enhanced to
+achieve multiple desirable properties".  This module realises the
+combination: a link survives only if it survives *every* constituent
+protocol — equivalently, it is removed when any constituent's removal
+condition fires.
+
+Why this is still connectivity-safe: every constituent condition (1, 2,
+3, Gabriel, enclosure) only removes a link when a witness path of
+*strictly cheaper links* exists — for sum-based conditions each leg of the
+witness is individually cheaper than the removed link, because costs are
+positive.  Theorem 1's descending-order removal argument therefore goes
+through for the union of removals, provided all constituents rank links
+consistently; since every cost model is strictly increasing in distance,
+the distance order is that common ranking.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.core.framework import SelectionResult
+from repro.core.views import LocalView, MultiVersionView
+from repro.protocols.base import TopologyControlProtocol
+from repro.util.errors import ProtocolError
+
+__all__ = ["CompositeProtocol"]
+
+
+class CompositeProtocol(TopologyControlProtocol):
+    """Intersection of several protocols' logical neighbor selections.
+
+    Parameters
+    ----------
+    protocols:
+        Constituent protocols (at least one).  The composite supports
+        conservative (weak-consistency) mode iff all constituents do.
+
+    Examples
+    --------
+    >>> from repro.protocols import RngProtocol, Spt2Protocol
+    >>> combo = CompositeProtocol([RngProtocol(), Spt2Protocol()])
+    >>> combo.name
+    'rng&spt2'
+    """
+
+    def __init__(self, protocols: Sequence[TopologyControlProtocol]) -> None:
+        if not protocols:
+            raise ProtocolError("CompositeProtocol needs at least one constituent")
+        self.protocols = list(protocols)
+        self.name = "&".join(p.name for p in self.protocols)
+        self.supports_conservative = all(
+            p.supports_conservative for p in self.protocols
+        )
+
+    @staticmethod
+    def _survivors(results: list[SelectionResult]) -> frozenset[int]:
+        return frozenset.intersection(*(r.logical_neighbors for r in results))
+
+    def select(self, view: LocalView) -> SelectionResult:
+        survivors = self._survivors([p.select(view) for p in self.protocols])
+        actual = max(
+            (view.own_hello.distance_to(view.hello_of(v)) for v in survivors),
+            default=0.0,
+        )
+        return SelectionResult(
+            owner=view.owner, logical_neighbors=survivors, actual_range=actual
+        )
+
+    def select_conservative(self, view: MultiVersionView) -> SelectionResult:
+        if not self.supports_conservative:
+            return super().select_conservative(view)  # raises ProtocolError
+        survivors = self._survivors(
+            [p.select_conservative(view) for p in self.protocols]
+        )
+        # Conservative coverage: the farthest retained position pair.
+        actual = 0.0
+        for v in survivors:
+            for own_h in view.hellos_of(view.owner):
+                for nbr_h in view.hellos_of(v):
+                    actual = max(actual, own_h.distance_to(nbr_h))
+        return SelectionResult(
+            owner=view.owner, logical_neighbors=survivors, actual_range=actual
+        )
+
+    def __repr__(self) -> str:
+        return f"CompositeProtocol({self.protocols!r})"

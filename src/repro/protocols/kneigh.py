@@ -1,0 +1,55 @@
+"""K-Neigh probabilistic topology control (Blough, Leoncini, Resta &
+Santi 2003).
+
+Each node keeps its ``k`` nearest 1-hop neighbors and sets its range to
+reach the k-th.  Connectivity is only probabilistic (the paper cites
+95 % with k = 9); it serves as the uniform-degree baseline the paper
+compares its adaptive mechanisms against.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.framework import SelectionResult
+from repro.core.views import LocalView
+from repro.protocols.base import TopologyControlProtocol, register_protocol
+from repro.util.validate import check_int_range
+
+__all__ = ["KNeighProtocol"]
+
+
+@register_protocol
+class KNeighProtocol(TopologyControlProtocol):
+    """Keep the k nearest neighbors (K-Neigh baseline).
+
+    Parameters
+    ----------
+    k:
+        Target neighbor count (Blough et al. recommend 9 for n ≈ 100).
+    """
+
+    name = "kneigh"
+
+    def __init__(self, k: int = 9) -> None:
+        check_int_range("k", k, 1)
+        self.k = k
+
+    def select(self, view: LocalView) -> SelectionResult:
+        own = np.asarray(view.own_hello.position, dtype=np.float64)
+        records: list[tuple[float, int]] = []
+        for nid, hello in view.neighbor_hellos.items():
+            pos = np.asarray(hello.position, dtype=np.float64)
+            d = float(np.hypot(*(pos - own)))
+            if d <= view.normal_range:
+                records.append((d, nid))
+        records.sort()
+        kept = records[: self.k]
+        return SelectionResult(
+            owner=view.owner,
+            logical_neighbors=frozenset(nid for _, nid in kept),
+            actual_range=max((d for d, _ in kept), default=0.0),
+        )
+
+    def __repr__(self) -> str:
+        return f"KNeighProtocol(k={self.k})"

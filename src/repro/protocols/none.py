@@ -1,0 +1,36 @@
+"""No topology control: every 1-hop neighbor is logical, range stays normal.
+
+The paper's uncontrolled reference point (250 m range, mean degree ≈ 18 in
+the default scenario) against which Table 1 measures the savings.
+"""
+
+from __future__ import annotations
+
+from repro.core.framework import SelectionResult
+from repro.core.views import LocalView, MultiVersionView
+from repro.protocols.base import TopologyControlProtocol, register_protocol
+
+__all__ = ["NoTopologyControl"]
+
+
+@register_protocol
+class NoTopologyControl(TopologyControlProtocol):
+    """Identity protocol: keep all 1-hop neighbors at the normal range."""
+
+    name = "none"
+    supports_conservative = True
+
+    def select(self, view: LocalView) -> SelectionResult:
+        neighbors = frozenset(
+            nid
+            for nid, hello in view.neighbor_hellos.items()
+            if view.own_hello.distance_to(hello) <= view.normal_range
+        )
+        return SelectionResult(
+            owner=view.owner,
+            logical_neighbors=neighbors,
+            actual_range=view.normal_range if neighbors else 0.0,
+        )
+
+    def select_conservative(self, view: MultiVersionView) -> SelectionResult:
+        return self.select(view.to_local_view())

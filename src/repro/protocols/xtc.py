@@ -1,0 +1,77 @@
+"""XTC: order-based topology control (Wattenhofer & Zollinger 2004).
+
+A contemporaneous alternative the paper's framework also covers: XTC
+needs no positions at all, only each node's *ranking* of its neighbors by
+link quality.  Node u drops neighbor v when some w exists that both u and
+v rank better than each other:
+
+    keep (u, v)  iff  no w with  w <_u v  and  w <_v u.
+
+With link quality = Euclidean distance (what Hello positions give us),
+XTC's survivors coincide with the RNG's — the interesting property is
+*what information suffices*: where RNG needs coordinates, XTC needs only
+comparisons, making it robust to noisy localisation.  In this repo the
+orders are derived from advertised positions (our views carry them), but
+the decision code below touches nothing except the order relation, so a
+signal-strength-based order could be dropped in unchanged.
+"""
+
+from __future__ import annotations
+
+from repro.core.costs import cost_key
+from repro.core.framework import SelectionResult
+from repro.core.views import LocalView
+from repro.protocols.base import TopologyControlProtocol, register_protocol
+
+__all__ = ["XtcProtocol"]
+
+
+@register_protocol
+class XtcProtocol(TopologyControlProtocol):
+    """Order-based topology control (XTC).
+
+    Link-quality order: total order on a node's links by (distance,
+    ID pair) — ties broken exactly like the framework's cost keys, so XTC
+    inherits the same determinism discipline.
+    """
+
+    name = "xtc"
+
+    def select(self, view: LocalView) -> SelectionResult:
+        owner = view.owner
+        own = view.own_hello
+        neighbors = {
+            nid: hello
+            for nid, hello in view.neighbor_hellos.items()
+            if own.distance_to(hello) <= view.normal_range
+        }
+
+        def order_key(a: int, b: int) -> tuple:
+            """u's ranking key of link (a, b) from the view's positions."""
+            return cost_key(view.distance(a, b), a, b)
+
+        survivors: list[int] = []
+        max_dist = 0.0
+        for v in neighbors:
+            keep = True
+            key_uv = order_key(owner, v)
+            for w in neighbors:
+                if w == v:
+                    continue
+                # w better for u than v, and (as far as u can tell from
+                # advertised positions) better for v than u.
+                if (
+                    order_key(owner, w) < key_uv
+                    and view.has_link(v, w)
+                    and order_key(v, w) < key_uv
+                ):
+                    keep = False
+                    break
+            if keep:
+                survivors.append(v)
+                max_dist = max(max_dist, own.distance_to(neighbors[v]))
+        return SelectionResult(
+            owner=owner,
+            logical_neighbors=frozenset(survivors),
+            actual_range=max_dist,
+        )

@@ -1,0 +1,62 @@
+"""Yao-graph topology control (Yao; Wang, Li, Wan & Frieder 2003).
+
+The disk around a node is split into ``k`` equal cones; the nearest
+1-hop neighbor in each non-empty cone becomes a logical neighbor.  The
+Yao graph is connected for ``k >= 6``; the paper notes Yao with k = 6 is a
+special case of CBTC with alpha = 2*pi/3.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.framework import SelectionResult
+from repro.core.views import LocalView
+from repro.geometry.cones import cone_index
+from repro.protocols.base import TopologyControlProtocol, register_protocol
+from repro.util.validate import check_int_range
+
+__all__ = ["YaoProtocol"]
+
+
+@register_protocol
+class YaoProtocol(TopologyControlProtocol):
+    """Yao-graph protocol: nearest neighbor per cone.
+
+    Parameters
+    ----------
+    k:
+        Number of cones (>= 6 guarantees connectivity of the Yao graph on
+        consistent views).
+    """
+
+    name = "yao"
+
+    def __init__(self, k: int = 6) -> None:
+        check_int_range("k", k, 1)
+        self.k = k
+
+    def select(self, view: LocalView) -> SelectionResult:
+        own = np.asarray(view.own_hello.position, dtype=np.float64)
+        best_per_cone: dict[int, tuple[float, int]] = {}
+        for nid, hello in view.neighbor_hellos.items():
+            pos = np.asarray(hello.position, dtype=np.float64)
+            d = float(np.hypot(*(pos - own)))
+            if d > view.normal_range:
+                continue
+            angle = math.atan2(pos[1] - own[1], pos[0] - own[0])
+            cone = cone_index(angle, self.k)
+            incumbent = best_per_cone.get(cone)
+            # Deterministic tie-break on (distance, ID).
+            if incumbent is None or (d, nid) < incumbent:
+                best_per_cone[cone] = (d, nid)
+        chosen = frozenset(nid for _, nid in best_per_cone.values())
+        max_dist = max((d for d, _ in best_per_cone.values()), default=0.0)
+        return SelectionResult(
+            owner=view.owner, logical_neighbors=chosen, actual_range=max_dist
+        )
+
+    def __repr__(self) -> str:
+        return f"YaoProtocol(k={self.k})"

@@ -1,0 +1,24 @@
+"""Routing layers: geographic unicast (mobility-tolerant side) and
+store-and-relay schemes (mobility-assisted side)."""
+
+from repro.routing.aodv import AodvRecord, AodvRouting, AodvStats
+from repro.routing.base import ContactProcessConfig, RoutingOutcome
+from repro.routing.epidemic import EpidemicRouting, TwoHopRelayRouting
+from repro.routing.geographic import (
+    GeographicRouter,
+    GeoRouteResult,
+    gabriel_planarise,
+)
+
+__all__ = [
+    "RoutingOutcome",
+    "ContactProcessConfig",
+    "EpidemicRouting",
+    "TwoHopRelayRouting",
+    "GeographicRouter",
+    "GeoRouteResult",
+    "gabriel_planarise",
+    "AodvRouting",
+    "AodvRecord",
+    "AodvStats",
+]

@@ -1,0 +1,72 @@
+"""Mobility-assisted routing substrate: common types.
+
+The paper's Section 2.2 splits mobility management into *mobility-tolerant*
+(this repo's main subject: keep the effective topology connected at every
+instant) and *mobility-assisted* (tolerate partitions, let movement carry
+data, measure *delay* instead of snapshot connectivity).  Its future work
+proposes combining the two.  This package implements the classic
+mobility-assisted baselines so that comparison can actually be run.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.util.validate import check_positive
+
+__all__ = ["RoutingOutcome", "ContactProcessConfig"]
+
+
+@dataclass(frozen=True)
+class RoutingOutcome:
+    """Result of delivering (or failing to deliver) one message.
+
+    Attributes
+    ----------
+    source, destination:
+        End nodes.
+    delivered:
+        Whether the destination received a copy before the deadline.
+    delay:
+        Seconds from injection to first delivery (inf when undelivered).
+    copies:
+        Number of nodes that ever held a copy (buffer-cost proxy).
+    contacts:
+        Pairwise transfer events performed (bandwidth-cost proxy).
+    """
+
+    source: int
+    destination: int
+    delivered: bool
+    delay: float
+    copies: int
+    contacts: int
+
+    def __post_init__(self) -> None:
+        if self.delivered and not math.isfinite(self.delay):
+            raise ValueError("a delivered message must have a finite delay")
+
+
+@dataclass(frozen=True)
+class ContactProcessConfig:
+    """Discretised contact process driving store-and-relay schemes.
+
+    Attributes
+    ----------
+    contact_range:
+        Two nodes can exchange data when within this range, metres.
+    step:
+        Contact-detection granularity, seconds (a beaconing period).
+    deadline:
+        Give up after this many seconds.
+    """
+
+    contact_range: float = 250.0
+    step: float = 0.5
+    deadline: float = 100.0
+
+    def __post_init__(self) -> None:
+        check_positive("contact_range", self.contact_range)
+        check_positive("step", self.step)
+        check_positive("deadline", self.deadline)

@@ -1,0 +1,205 @@
+"""Geographic unicast routing over an effective topology (GFG/GPSR style).
+
+The point of mobility-tolerant management (Section 2.2) is that, with a
+connected effective topology, "a normal routing protocol can be used and a
+short delay can be expected."  This module supplies that normal protocol:
+
+- **greedy forwarding** — each hop moves to the neighbor closest to the
+  destination;
+- **perimeter (face) recovery** — when greedy hits a local minimum, route
+  by the right-hand rule along a *planarised* subgraph until greedy can
+  resume closer to the destination (GPSR; Karp & Kung 2000).
+
+The planarisation uses the Gabriel condition on the current adjacency —
+a neat structural bonus of this paper's setting: RNG- and Gabriel-based
+logical topologies are already planar, so face routing works on them
+directly.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.util.validate import check_int_range
+
+__all__ = ["GeoRouteResult", "GeographicRouter", "gabriel_planarise"]
+
+
+@dataclass(frozen=True)
+class GeoRouteResult:
+    """Outcome of one geographic routing attempt.
+
+    Attributes
+    ----------
+    delivered:
+        Whether the packet reached the destination.
+    path:
+        Visited node sequence (source first; destination last if
+        delivered).
+    greedy_hops / perimeter_hops:
+        Hop counts by mode (perimeter hops indicate topology voids).
+    """
+
+    delivered: bool
+    path: tuple[int, ...]
+    greedy_hops: int
+    perimeter_hops: int
+
+    @property
+    def hops(self) -> int:
+        """Total hops taken."""
+        return len(self.path) - 1
+
+
+def gabriel_planarise(adjacency: np.ndarray, positions: np.ndarray) -> np.ndarray:
+    """Planar subgraph by the Gabriel condition, restricted to *adjacency*.
+
+    Keeps edge (u, v) iff no common neighbor w lies strictly inside the
+    disk with diameter (u, v).  On unit-disk-ish graphs this preserves
+    connectivity while removing every crossing — the precondition face
+    routing needs.
+    """
+    n = adjacency.shape[0]
+    diff = positions[:, np.newaxis, :] - positions[np.newaxis, :, :]
+    sq = np.einsum("ijk,ijk->ij", diff, diff)
+    out = adjacency.copy()
+    for u in range(n):
+        for v in range(u + 1, n):
+            if not out[u, v]:
+                continue
+            witnesses = np.flatnonzero(adjacency[u] & adjacency[v])
+            for w in witnesses:
+                if w != u and w != v and sq[u, w] + sq[w, v] < sq[u, v] - 1e-12:
+                    out[u, v] = out[v, u] = False
+                    break
+    return out
+
+
+class GeographicRouter:
+    """Stateless GFG/GPSR routing on a frozen topology snapshot.
+
+    Parameters
+    ----------
+    adjacency:
+        Undirected boolean adjacency of usable links (e.g. a snapshot's
+        ``effective_bidirectional()``).
+    positions:
+        ``(n, 2)`` node positions the greedy metric uses.
+    max_hops:
+        TTL; defaults to 4n (face walks can revisit nodes).
+    """
+
+    def __init__(
+        self,
+        adjacency: np.ndarray,
+        positions: np.ndarray,
+        max_hops: int | None = None,
+    ) -> None:
+        if adjacency.shape[0] != positions.shape[0]:
+            raise ValueError("adjacency and positions disagree on node count")
+        self.adjacency = adjacency | adjacency.T
+        self.positions = np.asarray(positions, dtype=np.float64)
+        n = adjacency.shape[0]
+        self.max_hops = check_int_range(
+            "max_hops", max_hops if max_hops is not None else 4 * max(n, 1), 1
+        )
+        self._planar: np.ndarray | None = None
+
+    @property
+    def planar(self) -> np.ndarray:
+        """Gabriel planarisation of the adjacency (built lazily)."""
+        if self._planar is None:
+            self._planar = gabriel_planarise(self.adjacency, self.positions)
+        return self._planar
+
+    # ------------------------------------------------------------------ #
+
+    def _dist(self, a: int, b: int) -> float:
+        d = self.positions[a] - self.positions[b]
+        return float(math.hypot(d[0], d[1]))
+
+    def _greedy_next(self, current: int, dest: int) -> int | None:
+        """Neighbor strictly closer to *dest* than *current*, or None."""
+        nbrs = np.flatnonzero(self.adjacency[current])
+        if nbrs.size == 0:
+            return None
+        d_cur = self._dist(current, dest)
+        best, best_d = None, d_cur
+        for v in nbrs:
+            d = self._dist(int(v), dest)
+            if d < best_d - 1e-12 or (best is not None and d == best_d and v < best):
+                best, best_d = int(v), d
+        return best
+
+    def _angle(self, a: int, b: int) -> float:
+        d = self.positions[b] - self.positions[a]
+        return math.atan2(d[1], d[0])
+
+    def _rhr_next(self, current: int, came_from_angle: float) -> int | None:
+        """Right-hand-rule successor on the planar subgraph.
+
+        The next edge is the first one counterclockwise from the reversed
+        incoming direction.
+        """
+        nbrs = np.flatnonzero(self.planar[current])
+        if nbrs.size == 0:
+            return None
+        best, best_key = None, math.inf
+        for v in nbrs:
+            ang = self._angle(current, int(v))
+            key = (ang - came_from_angle) % (2.0 * math.pi)
+            if key < 1e-12:
+                key = 2.0 * math.pi  # do not immediately bounce back
+            if key < best_key:
+                best, best_key = int(v), key
+        return best
+
+    # ------------------------------------------------------------------ #
+
+    def route(self, source: int, dest: int) -> GeoRouteResult:
+        """Route one packet; greedy with perimeter recovery."""
+        n = self.adjacency.shape[0]
+        if not (0 <= source < n and 0 <= dest < n):
+            raise ValueError("source/destination out of range")
+        path = [source]
+        greedy_hops = perimeter_hops = 0
+        current = source
+        mode = "greedy"
+        # perimeter-mode state: where greedy failed, and the previous hop
+        anchor_dist = 0.0
+        incoming_angle = 0.0
+        while current != dest and len(path) - 1 < self.max_hops:
+            if mode == "greedy":
+                nxt = self._greedy_next(current, dest)
+                if nxt is not None:
+                    current = nxt
+                    path.append(current)
+                    greedy_hops += 1
+                    continue
+                # local minimum: enter perimeter mode
+                mode = "perimeter"
+                anchor_dist = self._dist(current, dest)
+                incoming_angle = self._angle(current, dest)
+            # perimeter step (right-hand rule on the planar subgraph)
+            nxt = self._rhr_next(current, incoming_angle)
+            if nxt is None:
+                break  # isolated in the planar subgraph
+            incoming_angle = self._angle(nxt, current)
+            current = nxt
+            path.append(current)
+            perimeter_hops += 1
+            if self._dist(current, dest) < anchor_dist - 1e-12:
+                mode = "greedy"
+        return GeoRouteResult(
+            delivered=(current == dest),
+            path=tuple(path),
+            greedy_hops=greedy_hops,
+            perimeter_hops=perimeter_hops,
+        )
+
+    def route_many(self, pairs) -> list[GeoRouteResult]:
+        """Route a batch of (source, dest) pairs."""
+        return [self.route(int(s), int(d)) for s, d in pairs]

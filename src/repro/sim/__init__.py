@@ -1,0 +1,47 @@
+"""Discrete-event MANET simulator (the ns-2 substitute)."""
+
+from repro.sim.broadcast import (
+    BroadcastOutcome,
+    cds_broadcast,
+    cds_forward_set,
+    prune_rules_1_2,
+    wu_li_marking,
+)
+from repro.sim.clock import ClockSet
+from repro.sim.config import ScenarioConfig
+from repro.sim.engine import Engine, EventHandle, PeriodicTimer
+from repro.sim.flood import FloodResult, directed_bfs, flood
+from repro.sim.node import SimNode
+from repro.sim.observers import Observation, ObserverSet
+from repro.sim.packets import PacketRecord, TrafficStats, UnicastTraffic
+from repro.sim.radio import ChannelStats, IdealChannel
+from repro.sim.trace import SimulationTrace, TraceRecorder
+from repro.sim.world import NetworkWorld, WorldSnapshot
+
+__all__ = [
+    "Engine",
+    "EventHandle",
+    "PeriodicTimer",
+    "ScenarioConfig",
+    "ClockSet",
+    "IdealChannel",
+    "ChannelStats",
+    "SimNode",
+    "NetworkWorld",
+    "WorldSnapshot",
+    "FloodResult",
+    "directed_bfs",
+    "flood",
+    "BroadcastOutcome",
+    "cds_broadcast",
+    "cds_forward_set",
+    "wu_li_marking",
+    "prune_rules_1_2",
+    "SimulationTrace",
+    "TraceRecorder",
+    "UnicastTraffic",
+    "PacketRecord",
+    "TrafficStats",
+    "ObserverSet",
+    "Observation",
+]

@@ -1,0 +1,110 @@
+"""Scenario configuration for MANET simulations.
+
+Defaults follow Section 5.1 of the paper: 100 nodes in a 900 x 900 m^2
+area, normal transmission range 250 m (mean degree ~ 18), Hello interval
+drawn per node from 1 +- 0.25 s, ideal MAC, 100 s runs sampled 10 times per
+second, flood sources at 10 packets per second.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.mobility.base import Area
+from repro.util.validate import (
+    check_int_range,
+    check_non_negative,
+    check_positive,
+)
+
+__all__ = ["ScenarioConfig"]
+
+
+@dataclass(frozen=True)
+class ScenarioConfig:
+    """All scenario-level parameters of one simulation run.
+
+    Attributes
+    ----------
+    n_nodes:
+        Number of nodes.
+    area:
+        Deployment rectangle.
+    normal_range:
+        Normal (maximum) transmission range, metres.
+    duration:
+        Simulated time, seconds.
+    hello_interval:
+        Nominal Hello interval ``Delta``, seconds.
+    hello_jitter:
+        Half-width of the per-node interval draw (paper: 0.25 s around 1 s).
+    hello_expiry:
+        Age after which a neighbor's Hello no longer defines a link.
+    history_depth:
+        Retained Hellos per neighbor (``k``; weak consistency needs >= 2).
+    sample_rate:
+        Metric snapshots per second.
+    warmup:
+        Seconds before the first snapshot (lets Hello tables fill).
+    propagation_delay:
+        One-hop message latency, seconds (ideal MAC, so tiny and constant).
+    max_clock_skew:
+        Bound on each node's local-clock offset, seconds.
+    reactive_flood_delay:
+        Propagation bound of the reactive scheme's initiation flood, s.
+    hello_loss_rate:
+        Independent per-receiver Hello loss probability (0 = ideal MAC).
+    hello_tx_duration:
+        Hello airtime for the collision model, seconds; two Hellos
+        overlapping within this window collide at common receivers
+        (0 = ideal MAC, the paper's default).
+    """
+
+    n_nodes: int = 100
+    area: Area = field(default_factory=lambda: Area(900.0, 900.0))
+    normal_range: float = 250.0
+    duration: float = 100.0
+    hello_interval: float = 1.0
+    hello_jitter: float = 0.25
+    hello_expiry: float = 2.5
+    history_depth: int = 3
+    sample_rate: float = 10.0
+    warmup: float = 2.0
+    propagation_delay: float = 5e-4
+    max_clock_skew: float = 0.01
+    reactive_flood_delay: float = 0.02
+    hello_loss_rate: float = 0.0
+    hello_tx_duration: float = 0.0
+
+    def __post_init__(self) -> None:
+        check_int_range("n_nodes", self.n_nodes, 2)
+        check_positive("normal_range", self.normal_range)
+        check_positive("duration", self.duration)
+        check_positive("hello_interval", self.hello_interval)
+        check_non_negative("hello_jitter", self.hello_jitter)
+        if self.hello_jitter >= self.hello_interval:
+            raise ValueError("hello_jitter must be smaller than hello_interval")
+        check_positive("hello_expiry", self.hello_expiry)
+        check_int_range("history_depth", self.history_depth, 1)
+        check_positive("sample_rate", self.sample_rate)
+        check_non_negative("warmup", self.warmup)
+        check_non_negative("propagation_delay", self.propagation_delay)
+        check_non_negative("max_clock_skew", self.max_clock_skew)
+        check_non_negative("reactive_flood_delay", self.reactive_flood_delay)
+        if not (0.0 <= self.hello_loss_rate < 1.0):
+            raise ValueError(
+                f"hello_loss_rate must be in [0, 1), got {self.hello_loss_rate}"
+            )
+        check_non_negative("hello_tx_duration", self.hello_tx_duration)
+        if self.hello_tx_duration >= self.hello_interval:
+            raise ValueError("hello_tx_duration must be far below hello_interval")
+
+    @property
+    def max_hello_interval(self) -> float:
+        """Largest per-node Hello interval the jitter can produce."""
+        return self.hello_interval + self.hello_jitter
+
+    @property
+    def n_samples(self) -> int:
+        """Number of metric snapshots in ``[warmup, duration]``."""
+        return max(0, int((self.duration - self.warmup) * self.sample_rate))

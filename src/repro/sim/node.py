@@ -1,0 +1,61 @@
+"""Per-node simulation state.
+
+A :class:`SimNode` owns exactly the state a real node would: its neighbor
+table (Hello history), its latest topology control decision, and its Hello
+version counter.  Positions live in the mobility model; the node never
+reads them directly — the Hello process samples them on its behalf at send
+time, which is precisely the information boundary the paper studies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.manager import NodeDecision
+from repro.core.tables import NeighborTable
+
+__all__ = ["SimNode"]
+
+
+@dataclass
+class SimNode:
+    """State of one simulated node.
+
+    Attributes
+    ----------
+    node_id:
+        Index in the world (0-based).
+    table:
+        Hello history and view factory.
+    decision:
+        Latest topology control decision (None until the first Hello).
+    next_version:
+        Next Hello version this node will stamp (baseline mode counts from
+        1; synchronized modes overwrite with the epoch number).
+    hellos_sent:
+        Diagnostics counter.
+    """
+
+    node_id: int
+    table: NeighborTable
+    decision: NodeDecision | None = None
+    next_version: int = 1
+    hellos_sent: int = 0
+
+    #: decisions recomputed on packet forwarding (view-sync / proactive)
+    packet_decisions: int = field(default=0, repr=False)
+
+    @property
+    def logical_neighbors(self) -> frozenset[int]:
+        """Current logical neighbor set (empty before the first decision)."""
+        return self.decision.logical_neighbors if self.decision else frozenset()
+
+    @property
+    def extended_range(self) -> float:
+        """Current extended transmission range (0 before the first decision)."""
+        return self.decision.extended_range if self.decision else 0.0
+
+    @property
+    def actual_range(self) -> float:
+        """Current actual (pre-buffer) transmission range."""
+        return self.decision.actual_range if self.decision else 0.0

@@ -1,0 +1,114 @@
+"""Radio substrate: unit-disk channel with an ideal MAC.
+
+The paper isolates mobility effects by assuming no collision and no
+contention, so the default channel model is deliberately simple and exact:
+a broadcast by node *u* at physical time *t* with range *r* reaches every
+node within Euclidean distance *r* of *u*'s true position at *t*, after a
+small constant propagation/processing delay.  Message counters make
+control-overhead comparisons (e.g. reactive flooding vs broadcast)
+possible even though bandwidth is not modelled.
+
+For the paper's "Hello messages may be lost due to collision and mobility"
+remark (Section 4.2) and its realistic-MAC future work, the channel also
+supports independent per-receiver *control-message loss*: each Hello
+delivery is dropped with probability ``hello_loss_rate``.  Data probes stay
+lossless — they are the measurement instrument, not the system under test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.geometry.points import distances_from
+from repro.util.validate import check_non_negative, check_probability
+
+__all__ = ["ChannelStats", "IdealChannel"]
+
+
+@dataclass
+class ChannelStats:
+    """Counters of channel activity (control-overhead accounting)."""
+
+    hello_messages: int = 0
+    data_transmissions: int = 0
+    sync_messages: int = 0
+    deliveries: int = 0
+    hello_losses: int = 0
+    collisions: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        """Plain-dict form for reports."""
+        return {
+            "hello_messages": self.hello_messages,
+            "data_transmissions": self.data_transmissions,
+            "sync_messages": self.sync_messages,
+            "deliveries": self.deliveries,
+            "hello_losses": self.hello_losses,
+            "collisions": self.collisions,
+        }
+
+
+@dataclass
+class IdealChannel:
+    """Collision-free unit-disk broadcast channel.
+
+    Parameters
+    ----------
+    propagation_delay:
+        One-hop latency in seconds (reception happens this long after the
+        transmission instant; positions are evaluated at *send* time, as
+        the flight time is physically negligible).
+    hello_loss_rate:
+        Probability an individual Hello delivery is lost (independent per
+        receiver); requires *loss_rng* when positive.
+    loss_rng:
+        Randomness source for loss draws.
+    """
+
+    propagation_delay: float = 5e-4
+    hello_loss_rate: float = 0.0
+    loss_rng: np.random.Generator | None = None
+    stats: ChannelStats = field(default_factory=ChannelStats)
+
+    def __post_init__(self) -> None:
+        check_non_negative("propagation_delay", self.propagation_delay)
+        check_probability("hello_loss_rate", self.hello_loss_rate)
+        if self.hello_loss_rate > 0.0 and self.loss_rng is None:
+            raise ValueError("hello_loss_rate > 0 requires a loss_rng")
+
+    def receivers(
+        self, sender: int, positions: np.ndarray, tx_range: float
+    ) -> np.ndarray:
+        """Indices of nodes that hear a broadcast (sender excluded).
+
+        Parameters
+        ----------
+        sender:
+            Transmitting node index.
+        positions:
+            True ``(n, 2)`` node positions at the transmission instant.
+        tx_range:
+            Transmission range used for this message.
+        """
+        if tx_range <= 0.0:
+            return np.empty(0, dtype=np.intp)
+        d = distances_from(positions[sender], positions)
+        hit = np.flatnonzero(d <= tx_range)
+        return hit[hit != sender]
+
+    def surviving_hello_receivers(self, receivers: np.ndarray) -> np.ndarray:
+        """Apply independent per-receiver Hello loss to *receivers*.
+
+        Dropped deliveries are counted in :attr:`ChannelStats.hello_losses`.
+        """
+        if self.hello_loss_rate == 0.0 or receivers.size == 0:
+            return receivers
+        keep = self.loss_rng.random(receivers.size) >= self.hello_loss_rate
+        self.stats.hello_losses += int(receivers.size - keep.sum())
+        return receivers[keep]
+
+    def arrival_time(self, sent_at: float) -> float:
+        """Physical reception time for a message sent at *sent_at*."""
+        return sent_at + self.propagation_delay

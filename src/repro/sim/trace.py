@@ -1,0 +1,170 @@
+"""Trace recording: persist per-sample snapshots for offline analysis.
+
+A :class:`TraceRecorder` captures the time series a simulation produces —
+positions, ranges, logical adjacency, per-sample delivery — into plain
+NumPy arrays that save/load as a single ``.npz`` file.  This is what lets
+long full-scale runs be analysed (or re-plotted) without re-simulating,
+and gives downstream users a stable interchange format.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sim.world import NetworkWorld, WorldSnapshot
+from repro.util.errors import SimulationError
+
+__all__ = ["TraceRecorder", "SimulationTrace"]
+
+
+@dataclass(frozen=True)
+class SimulationTrace:
+    """An immutable recorded run.
+
+    Attributes
+    ----------
+    times:
+        ``(k,)`` sample instants.
+    positions:
+        ``(k, n, 2)`` true positions per sample.
+    logical:
+        ``(k, n, n)`` boolean logical adjacency per sample.
+    actual_ranges / extended_ranges:
+        ``(k, n)`` per-node ranges per sample.
+    delivery_ratios:
+        ``(k,)`` flood delivery per sample (NaN when not probed).
+    meta:
+        Free-form scalars (n_nodes, normal_range, label, ...).
+    """
+
+    times: np.ndarray
+    positions: np.ndarray
+    logical: np.ndarray
+    actual_ranges: np.ndarray
+    extended_ranges: np.ndarray
+    delivery_ratios: np.ndarray
+    meta: dict
+
+    @property
+    def n_samples(self) -> int:
+        """Number of recorded samples."""
+        return int(self.times.shape[0])
+
+    @property
+    def n_nodes(self) -> int:
+        """Number of nodes in the recorded world."""
+        return int(self.positions.shape[1]) if self.n_samples else 0
+
+    def snapshot(self, index: int) -> WorldSnapshot:
+        """Reconstruct the :class:`WorldSnapshot` of sample *index*."""
+        pos = self.positions[index]
+        diff = pos[:, np.newaxis, :] - pos[np.newaxis, :, :]
+        dist = np.sqrt(np.einsum("ijk,ijk->ij", diff, diff))
+        return WorldSnapshot(
+            time=float(self.times[index]),
+            positions=pos,
+            dist=dist,
+            logical=self.logical[index],
+            actual_ranges=self.actual_ranges[index],
+            extended_ranges=self.extended_ranges[index],
+            normal_range=float(self.meta.get("normal_range", np.inf)),
+        )
+
+    def save(self, path) -> None:
+        """Write the trace to an ``.npz`` file."""
+        meta_keys = np.array(sorted(self.meta), dtype=object)
+        meta_vals = np.array([repr(self.meta[k]) for k in meta_keys], dtype=object)
+        np.savez_compressed(
+            path,
+            times=self.times,
+            positions=self.positions,
+            logical=self.logical,
+            actual_ranges=self.actual_ranges,
+            extended_ranges=self.extended_ranges,
+            delivery_ratios=self.delivery_ratios,
+            meta_keys=meta_keys,
+            meta_vals=meta_vals,
+        )
+
+    @classmethod
+    def load(cls, path) -> "SimulationTrace":
+        """Read a trace written by :meth:`save`."""
+        import ast
+
+        with np.load(path, allow_pickle=True) as data:
+            meta = {
+                str(k): ast.literal_eval(str(v))
+                for k, v in zip(data["meta_keys"], data["meta_vals"])
+            }
+            return cls(
+                times=data["times"],
+                positions=data["positions"],
+                logical=data["logical"],
+                actual_ranges=data["actual_ranges"],
+                extended_ranges=data["extended_ranges"],
+                delivery_ratios=data["delivery_ratios"],
+                meta=meta,
+            )
+
+
+class TraceRecorder:
+    """Accumulates world snapshots into a :class:`SimulationTrace`.
+
+    Examples
+    --------
+    >>> # recorder = TraceRecorder(world)
+    >>> # for t in sample_times: world.run_until(t); recorder.record()
+    >>> # trace = recorder.finish(); trace.save("run.npz")
+    """
+
+    def __init__(self, world: NetworkWorld, label: str = "") -> None:
+        self.world = world
+        self.label = label
+        self._times: list[float] = []
+        self._positions: list[np.ndarray] = []
+        self._logical: list[np.ndarray] = []
+        self._actual: list[np.ndarray] = []
+        self._extended: list[np.ndarray] = []
+        self._delivery: list[float] = []
+        self._finished = False
+
+    def record(self, delivery_ratio: float = float("nan")) -> None:
+        """Capture the world's state *now* (optionally with a probe result)."""
+        if self._finished:
+            raise SimulationError("recorder already finished")
+        snap = self.world.snapshot()
+        self._times.append(snap.time)
+        self._positions.append(snap.positions)
+        self._logical.append(snap.logical)
+        self._actual.append(snap.actual_ranges)
+        self._extended.append(snap.extended_ranges)
+        self._delivery.append(float(delivery_ratio))
+
+    @property
+    def n_recorded(self) -> int:
+        """Samples captured so far."""
+        return len(self._times)
+
+    def finish(self) -> SimulationTrace:
+        """Freeze the recording into an immutable trace."""
+        self._finished = True
+        n = self.world.config.n_nodes
+        k = len(self._times)
+        return SimulationTrace(
+            times=np.asarray(self._times),
+            positions=(
+                np.stack(self._positions) if k else np.zeros((0, n, 2))
+            ),
+            logical=(np.stack(self._logical) if k else np.zeros((0, n, n), dtype=bool)),
+            actual_ranges=(np.stack(self._actual) if k else np.zeros((0, n))),
+            extended_ranges=(np.stack(self._extended) if k else np.zeros((0, n))),
+            delivery_ratios=np.asarray(self._delivery),
+            meta={
+                "label": self.label or self.world.manager.describe(),
+                "n_nodes": n,
+                "normal_range": self.world.config.normal_range,
+                "duration": self.world.config.duration,
+            },
+        )

@@ -1,0 +1,423 @@
+"""The simulated MANET: nodes + mobility + radio + Hello protocol.
+
+:class:`NetworkWorld` wires the discrete-event engine to everything else:
+
+- **Hello emission** follows the consistency mechanism in force —
+  jittered asynchronous timers (baseline / view-sync / weak), local-clock
+  epoch boundaries with epoch-numbered versions (proactive), or
+  initiator-flooded synchronized rounds (reactive);
+- **decisions** run right after each Hello (the paper's Fig. 3 timing) and,
+  for packet-recomputing mechanisms, again at packet time via
+  :meth:`redecide_all`;
+- **snapshots** freeze the directed effective topology at any instant for
+  the metrics layer, fully vectorized.
+
+Positions come from the analytic mobility trajectories; nodes only ever see
+them through Hello messages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.manager import MobilitySensitiveTopologyControl
+from repro.core.tables import NeighborTable
+from repro.core.views import Hello
+from repro.geometry.points import pairwise_distances
+from repro.mobility.base import MobilityModel
+from repro.sim.clock import ClockSet
+from repro.sim.config import ScenarioConfig
+from repro.sim.engine import Engine, PeriodicTimer
+from repro.sim.node import SimNode
+from repro.sim.radio import IdealChannel
+from repro.util.errors import ConfigurationError, ViewError
+from repro.util.randomness import SeedSequenceFactory
+
+__all__ = ["NetworkWorld", "WorldSnapshot"]
+
+
+@dataclass(frozen=True)
+class WorldSnapshot:
+    """Frozen view of the network at one instant.
+
+    Attributes
+    ----------
+    time:
+        Snapshot instant (physical seconds).
+    positions:
+        True ``(n, 2)`` node positions.
+    dist:
+        ``(n, n)`` true pairwise distances.
+    logical:
+        ``(n, n)`` boolean; ``logical[u, v]`` iff v is in u's logical set.
+    actual_ranges / extended_ranges:
+        Per-node ranges currently in force.
+    normal_range:
+        The scenario's normal transmission range.
+    """
+
+    time: float
+    positions: np.ndarray
+    dist: np.ndarray
+    logical: np.ndarray
+    actual_ranges: np.ndarray
+    extended_ranges: np.ndarray
+    normal_range: float
+
+    @property
+    def n_nodes(self) -> int:
+        """Number of nodes in the snapshot."""
+        return self.positions.shape[0]
+
+    def in_range(self) -> np.ndarray:
+        """``(n, n)`` boolean: v hears u's transmissions (directed)."""
+        mask = self.dist <= self.extended_ranges[:, np.newaxis]
+        np.fill_diagonal(mask, False)
+        return mask
+
+    def effective_directed(self, physical_neighbor_mode: bool = False) -> np.ndarray:
+        """Directed delivery graph: in range, and accepted by the receiver.
+
+        Without physical-neighbor mode a receiver drops packets from
+        senders whose attached logical set does not list it (Section 5.1).
+        """
+        mask = self.in_range()
+        if not physical_neighbor_mode:
+            mask = mask & self.logical
+        return mask
+
+    def effective_bidirectional(self, physical_neighbor_mode: bool = False) -> np.ndarray:
+        """Undirected effective topology: links usable in both directions."""
+        directed = self.effective_directed(physical_neighbor_mode)
+        return directed & directed.T
+
+    def original_topology(self) -> np.ndarray:
+        """Undirected unit-disk topology at the normal transmission range."""
+        adj = self.dist <= self.normal_range
+        np.fill_diagonal(adj, False)
+        return adj
+
+    def logical_degrees(self) -> np.ndarray:
+        """Per-node logical neighbor count."""
+        return self.logical.sum(axis=1)
+
+    def physical_degrees(self) -> np.ndarray:
+        """Per-node count of nodes inside the *extended* range."""
+        return self.in_range().sum(axis=1)
+
+
+class NetworkWorld:
+    """A complete simulated MANET.
+
+    Parameters
+    ----------
+    config:
+        Scenario parameters.
+    mobility:
+        Mobility model; must cover ``config.duration`` and
+        ``config.n_nodes``.
+    manager:
+        The mobility-sensitive topology control configuration every node
+        runs (protocol + consistency mechanism + buffer policy).
+    seed:
+        Root seed for all per-world randomness (Hello jitter, clock skew,
+        reactive flood emulation).
+    """
+
+    def __init__(
+        self,
+        config: ScenarioConfig,
+        mobility: MobilityModel,
+        manager: MobilitySensitiveTopologyControl,
+        seed: int = 0,
+    ) -> None:
+        if mobility.n_nodes != config.n_nodes:
+            raise ConfigurationError(
+                f"mobility covers {mobility.n_nodes} nodes, config wants {config.n_nodes}"
+            )
+        if mobility.horizon < config.duration - 1e-9:
+            raise ConfigurationError(
+                f"mobility horizon {mobility.horizon} s is shorter than the "
+                f"simulation duration {config.duration} s"
+            )
+        self.config = config
+        self.mobility = mobility
+        self.manager = manager
+        self.engine = Engine()
+        seeds = SeedSequenceFactory(seed)
+        self.channel = IdealChannel(
+            propagation_delay=config.propagation_delay,
+            hello_loss_rate=config.hello_loss_rate,
+            loss_rng=seeds.rng("channel-loss") if config.hello_loss_rate > 0 else None,
+        )
+        self.clocks = ClockSet(
+            config.n_nodes, config.max_clock_skew, seeds.rng("clock-skew")
+        )
+        self._jitter_rng = seeds.rng("hello-jitter")
+        self._round_rng = seeds.rng("reactive-rounds")
+        # Recent Hello transmissions for the optional collision model:
+        # (send time, sender id, sender position at send time).
+        self._recent_hellos: list[tuple[float, int, np.ndarray]] = []
+        self.nodes = [
+            SimNode(
+                node_id=i,
+                table=NeighborTable(
+                    owner=i,
+                    normal_range=config.normal_range,
+                    history_depth=config.history_depth,
+                    expiry=config.hello_expiry,
+                ),
+            )
+            for i in range(config.n_nodes)
+        ]
+        self._setup_hello_schedule()
+
+    # ------------------------------------------------------------------ #
+    # positions
+
+    def positions(self, t: float | None = None) -> np.ndarray:
+        """True node positions at time *t* (default: now)."""
+        return self.mobility.positions(self.engine.now if t is None else t)
+
+    def position(self, node: int, t: float | None = None) -> np.ndarray:
+        """True position of one node at time *t* (default: now)."""
+        return self.mobility.position(node, self.engine.now if t is None else t)
+
+    # ------------------------------------------------------------------ #
+    # Hello protocol
+
+    def _setup_hello_schedule(self) -> None:
+        cfg = self.config
+        if self.manager.mechanism.name == "proactive":
+            for node in self.nodes:
+                first_epoch = (
+                    self.clocks.epoch(node.node_id, 0.0, cfg.hello_interval) + 1
+                )
+                t0 = self.clocks.epoch_start(node.node_id, first_epoch, cfg.hello_interval)
+                self.engine.schedule_at(
+                    max(t0, 0.0), self._send_hello_proactive, node.node_id, first_epoch
+                )
+        elif self.manager.mechanism.name == "reactive":
+            self.engine.schedule_at(0.0, self._run_reactive_round, 0)
+        else:
+            for node in self.nodes:
+                interval = float(
+                    self._jitter_rng.uniform(
+                        cfg.hello_interval - cfg.hello_jitter,
+                        cfg.hello_interval + cfg.hello_jitter,
+                    )
+                )
+                first = float(self._jitter_rng.uniform(0.0, interval))
+                PeriodicTimer(
+                    self.engine,
+                    interval,
+                    lambda _tick, nid=node.node_id: self._send_hello_async(nid),
+                    first_at=first,
+                )
+
+    def _emit_hello(self, node_id: int, version: int) -> Hello:
+        """Broadcast a Hello at the normal range; deliver after the prop delay."""
+        t = self.engine.now
+        node = self.nodes[node_id]
+        pos = self.position(node_id, t)
+        hello = Hello(
+            sender=node_id,
+            version=version,
+            position=(float(pos[0]), float(pos[1])),
+            sent_at=t,
+            timestamp=self.clocks.local_time(node_id, t),
+        )
+        node.table.record_own(hello)
+        node.hellos_sent += 1
+        self.channel.stats.hello_messages += 1
+        all_positions = self.positions(t)
+        receivers = self.channel.surviving_hello_receivers(
+            self.channel.receivers(node_id, all_positions, self.config.normal_range)
+        )
+        if self.config.hello_tx_duration > 0.0:
+            receivers = self._drop_collided(t, node_id, pos, receivers, all_positions)
+        arrival = self.channel.arrival_time(t)
+        for rid in receivers:
+            self.engine.schedule_at(
+                arrival, self.nodes[int(rid)].table.record_hello, hello
+            )
+            self.channel.stats.deliveries += 1
+        return hello
+
+    def _drop_collided(
+        self,
+        t: float,
+        sender_id: int,
+        sender_pos: np.ndarray,
+        receivers: np.ndarray,
+        positions: np.ndarray,
+    ) -> np.ndarray:
+        """Half-duplex collision model: a receiver inside the range of any
+        *other* Hello still on the air loses this delivery.
+
+        Only the newer transmission is dropped (the earlier deliveries are
+        already scheduled); with sub-millisecond airtimes the asymmetry is
+        a second-order effect and the model still produces the qualitative
+        collision behaviour the paper's future work asks about.
+        """
+        window = self.config.hello_tx_duration
+        self._recent_hellos = [
+            entry for entry in self._recent_hellos if t - entry[0] <= window
+        ]
+        surviving = []
+        for rid in receivers:
+            rpos = positions[int(rid)]
+            collided = any(
+                sid == int(rid)  # half duplex: it was itself on the air
+                or np.hypot(*(spos - rpos)) <= self.config.normal_range
+                for (_, sid, spos) in self._recent_hellos
+            )
+            if collided:
+                self.channel.stats.collisions += 1
+            else:
+                surviving.append(int(rid))
+        self._recent_hellos.append(
+            (t, sender_id, np.asarray(sender_pos, dtype=float))
+        )
+        return np.asarray(surviving, dtype=np.intp)
+
+    def _send_hello_async(self, node_id: int) -> None:
+        node = self.nodes[node_id]
+        hello = self._emit_hello(node_id, node.next_version)
+        node.next_version += 1
+        # The paper's timing (Fig. 3): decide right after sending.
+        self.decide_node(node_id, current_hello=hello)
+
+    def _send_hello_proactive(self, node_id: int, epoch: int) -> None:
+        node = self.nodes[node_id]
+        self._emit_hello(node_id, epoch)
+        node.next_version = epoch + 1
+        next_t = self.clocks.epoch_start(node_id, epoch + 1, self.config.hello_interval)
+        self.engine.schedule_at(next_t, self._send_hello_proactive, node_id, epoch + 1)
+        # Decide on the last *complete* version: everyone's epoch-(e-1)
+        # Hellos have arrived by now (skew + delay < one interval).
+        try:
+            self.decide_node(node_id, version=epoch - 1)
+        except ViewError:
+            pass  # first epoch: nothing complete yet
+
+    def _run_reactive_round(self, round_index: int) -> None:
+        cfg = self.config
+        t = self.engine.now
+        # Initiation flood: every node forwards once (the paper's overhead
+        # complaint about the reactive scheme).
+        self.channel.stats.sync_messages += cfg.n_nodes
+        for node in self.nodes:
+            offset = float(
+                self._round_rng.uniform(cfg.propagation_delay, cfg.reactive_flood_delay)
+            )
+            self.engine.schedule_at(
+                t + offset, self._send_hello_reactive, node.node_id, round_index
+            )
+        decide_at = t + cfg.reactive_flood_delay + 2.0 * cfg.propagation_delay
+        for node in self.nodes:
+            self.engine.schedule_at(
+                decide_at, self._decide_reactive, node.node_id, round_index
+            )
+        if t + cfg.hello_interval <= cfg.duration + cfg.hello_interval:
+            self.engine.schedule_at(
+                t + cfg.hello_interval, self._run_reactive_round, round_index + 1
+            )
+
+    def _send_hello_reactive(self, node_id: int, round_index: int) -> None:
+        node = self.nodes[node_id]
+        self._emit_hello(node_id, round_index)
+        node.next_version = round_index + 1
+
+    def _decide_reactive(self, node_id: int, round_index: int) -> None:
+        try:
+            self.decide_node(node_id, version=round_index)
+        except ViewError:  # pragma: no cover - all Hellos arrive in time
+            pass
+
+    # ------------------------------------------------------------------ #
+    # decisions
+
+    def decide_node(
+        self,
+        node_id: int,
+        version: int | None = None,
+        current_hello: Hello | None = None,
+    ) -> None:
+        """Run topology control at one node, updating its standing decision."""
+        node = self.nodes[node_id]
+        t = self.engine.now
+        if current_hello is None:
+            pos = self.position(node_id, t)
+            current_hello = Hello(
+                sender=node_id,
+                version=node.next_version,
+                position=(float(pos[0]), float(pos[1])),
+                sent_at=t,
+                timestamp=self.clocks.local_time(node_id, t),
+            )
+        node.decision = self.manager.decide(
+            node.table, t, current_hello, version=version
+        )
+
+    def redecide_all(self, version: int | None = None) -> None:
+        """Re-decide every node *now* — packet-time recomputation.
+
+        Used by the flood layer for mechanisms with
+        ``recompute_on_packet``: under view synchronization every
+        forwarding node refreshes its logical set when it sends, and under
+        the proactive scheme every node decides on the packet's *version*.
+        Recomputing all nodes (not only eventual forwarders) is equivalent
+        for reachability and keeps the hot path vectorizable.
+        """
+        for node in self.nodes:
+            try:
+                self.decide_node(node.node_id, version=version)
+                node.packet_decisions += 1
+            except ViewError:
+                # A node that has never advertised cannot decide; it keeps
+                # (the absence of) its standing decision.
+                continue
+
+    # ------------------------------------------------------------------ #
+    # running & observing
+
+    def run_until(self, t: float) -> None:
+        """Advance the simulation to physical time *t*."""
+        self.engine.run(until=t)
+
+    def snapshot(self, t: float | None = None) -> WorldSnapshot:
+        """Freeze the effective topology at time *t* (default: now).
+
+        *t* may not exceed current simulation time — snapshots reflect
+        decisions actually made, never future ones.
+        """
+        now = self.engine.now if t is None else float(t)
+        if t is not None and t > self.engine.now + 1e-9:
+            raise ConfigurationError(
+                f"cannot snapshot the future: t={t} > now={self.engine.now}"
+            )
+        n = self.config.n_nodes
+        positions = self.positions(now)
+        dist = pairwise_distances(positions)
+        logical = np.zeros((n, n), dtype=bool)
+        actual = np.zeros(n)
+        extended = np.zeros(n)
+        for node in self.nodes:
+            if node.decision is None:
+                continue
+            for v in node.decision.logical_neighbors:
+                logical[node.node_id, v] = True
+            actual[node.node_id] = node.decision.actual_range
+            extended[node.node_id] = node.decision.extended_range
+        return WorldSnapshot(
+            time=now,
+            positions=positions,
+            dist=dist,
+            logical=logical,
+            actual_ranges=actual,
+            extended_ranges=extended,
+            normal_range=self.config.normal_range,
+        )

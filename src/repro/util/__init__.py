@@ -1,0 +1,35 @@
+"""Shared utilities: errors, validation, deterministic randomness."""
+
+from repro.util.errors import (
+    ConfigurationError,
+    ProtocolError,
+    ReproError,
+    ScheduleError,
+    SimulationError,
+    ViewError,
+)
+from repro.util.randomness import SeedSequenceFactory
+from repro.util.validate import (
+    check_in,
+    check_int_range,
+    check_non_negative,
+    check_positive,
+    check_probability,
+    require,
+)
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "SimulationError",
+    "ScheduleError",
+    "ProtocolError",
+    "ViewError",
+    "SeedSequenceFactory",
+    "require",
+    "check_positive",
+    "check_non_negative",
+    "check_probability",
+    "check_in",
+    "check_int_range",
+]

@@ -1,0 +1,41 @@
+"""Exception hierarchy for :mod:`repro`.
+
+Every error raised intentionally by this library derives from
+:class:`ReproError`, so callers can catch library failures without
+accidentally swallowing programming errors.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "SimulationError",
+    "ScheduleError",
+    "ProtocolError",
+    "ViewError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """An experiment / simulation parameter is out of its valid domain."""
+
+
+class SimulationError(ReproError, RuntimeError):
+    """The discrete-event simulation entered an invalid state."""
+
+
+class ScheduleError(SimulationError):
+    """An event was scheduled into the past or after the engine stopped."""
+
+
+class ProtocolError(ReproError, RuntimeError):
+    """A topology control protocol was misused or produced invalid output."""
+
+
+class ViewError(ReproError, RuntimeError):
+    """A local view was queried for information it does not hold."""

@@ -1,0 +1,65 @@
+"""Small argument-validation helpers.
+
+These keep public entry points honest without littering the hot paths:
+validation happens once at configuration time, never per event.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+from repro.util.errors import ConfigurationError
+
+__all__ = [
+    "require",
+    "check_positive",
+    "check_non_negative",
+    "check_probability",
+    "check_in",
+    "check_int_range",
+]
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise :class:`ConfigurationError` with *message* unless *condition*."""
+    if not condition:
+        raise ConfigurationError(message)
+
+
+def check_positive(name: str, value: float) -> float:
+    """Validate that *value* is a finite number strictly greater than zero."""
+    if not (isinstance(value, (int, float)) and math.isfinite(value) and value > 0):
+        raise ConfigurationError(f"{name} must be a finite positive number, got {value!r}")
+    return float(value)
+
+
+def check_non_negative(name: str, value: float) -> float:
+    """Validate that *value* is a finite number greater than or equal to zero."""
+    if not (isinstance(value, (int, float)) and math.isfinite(value) and value >= 0):
+        raise ConfigurationError(f"{name} must be a finite non-negative number, got {value!r}")
+    return float(value)
+
+
+def check_probability(name: str, value: float) -> float:
+    """Validate that *value* lies in the closed interval [0, 1]."""
+    if not (isinstance(value, (int, float)) and 0.0 <= value <= 1.0):
+        raise ConfigurationError(f"{name} must lie in [0, 1], got {value!r}")
+    return float(value)
+
+
+def check_in(name: str, value: object, allowed: Sequence[object]) -> object:
+    """Validate that *value* is one of *allowed*."""
+    if value not in allowed:
+        raise ConfigurationError(f"{name} must be one of {list(allowed)!r}, got {value!r}")
+    return value
+
+
+def check_int_range(name: str, value: int, low: int, high: int | None = None) -> int:
+    """Validate that *value* is an int with ``low <= value`` (``<= high`` if given)."""
+    if not isinstance(value, int) or isinstance(value, bool):
+        raise ConfigurationError(f"{name} must be an int, got {value!r}")
+    if value < low or (high is not None and value > high):
+        bound = f"[{low}, {high}]" if high is not None else f">= {low}"
+        raise ConfigurationError(f"{name} must be in {bound}, got {value!r}")
+    return value

@@ -1,0 +1,300 @@
+"""Tests for repro.analysis: specs, runners, scales, report formatting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.experiment import (
+    ExperimentSpec,
+    build_manager,
+    build_mobility,
+    build_world,
+    run_once,
+    run_repetitions,
+)
+from repro.analysis.figures import (
+    FigurePoint,
+    FigureResult,
+    FigureSeries,
+    minimal_tolerating_buffer,
+)
+from repro.analysis.report import format_kv, format_table, rows_to_csv, write_csv
+from repro.analysis.scales import PAPER, QUICK, SMOKE, Scale
+from repro.metrics.stats import Estimate
+from repro.mobility.base import Area
+from repro.mobility.static import StaticPlacement
+from repro.mobility.waypoint import RandomWaypoint
+from repro.sim.config import ScenarioConfig
+from repro.util.errors import ConfigurationError
+from repro.util.randomness import SeedSequenceFactory
+
+
+TINY = ScenarioConfig(
+    n_nodes=12,
+    area=Area(300.0, 300.0),
+    normal_range=150.0,
+    duration=6.0,
+    warmup=2.0,
+    sample_rate=1.0,
+)
+
+
+class TestExperimentSpec:
+    def test_describe_encodes_config(self):
+        spec = ExperimentSpec(
+            protocol="mst", mechanism="view-sync", buffer_width=10.0,
+            physical_neighbor_mode=True, mean_speed=40.0,
+        )
+        assert spec.describe() == "mst+view-sync+buf10+pn+v40"
+
+    def test_custom_label_wins(self):
+        assert ExperimentSpec(label="hello").describe() == "hello"
+
+    def test_with_creates_modified_copy(self):
+        spec = ExperimentSpec(mean_speed=1.0)
+        fast = spec.with_(mean_speed=80.0)
+        assert fast.mean_speed == 80.0 and spec.mean_speed == 1.0
+
+    def test_rejects_negative_buffer(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentSpec(buffer_width=-1.0)
+
+
+class TestBuilders:
+    def test_build_manager_wires_all_parts(self):
+        spec = ExperimentSpec(
+            protocol="spt4", mechanism="weak", buffer_width=5.0,
+            physical_neighbor_mode=True,
+        )
+        manager = build_manager(spec)
+        assert manager.protocol.name == "spt4"
+        assert manager.mechanism.name == "weak"
+        assert manager.buffer_policy.width == 5.0
+        assert manager.physical_neighbor_mode
+
+    def test_buffer_capped_at_normal_range(self):
+        spec = ExperimentSpec(buffer_width=1000.0, config=TINY)
+        manager = build_manager(spec)
+        assert manager.buffer_policy.cap == TINY.normal_range
+
+    def test_zero_speed_gives_static_model(self):
+        spec = ExperimentSpec(mean_speed=0.0, config=TINY)
+        rng = SeedSequenceFactory(0).rng("m")
+        assert isinstance(build_mobility(spec, rng), StaticPlacement)
+
+    def test_positive_speed_gives_waypoint(self):
+        spec = ExperimentSpec(mean_speed=5.0, config=TINY)
+        rng = SeedSequenceFactory(0).rng("m")
+        assert isinstance(build_mobility(spec, rng), RandomWaypoint)
+
+    def test_build_world_deterministic(self):
+        spec = ExperimentSpec(mean_speed=5.0, config=TINY)
+        a = build_world(spec, seed=4)
+        b = build_world(spec, seed=4)
+        assert np.allclose(a.positions(3.0), b.positions(3.0))
+
+
+class TestRunOnce:
+    def test_series_lengths_match_samples(self):
+        spec = ExperimentSpec(mean_speed=5.0, config=TINY)
+        result = run_once(spec, seed=1)
+        expected = TINY.n_samples + 1  # inclusive endpoint grid
+        assert len(result.delivery_ratios) == expected
+        assert len(result.mean_extended_ranges) == expected
+
+    def test_metrics_in_valid_ranges(self):
+        spec = ExperimentSpec(mean_speed=20.0, config=TINY)
+        result = run_once(spec, seed=2)
+        assert 0.0 <= result.connectivity_ratio <= 1.0
+        assert 0.0 <= result.mean_transmission_range <= TINY.normal_range
+        assert result.mean_logical_degree >= 0.0
+
+    def test_reproducible(self):
+        spec = ExperimentSpec(mean_speed=10.0, config=TINY)
+        a = run_once(spec, seed=3)
+        b = run_once(spec, seed=3)
+        assert np.array_equal(a.delivery_ratios, b.delivery_ratios)
+
+    def test_channel_stats_propagated(self):
+        spec = ExperimentSpec(mean_speed=5.0, config=TINY)
+        result = run_once(spec, seed=1)
+        assert result.channel_stats["hello_messages"] > 0
+
+
+class TestRunRepetitions:
+    def test_aggregates_carry_ci(self):
+        spec = ExperimentSpec(mean_speed=10.0, config=TINY)
+        agg = run_repetitions(spec, repetitions=3, base_seed=10)
+        assert agg.n_repetitions == 3
+        assert isinstance(agg.connectivity, Estimate)
+        assert agg.connectivity.n == 3
+
+    def test_row_structure(self):
+        spec = ExperimentSpec(mean_speed=10.0, config=TINY)
+        agg = run_repetitions(spec, repetitions=2, base_seed=10)
+        row = agg.row()
+        assert {"label", "connectivity", "tx_range", "speed"} <= set(row)
+
+    def test_rejects_zero_repetitions(self):
+        with pytest.raises(ConfigurationError):
+            run_repetitions(ExperimentSpec(config=TINY), repetitions=0)
+
+
+class TestScales:
+    def test_paper_scale_matches_section_5(self):
+        assert PAPER.n_nodes == 100
+        assert PAPER.duration == 100.0
+        assert PAPER.sample_rate == 10.0
+        assert PAPER.repetitions == 20
+        assert PAPER.speeds == (1.0, 20.0, 40.0, 80.0, 160.0)
+
+    def test_config_materialisation(self):
+        cfg = QUICK.config()
+        assert cfg.n_nodes == QUICK.n_nodes
+        assert cfg.duration == QUICK.duration
+
+    def test_config_overrides(self):
+        cfg = QUICK.config(n_nodes=7)
+        assert cfg.n_nodes == 7
+
+    def test_rejects_empty_speeds(self):
+        with pytest.raises(ValueError):
+            Scale(name="bad", speeds=())
+
+    def test_smoke_is_smallest(self):
+        assert SMOKE.n_nodes <= QUICK.n_nodes <= PAPER.n_nodes
+
+
+class TestFigureStructures:
+    def _figure(self):
+        def agg(conn):
+            from repro.analysis.experiment import AggregateResult
+
+            est = Estimate(mean=conn, half_width=0.01, n=3)
+            spec = ExperimentSpec(config=TINY)
+            return AggregateResult(
+                spec=spec, n_repetitions=3, connectivity=est,
+                transmission_range=est, logical_degree=est,
+                physical_degree=est, strict_connectivity=est,
+            )
+
+        series = [
+            FigureSeries(
+                label="rng+buf10",
+                x_name="speed_mps",
+                points=(
+                    FigurePoint(1.0, agg(0.95)),
+                    FigurePoint(40.0, agg(0.92)),
+                    FigurePoint(160.0, agg(0.4)),
+                ),
+            ),
+            FigureSeries(
+                label="rng+buf0",
+                x_name="speed_mps",
+                points=(FigurePoint(1.0, agg(0.5)), FigurePoint(40.0, agg(0.2))),
+            ),
+        ]
+        return FigureResult(
+            figure_id="figX", title="test", scale=SMOKE, series=tuple(series)
+        )
+
+    def test_rows_flatten_series(self):
+        fig = self._figure()
+        rows = fig.rows()
+        assert len(rows) == 5
+        assert rows[0]["series"] == "rng+buf10"
+
+    def test_series_lookup(self):
+        fig = self._figure()
+        assert fig.series_by_label("rng+buf0").xs() == [1.0, 40.0]
+        with pytest.raises(KeyError):
+            fig.series_by_label("nope")
+
+    def test_y_extraction(self):
+        fig = self._figure()
+        assert fig.series_by_label("rng+buf10").y() == [0.95, 0.92, 0.4]
+
+    def test_minimal_tolerating_buffer(self):
+        fig = self._figure()
+        # buf10 holds >= 0.9 at speeds <= 40; buf0 does not.
+        assert minimal_tolerating_buffer(fig, "rng") == 10.0
+
+    def test_minimal_tolerating_buffer_none(self):
+        fig = self._figure()
+        assert minimal_tolerating_buffer(fig, "rng", target=0.99) is None
+
+    def test_format_contains_title(self):
+        assert "figX" in self._figure().format()
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        text = format_table(
+            [{"a": 1.0, "b": "x"}, {"a": 22.5, "b": "yy"}], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "b" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_table_empty(self):
+        assert "(no data)" in format_table([])
+
+    def test_format_table_bools_and_none(self):
+        text = format_table([{"x": True, "y": None}])
+        assert "yes" in text
+
+    def test_rows_to_csv(self):
+        csv_text = rows_to_csv([{"a": 1, "b": 2}, {"a": 3, "b": 4}])
+        assert csv_text.splitlines()[0] == "a,b"
+        assert "3,4" in csv_text
+
+    def test_write_csv(self, tmp_path):
+        path = tmp_path / "out.csv"
+        write_csv(path, [{"a": 1}])
+        assert path.read_text().startswith("a")
+
+    def test_format_kv(self):
+        text = format_kv({"alpha": 1, "beta": "two"}, title="cfg")
+        assert text.splitlines()[0] == "cfg"
+        assert "alpha" in text and "two" in text
+
+
+class TestCompareFigures:
+    def _figure(self, offset):
+        from repro.analysis.experiment import AggregateResult
+        from repro.analysis.figures import FigurePoint, FigureResult, FigureSeries
+        from repro.analysis.scales import SMOKE
+
+        def agg(conn):
+            est = Estimate(mean=conn, half_width=0.0, n=1)
+            return AggregateResult(
+                spec=ExperimentSpec(config=TINY), n_repetitions=1,
+                connectivity=est, transmission_range=est, logical_degree=est,
+                physical_degree=est, strict_connectivity=est,
+            )
+
+        series = [
+            FigureSeries(
+                label="rng+buf10", x_name="speed_mps",
+                points=(FigurePoint(1.0, agg(0.5 + offset)), FigurePoint(40.0, agg(0.3 + offset))),
+            )
+        ]
+        return FigureResult(figure_id="f", title="t", scale=SMOKE, series=tuple(series))
+
+    def test_deltas_computed(self):
+        from repro.analysis.figures import compare_figures
+
+        rows = compare_figures(self._figure(0.0), self._figure(0.2))
+        assert len(rows) == 2
+        for row in rows:
+            assert row["delta"] == pytest.approx(0.2)
+
+    def test_mismatched_series_skipped(self):
+        from repro.analysis.figures import compare_figures
+
+        a = self._figure(0.0)
+        b = self._figure(0.0)
+        object.__setattr__(b.series[0], "label", "other")
+        assert compare_figures(a, b) == []

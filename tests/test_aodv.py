@@ -1,0 +1,136 @@
+"""Tests for repro.routing.aodv: reactive discovery over live worlds."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.experiment import ExperimentSpec, build_world
+from repro.mobility.base import Area
+from repro.routing.aodv import AodvRouting
+from repro.sim.config import ScenarioConfig
+
+
+def world_for(speed=2.0, mechanism="baseline", buffer=30.0, protocol="gabriel",
+              n=20, seed=3):
+    cfg = ScenarioConfig(
+        n_nodes=n, area=Area(403.0, 403.0), normal_range=250.0,
+        duration=12.0, warmup=2.0, sample_rate=1.0,
+    )
+    spec = ExperimentSpec(
+        protocol=protocol, mechanism=mechanism, buffer_width=buffer,
+        mean_speed=speed, config=cfg,
+    )
+    return build_world(spec, seed=seed)
+
+
+class TestDiscoveryAndDelivery:
+    def test_delivers_on_warm_slow_network(self):
+        world = world_for(speed=2.0)
+        world.run_until(4.0)
+        aodv = AodvRouting(world)
+        record = aodv.send(0, 15)
+        world.run_until(6.0)
+        assert record.delivered
+        assert record.discoveries == 1
+        assert record.route[0] == 0 and record.route[-1] == 15
+
+    def test_self_delivery(self):
+        world = world_for()
+        world.run_until(4.0)
+        record = AodvRouting(world).send(3, 3)
+        assert record.delivered and record.delay == 0.0
+
+    def test_route_cached_and_reused(self):
+        world = world_for(speed=2.0)
+        world.run_until(4.0)
+        aodv = AodvRouting(world)
+        first = aodv.send(0, 15)
+        world.run_until(5.0)
+        second = aodv.send(0, 15)
+        world.run_until(6.0)
+        if first.delivered and second.delivered:
+            assert second.discoveries == 0  # cache hit
+            assert second.delay <= first.delay + 1e-9
+
+    def test_rreq_cost_recorded(self):
+        world = world_for(speed=2.0)
+        world.run_until(4.0)
+        aodv = AodvRouting(world)
+        record = aodv.send(0, 10)
+        world.run_until(6.0)
+        assert record.rreq_transmissions >= 2
+
+    def test_unreachable_destination_dropped(self):
+        # A tiny world where the destination starts isolated is hard to
+        # construct reliably; emulate with a zero-range manager instead:
+        world = world_for(speed=0.0, buffer=0.0, protocol="mst")
+        world.run_until(4.0)
+        # sever everything by zeroing decisions
+        from repro.core.manager import NodeDecision
+
+        for node in world.nodes:
+            node.decision = NodeDecision(
+                owner=node.node_id, logical_neighbors=frozenset(),
+                actual_range=0.0, extended_range=0.0,
+                decided_at=world.engine.now,
+            )
+        aodv = AodvRouting(world)
+        record = aodv.send(0, 5)
+        world.run_until(6.0)
+        assert not record.delivered
+        assert record.drop_reason in ("destination-unreachable", "discovery-limit")
+
+    def test_discovery_limit_respected(self):
+        world = world_for(speed=60.0, buffer=0.0, protocol="mst")
+        world.run_until(4.0)
+        aodv = AodvRouting(world, max_discoveries=1)
+        records = [aodv.send(i, 19 - i) for i in range(5)]
+        world.run_until(8.0)
+        for r in records:
+            assert r.discoveries <= 1
+
+    def test_invalid_nodes(self):
+        world = world_for()
+        world.run_until(3.0)
+        with pytest.raises(ValueError):
+            AodvRouting(world).send(0, 10_000)
+
+
+class TestStats:
+    def test_aggregates(self):
+        world = world_for(speed=5.0)
+        world.run_until(4.0)
+        aodv = AodvRouting(world)
+        for i in range(5):
+            aodv.send(i, 19 - i)
+        world.run_until(8.0)
+        stats = aodv.stats()
+        assert stats.sent == 5
+        assert 0.0 <= stats.delivery_ratio <= 1.0
+        if stats.delivered:
+            assert math.isfinite(stats.mean_delay)
+        assert stats.mean_rreq_cost >= 0.0
+
+    def test_empty_stats(self):
+        world = world_for()
+        world.run_until(3.0)
+        stats = AodvRouting(world).stats()
+        assert stats.sent == 0 and stats.delivery_ratio == 1.0
+
+
+class TestTopologyQualityMatters:
+    def test_managed_topology_beats_unmanaged_under_mobility(self):
+        outcomes = {}
+        for label, mech, buf in [("managed", "view-sync", 50.0), ("bare", "baseline", 0.0)]:
+            world = world_for(speed=25.0, mechanism=mech, buffer=buf, protocol="rng", seed=9)
+            world.run_until(4.0)
+            aodv = AodvRouting(world)
+            for i in range(8):
+                aodv.send(i, 19 - i)
+            world.run_until(10.0)
+            outcomes[label] = aodv.stats()
+        assert (
+            outcomes["managed"].delivery_ratio >= outcomes["bare"].delivery_ratio
+        )

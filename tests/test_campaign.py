@@ -1,0 +1,80 @@
+"""Tests for repro.analysis.campaign: the full-report generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.campaign import CampaignResult, render_experiments_md, run_campaign
+from repro.analysis.scales import Scale
+
+# A micro-scale so the campaign completes in seconds inside the test.
+MICRO = Scale(
+    name="micro",
+    n_nodes=20,
+    area_side=403.0,  # paper density
+    duration=5.0,
+    sample_rate=1.0,
+    warmup=2.0,
+    repetitions=1,
+    speeds=(1.0, 40.0),
+    buffer_widths=(0.0, 100.0),
+)
+
+
+@pytest.fixture(scope="module")
+def campaign():
+    return run_campaign(MICRO, base_seed=9100)
+
+
+class TestRunCampaign:
+    def test_produces_all_artifacts(self, campaign):
+        assert isinstance(campaign, CampaignResult)
+        assert campaign.table1.results
+        for fig in (campaign.fig6, campaign.fig7, campaign.fig8a,
+                    campaign.fig8b, campaign.fig9, campaign.fig10):
+            assert fig.series
+
+    def test_wall_clock_recorded(self, campaign):
+        assert campaign.wall_clock_s > 0
+
+    def test_figure_ids(self, campaign):
+        assert campaign.fig6.figure_id == "fig6"
+        assert campaign.fig8b.figure_id == "fig8b"
+
+
+class TestRenderExperimentsMd:
+    def test_contains_every_section(self, campaign):
+        text = render_experiments_md(campaign)
+        for heading in (
+            "# EXPERIMENTS — paper vs measured",
+            "## Table 1",
+            "## Fig. 6",
+            "## Fig. 7",
+            "## Fig. 8",
+            "## Fig. 9",
+            "## Fig. 10",
+            "## Beyond the paper",
+        ):
+            assert heading in text
+
+    def test_markdown_tables_well_formed(self, campaign):
+        text = render_experiments_md(campaign)
+        for line in text.splitlines():
+            if line.startswith("|") and not line.startswith("|-"):
+                assert line.endswith("|")
+
+    def test_verdict_lines_present(self, campaign):
+        text = render_experiments_md(campaign)
+        assert "✅" in text or "⚠️" in text
+
+    def test_scale_described(self, campaign):
+        text = render_experiments_md(campaign)
+        assert "micro" in text
+        assert "20 nodes" in text
+
+    def test_notes_appended(self, campaign):
+        campaign.notes.append("custom-note-xyz")
+        try:
+            assert "custom-note-xyz" in render_experiments_md(campaign)
+        finally:
+            campaign.notes.clear()

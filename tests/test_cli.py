@@ -1,0 +1,75 @@
+"""Tests for repro.cli: argument parsing and end-to-end command runs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_table1_defaults(self):
+        args = build_parser().parse_args(["table1"])
+        assert args.scale == "quick" and args.command == "table1"
+
+    def test_scale_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig6", "--scale", "galactic"])
+
+    def test_run_arguments(self):
+        args = build_parser().parse_args(
+            ["run", "--protocol", "mst", "--mechanism", "weak", "--buffer", "10",
+             "--speed", "40", "--pn"]
+        )
+        assert args.protocol == "mst"
+        assert args.mechanism == "weak"
+        assert args.buffer == 10.0
+        assert args.pn
+
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--protocol", "pigeon"])
+
+
+class TestMain:
+    def test_run_command_prints_summary(self, capsys):
+        code = main(
+            [
+                "run", "--protocol", "rng", "--speed", "5", "--nodes", "12",
+                "--duration", "5", "--sample-rate", "1", "--repetitions", "1",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "connectivity" in out
+        assert "rng+baseline" in out
+
+    def test_unicast_subcommand(self, capsys):
+        code = main(["unicast", "--scale", "smoke", "--speed", "10"])
+        out = capsys.readouterr().out
+        assert code == 0 and "GFG/GPSR" in out
+
+    def test_lifetime_subcommand(self, capsys):
+        code = main(["lifetime", "--scale", "smoke", "--budget", "1e7"])
+        out = capsys.readouterr().out
+        assert code == 0 and "lifetime" in out
+
+    def test_equivalence_subcommand(self, capsys):
+        code = main(["equivalence", "--scale", "smoke"])
+        out = capsys.readouterr().out
+        assert code == 0 and "v_over_R" in out
+
+    def test_table1_smoke_with_csv(self, capsys, tmp_path, monkeypatch):
+        # swap the smoke scale in for an even smaller one via --scale smoke
+        csv_path = tmp_path / "t1.csv"
+        code = main(["table1", "--scale", "smoke", "--csv", str(csv_path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Table 1" in out
+        assert csv_path.exists()
+        header = csv_path.read_text().splitlines()[0]
+        assert "artifact" in header

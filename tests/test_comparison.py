@@ -1,0 +1,57 @@
+"""Tests for repro.analysis.comparison: paired A/B methodology."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.comparison import compare_specs
+from repro.analysis.experiment import ExperimentSpec
+from repro.mobility.base import Area
+from repro.sim.config import ScenarioConfig
+from repro.util.errors import ConfigurationError
+
+CFG = ScenarioConfig(
+    n_nodes=15,
+    area=Area(349.0, 349.0),
+    normal_range=250.0,
+    duration=6.0,
+    warmup=2.0,
+    sample_rate=1.0,
+)
+
+
+class TestCompareSpecs:
+    def test_identical_specs_no_difference(self):
+        spec = ExperimentSpec(protocol="rng", mean_speed=10.0, config=CFG)
+        result = compare_specs(spec, spec, repetitions=3, base_seed=100)
+        assert result.verdict is None
+        assert result.difference.mean == 0.0
+
+    def test_buffer_clearly_helps_at_speed(self):
+        a = ExperimentSpec(protocol="mst", buffer_width=0.0, mean_speed=30.0, config=CFG)
+        b = a.with_(buffer_width=100.0)
+        result = compare_specs(a, b, repetitions=4, base_seed=100)
+        assert result.b_mean > result.a_mean
+        assert result.verdict == "B"
+
+    def test_range_metric_detects_buffer_cost(self):
+        a = ExperimentSpec(protocol="rng", buffer_width=0.0, mean_speed=10.0, config=CFG)
+        b = a.with_(buffer_width=100.0)
+        result = compare_specs(a, b, repetitions=3, base_seed=100, metric="tx_range")
+        assert result.verdict == "B"  # wider buffer => longer range
+
+    def test_unknown_metric_rejected(self):
+        spec = ExperimentSpec(protocol="rng", config=CFG)
+        with pytest.raises(ConfigurationError):
+            compare_specs(spec, spec, metric="happiness")
+
+    def test_requires_two_repetitions(self):
+        spec = ExperimentSpec(protocol="rng", config=CFG)
+        with pytest.raises(ConfigurationError):
+            compare_specs(spec, spec, repetitions=1)
+
+    def test_summary_readable(self):
+        spec = ExperimentSpec(protocol="rng", mean_speed=10.0, config=CFG)
+        result = compare_specs(spec, spec, repetitions=2, base_seed=100)
+        text = result.summary()
+        assert "connectivity" in text and "no significant difference" in text

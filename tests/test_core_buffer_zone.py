@@ -1,0 +1,108 @@
+"""Tests for repro.core.buffer_zone: Theorems 3 & 5 arithmetic and policy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.buffer_zone import (
+    BufferZonePolicy,
+    buffer_width,
+    max_delay_bound,
+    required_history_depth,
+)
+from repro.util.errors import ConfigurationError
+
+
+class TestMaxDelayBound:
+    def test_proactive_is_twice_delta_prime(self):
+        assert max_delay_bound("proactive", 1.0, clock_skew=0.1) == pytest.approx(2.2)
+
+    def test_reactive_adds_flood_delay(self):
+        assert max_delay_bound("reactive", 1.0, flood_delay=0.05) == pytest.approx(1.05)
+
+    def test_weak_scales_with_history(self):
+        assert max_delay_bound("weak", 1.0, history_depth=3) == pytest.approx(4.0)
+        assert max_delay_bound("weak", 1.0, history_depth=2) == pytest.approx(3.0)
+
+    def test_baseline_two_intervals(self):
+        assert max_delay_bound("baseline", 1.25) == pytest.approx(2.5)
+
+    def test_view_sync_same_as_baseline(self):
+        assert max_delay_bound("view-sync", 1.0) == max_delay_bound("baseline", 1.0)
+
+    def test_unknown_mechanism_rejected(self):
+        with pytest.raises(ConfigurationError):
+            max_delay_bound("magic", 1.0)
+
+
+class TestBufferWidth:
+    def test_theorem5_formula(self):
+        # l = 2 * Delta'' * v
+        assert buffer_width(max_speed=20.0, max_delay=2.5) == pytest.approx(100.0)
+
+    def test_paper_worked_example(self):
+        # Section 5.2: worst-case Hello age 2.5 s, relative speed four
+        # times the 10 m/s average => 100 m buffer.  In our formulation the
+        # factor 2 covers both endpoints and max speed = 2 x average.
+        assert buffer_width(max_speed=20.0, max_delay=2.5) == 100.0
+
+    def test_zero_speed_zero_buffer(self):
+        assert buffer_width(0.0, 10.0) == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            buffer_width(-1.0, 1.0)
+
+
+class TestRequiredHistoryDepth:
+    def test_corollary1_instantaneous(self):
+        # delta = d <= Delta  =>  k = 2
+        assert required_history_depth(0.5, 1.0) == 2
+        assert required_history_depth(1.0, 1.0) == 2
+
+    def test_corollary1_periodic(self):
+        # delta = Delta + d < 2 Delta  =>  k = 3
+        assert required_history_depth(1.5, 1.0) == 3
+
+    def test_zero_spread_needs_one(self):
+        assert required_history_depth(0.0, 1.0) == 1
+
+    def test_large_spread(self):
+        assert required_history_depth(4.2, 1.0) == 6
+
+    def test_rejects_zero_interval(self):
+        with pytest.raises(ValueError):
+            required_history_depth(1.0, 0.0)
+
+
+class TestBufferZonePolicy:
+    def test_extends_range(self):
+        policy = BufferZonePolicy(width=10.0)
+        assert policy.extended_range(50.0) == 60.0
+
+    def test_zero_actual_range_stays_zero(self):
+        # A node with no logical neighbors has no links to protect.
+        assert BufferZonePolicy(width=10.0).extended_range(0.0) == 0.0
+
+    def test_cap_enforced(self):
+        policy = BufferZonePolicy(width=100.0, cap=120.0)
+        assert policy.extended_range(50.0) == 120.0
+
+    def test_no_buffer_is_identity(self):
+        assert BufferZonePolicy().extended_range(42.0) == 42.0
+
+    def test_from_theorem5(self):
+        policy = BufferZonePolicy.from_theorem5(
+            max_speed=20.0, mechanism="baseline", hello_interval=1.25
+        )
+        assert policy.width == pytest.approx(100.0)
+
+    def test_from_theorem5_weak(self):
+        policy = BufferZonePolicy.from_theorem5(
+            max_speed=10.0, mechanism="weak", hello_interval=1.0, history_depth=2
+        )
+        assert policy.width == pytest.approx(60.0)
+
+    def test_rejects_negative_width(self):
+        with pytest.raises(ConfigurationError):
+            BufferZonePolicy(width=-5.0)

@@ -1,0 +1,71 @@
+"""Tests for repro.core.costs: link cost models and the total order."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.costs import DistanceCost, EnergyCost, cost_key
+from repro.util.errors import ConfigurationError
+
+
+class TestDistanceCost:
+    def test_identity(self):
+        assert DistanceCost().from_distance(7.5) == 7.5
+
+    def test_vectorized(self):
+        d = np.array([1.0, 2.0, 3.0])
+        assert np.array_equal(DistanceCost().from_distance(d), d)
+
+    def test_name(self):
+        assert DistanceCost().name == "distance"
+
+
+class TestEnergyCost:
+    def test_free_space(self):
+        assert EnergyCost(alpha=2).from_distance(3.0) == 9.0
+
+    def test_two_ray(self):
+        assert EnergyCost(alpha=4).from_distance(2.0) == 16.0
+
+    def test_constant_overhead(self):
+        assert EnergyCost(alpha=2, const=5.0).from_distance(3.0) == 14.0
+
+    def test_vectorized(self):
+        d = np.array([1.0, 2.0])
+        out = EnergyCost(alpha=2).from_distance(d)
+        assert np.allclose(out, [1.0, 4.0])
+
+    def test_monotone_in_distance(self, rng):
+        model = EnergyCost(alpha=4, const=2.0)
+        d = np.sort(rng.random(20) * 100)
+        c = model.from_distance(d)
+        assert (np.diff(c) >= 0).all()
+
+    def test_rejects_nonpositive_alpha(self):
+        with pytest.raises(ConfigurationError):
+            EnergyCost(alpha=0.0)
+
+    def test_rejects_negative_const(self):
+        with pytest.raises(ConfigurationError):
+            EnergyCost(alpha=2, const=-1.0)
+
+    def test_name_encodes_parameters(self):
+        assert EnergyCost(alpha=4).name == "energy-4"
+        assert "+" in EnergyCost(alpha=2, const=1).name
+
+
+class TestCostKey:
+    def test_orders_by_cost_first(self):
+        assert cost_key(1.0, 9, 8) < cost_key(2.0, 0, 1)
+
+    def test_ties_broken_by_id_pair(self):
+        assert cost_key(1.0, 0, 1) < cost_key(1.0, 0, 2)
+        assert cost_key(1.0, 0, 2) < cost_key(1.0, 1, 2)
+
+    def test_direction_independent(self):
+        assert cost_key(3.0, 4, 7) == cost_key(3.0, 7, 4)
+
+    def test_total_order_is_strict_for_distinct_links(self):
+        keys = {cost_key(1.0, a, b) for a, b in [(0, 1), (0, 2), (1, 2)]}
+        assert len(keys) == 3

@@ -1,0 +1,79 @@
+"""Tests for repro.core.manager: the mobility-sensitive TC orchestrator."""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import make_hello
+from repro.core.buffer_zone import BufferZonePolicy
+from repro.core.consistency import ViewSynchronization, WeakConsistency
+from repro.core.manager import MobilitySensitiveTopologyControl
+from repro.core.tables import NeighborTable
+from repro.protocols import CbtcProtocol, RngProtocol
+from repro.util.errors import ProtocolError
+
+
+@pytest.fixture
+def table():
+    t = NeighborTable(owner=0, normal_range=100.0, expiry=10.0)
+    t.record_own(make_hello(0, (0, 0), sent_at=0.0))
+    t.record_hello(make_hello(1, (10, 0), sent_at=0.1))
+    t.record_hello(make_hello(2, (5, 1), sent_at=0.2))
+    return t
+
+
+@pytest.fixture
+def current():
+    return make_hello(0, (0, 0), version=2, sent_at=1.0)
+
+
+class TestDecide:
+    def test_buffer_extends_range(self, table, current):
+        mstc = MobilitySensitiveTopologyControl(
+            RngProtocol(), buffer_policy=BufferZonePolicy(width=10.0)
+        )
+        decision = mstc.decide(table, 1.0, current)
+        assert decision.extended_range == pytest.approx(decision.actual_range + 10.0)
+
+    def test_no_buffer_by_default(self, table, current):
+        mstc = MobilitySensitiveTopologyControl(RngProtocol())
+        decision = mstc.decide(table, 1.0, current)
+        assert decision.extended_range == decision.actual_range
+
+    def test_decision_carries_time_and_owner(self, table, current):
+        mstc = MobilitySensitiveTopologyControl(RngProtocol())
+        decision = mstc.decide(table, 1.0, current)
+        assert decision.owner == 0 and decision.decided_at == 1.0
+
+    def test_logical_set_comes_from_protocol(self, table, current):
+        mstc = MobilitySensitiveTopologyControl(RngProtocol())
+        assert mstc.decide(table, 1.0, current).logical_neighbors == frozenset({2})
+
+
+class TestConfiguration:
+    def test_weak_mechanism_requires_conservative_protocol(self):
+        with pytest.raises(ProtocolError):
+            MobilitySensitiveTopologyControl(CbtcProtocol(), mechanism=WeakConsistency())
+
+    def test_weak_with_condition_protocol_ok(self):
+        mstc = MobilitySensitiveTopologyControl(RngProtocol(), mechanism=WeakConsistency())
+        assert mstc.mechanism.name == "weak"
+
+    def test_recompute_flag_delegates(self):
+        mstc = MobilitySensitiveTopologyControl(
+            RngProtocol(), mechanism=ViewSynchronization()
+        )
+        assert mstc.recompute_on_packet
+        assert not mstc.synchronized_versions
+
+    def test_describe_label(self):
+        mstc = MobilitySensitiveTopologyControl(
+            RngProtocol(),
+            mechanism=ViewSynchronization(),
+            buffer_policy=BufferZonePolicy(width=10.0),
+            physical_neighbor_mode=True,
+        )
+        assert mstc.describe() == "rng+view-sync+buf10+pn"
+
+    def test_describe_minimal(self):
+        assert MobilitySensitiveTopologyControl(RngProtocol()).describe() == "rng+baseline"

@@ -1,0 +1,134 @@
+"""Tests for repro.core.tables: neighbor tables and view materialisation."""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import make_hello
+from repro.core.tables import NeighborTable
+from repro.util.errors import ViewError
+
+
+@pytest.fixture
+def table():
+    return NeighborTable(owner=0, normal_range=100.0, history_depth=3, expiry=2.5)
+
+
+class TestRecording:
+    def test_record_and_read_back(self, table):
+        h = make_hello(1, (10, 0), sent_at=0.0)
+        table.record_hello(h)
+        assert table.history_of(1) == (h,)
+        assert table.hellos_received == 1
+
+    def test_history_depth_bounds_queue(self, table):
+        for i in range(5):
+            table.record_hello(make_hello(1, (i, 0), version=i + 1, sent_at=float(i)))
+        hist = table.history_of(1)
+        assert len(hist) == 3
+        assert [h.version for h in hist] == [3, 4, 5]
+
+    def test_own_hello_rejected_as_neighbor(self, table):
+        with pytest.raises(ViewError):
+            table.record_hello(make_hello(0, (0, 0)))
+
+    def test_record_own(self, table):
+        h = make_hello(0, (0, 0))
+        table.record_own(h)
+        assert table.last_advertised is h
+
+    def test_record_own_rejects_foreign(self, table):
+        with pytest.raises(ViewError):
+            table.record_own(make_hello(3, (0, 0)))
+
+    def test_unknown_neighbor_history_empty(self, table):
+        assert table.history_of(42) == ()
+
+
+class TestExpiry:
+    def test_known_neighbors_filters_stale(self, table):
+        table.record_hello(make_hello(1, (1, 0), sent_at=0.0))
+        table.record_hello(make_hello(2, (2, 0), sent_at=9.0))
+        assert table.known_neighbors(now=10.0) == [2]
+        assert table.known_neighbors() == [1, 2]
+
+    def test_prune_drops_stale_records(self, table):
+        table.record_hello(make_hello(1, (1, 0), sent_at=0.0))
+        table.prune(now=10.0)
+        assert table.history_of(1) == ()
+
+    def test_latest_view_excludes_expired(self, table):
+        table.record_hello(make_hello(1, (1, 0), sent_at=0.0))
+        table.record_hello(make_hello(2, (2, 0), sent_at=9.5))
+        view = table.latest_view(10.0, own_hello=make_hello(0, (0, 0), sent_at=10.0))
+        assert 2 in view and 1 not in view
+
+
+class TestVersionedViews:
+    def _fill(self, table):
+        table.record_own(make_hello(0, (0, 0), version=1, sent_at=0.0))
+        table.record_own(make_hello(0, (0, 1), version=2, sent_at=1.0))
+        table.record_hello(make_hello(1, (5, 0), version=1, sent_at=0.1))
+        table.record_hello(make_hello(1, (6, 0), version=2, sent_at=1.1))
+        table.record_hello(make_hello(2, (9, 0), version=1, sent_at=0.2))
+
+    def test_versioned_view_selects_exact_version(self, table):
+        self._fill(table)
+        view = table.versioned_view(2.0, version=1)
+        assert view.position_of(1) == (5.0, 0.0)
+        assert view.position_of(2) == (9.0, 0.0)
+        assert view.own_hello.version == 1
+
+    def test_versioned_view_drops_missing_versions(self, table):
+        self._fill(table)
+        view = table.versioned_view(2.0, version=2)
+        assert 1 in view and 2 not in view
+
+    def test_versioned_view_requires_own_version(self, table):
+        self._fill(table)
+        with pytest.raises(ViewError):
+            table.versioned_view(2.0, version=7)
+
+    def test_available_versions(self, table):
+        self._fill(table)
+        assert table.available_versions() == {1, 2}
+
+    def test_message_versions_in_use(self, table):
+        self._fill(table)
+        assert table.message_versions_in_use(1) == {1, 2}
+        assert table.message_versions_in_use(2) == {1}
+
+
+class TestMultiView:
+    def test_multi_view_carries_histories(self, table):
+        table.record_own(make_hello(0, (0, 0), sent_at=0.0))
+        table.record_hello(make_hello(1, (5, 0), version=1, sent_at=0.0))
+        table.record_hello(make_hello(1, (6, 0), version=2, sent_at=1.0))
+        view = table.multi_view(1.5)
+        assert [h.position for h in view.hellos_of(1)] == [(5.0, 0.0), (6.0, 0.0)]
+
+    def test_multi_view_appends_current_hello(self, table):
+        table.record_own(make_hello(0, (0, 0), version=1, sent_at=0.0))
+        current = make_hello(0, (1, 1), version=2, sent_at=1.0)
+        view = table.multi_view(1.0, own_hello=current)
+        assert view.hellos_of(0)[-1] is current
+
+    def test_multi_view_without_any_own_record_raises(self, table):
+        with pytest.raises(ViewError):
+            table.multi_view(0.0)
+
+    def test_multi_view_filters_expired_neighbors(self, table):
+        table.record_own(make_hello(0, (0, 0), sent_at=9.0))
+        table.record_hello(make_hello(1, (5, 0), sent_at=0.0))
+        view = table.multi_view(10.0)
+        assert 1 not in view
+
+
+class TestValidation:
+    def test_rejects_bad_history_depth(self):
+        with pytest.raises(Exception):
+            NeighborTable(owner=0, normal_range=100.0, history_depth=0)
+
+    def test_rejects_bad_expiry(self):
+        with pytest.raises(Exception):
+            NeighborTable(owner=0, normal_range=100.0, expiry=0.0)

@@ -1,0 +1,180 @@
+"""Tests for repro.core.views: Hellos, local views, consistency predicates."""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import make_hello, make_multi_view, make_view
+from repro.core.costs import DistanceCost, EnergyCost
+from repro.core.views import (
+    Hello,
+    LocalView,
+    MultiVersionView,
+    link_cost,
+    views_consistent,
+    views_weakly_consistent,
+)
+from repro.util.errors import ViewError
+
+
+class TestHello:
+    def test_distance_to(self):
+        a = make_hello(0, (0.0, 0.0))
+        b = make_hello(1, (3.0, 4.0))
+        assert a.distance_to(b) == 5.0
+
+    def test_frozen(self):
+        h = make_hello(0, (0.0, 0.0))
+        with pytest.raises(AttributeError):
+            h.position = (1.0, 1.0)  # type: ignore[misc]
+
+    def test_link_cost_uses_model(self):
+        a = make_hello(0, (0.0, 0.0))
+        b = make_hello(1, (2.0, 0.0))
+        assert link_cost(a, b, DistanceCost()) == 2.0
+        assert link_cost(a, b, EnergyCost(alpha=2)) == 4.0
+
+
+class TestLocalView:
+    def test_members_owner_first(self):
+        view = make_view(5, {5: (0, 0), 2: (1, 0), 9: (2, 0)})
+        assert view.members == [5, 2, 9]
+
+    def test_position_and_hello_lookup(self):
+        view = make_view(0, {0: (0, 0), 1: (3, 4)})
+        assert view.position_of(1) == (3.0, 4.0)
+        assert view.hello_of(0).sender == 0
+
+    def test_missing_member_raises(self):
+        view = make_view(0, {0: (0, 0), 1: (1, 1)})
+        with pytest.raises(ViewError):
+            view.hello_of(99)
+
+    def test_has_link_respects_range(self):
+        view = make_view(0, {0: (0, 0), 1: (50, 0), 2: (200, 0)}, normal_range=100.0)
+        assert view.has_link(0, 1)
+        assert not view.has_link(0, 2)
+        assert not view.has_link(1, 1)
+
+    def test_neighbor_to_neighbor_links_visible(self):
+        view = make_view(0, {0: (0, 0), 1: (50, 0), 2: (80, 0)}, normal_range=100.0)
+        assert view.has_link(1, 2)
+
+    def test_owner_in_neighbors_rejected(self):
+        own = make_hello(0, (0, 0))
+        with pytest.raises(ViewError):
+            LocalView(0, own, {0: own}, 100.0, 0.0)
+
+    def test_wrong_own_sender_rejected(self):
+        with pytest.raises(ViewError):
+            LocalView(0, make_hello(1, (0, 0)), {}, 100.0, 0.0)
+
+    def test_contains_and_len(self):
+        view = make_view(0, {0: (0, 0), 1: (1, 1)})
+        assert 0 in view and 1 in view and 7 not in view
+        assert len(view) == 2
+
+    def test_positions_ordering(self):
+        view = make_view(3, {3: (1, 2), 1: (3, 4)})
+        ids, pts = view.positions()
+        assert ids == [3, 1]
+        assert pts[0].tolist() == [1.0, 2.0]
+
+
+class TestMultiVersionView:
+    def test_cost_set_cross_product(self):
+        view = make_multi_view(0, {0: [(0, 0)], 1: [(4, 0), (6, 0)]})
+        costs = view.cost_set(0, 1, DistanceCost())
+        assert sorted(costs) == [4.0, 6.0]
+
+    def test_cost_bounds(self):
+        view = make_multi_view(0, {0: [(0, 0), (1, 0)], 1: [(4, 0), (6, 0)]})
+        lo, hi = view.cost_bounds(0, 1, DistanceCost())
+        assert lo == 3.0 and hi == 6.0
+
+    def test_has_link_any_pair(self):
+        view = make_multi_view(
+            0, {0: [(0, 0)], 1: [(150, 0), (90, 0)]}, normal_range=100.0
+        )
+        assert view.has_link(0, 1)
+
+    def test_no_link_when_all_pairs_far(self):
+        view = make_multi_view(
+            0, {0: [(0, 0)], 1: [(150, 0), (120, 0)]}, normal_range=100.0
+        )
+        assert not view.has_link(0, 1)
+
+    def test_latest(self):
+        view = make_multi_view(0, {0: [(0, 0)], 1: [(4, 0), (6, 0)]})
+        assert view.latest(1).position == (6.0, 0.0)
+
+    def test_to_local_view_uses_latest(self):
+        view = make_multi_view(0, {0: [(0, 0), (1, 1)], 1: [(4, 0), (6, 0)]})
+        lv = view.to_local_view()
+        assert lv.own_hello.position == (1.0, 1.0)
+        assert lv.position_of(1) == (6.0, 0.0)
+
+    def test_empty_own_history_rejected(self):
+        with pytest.raises(ViewError):
+            MultiVersionView(0, [], {}, 100.0, 0.0)
+
+    def test_foreign_hello_in_history_rejected(self):
+        with pytest.raises(ViewError):
+            MultiVersionView(
+                0,
+                [make_hello(0, (0, 0))],
+                {1: [make_hello(2, (1, 1))]},
+                100.0,
+                0.0,
+            )
+
+
+class TestViewsConsistent:
+    def test_identical_views_consistent(self):
+        a = make_view(0, {0: (0, 0), 1: (4, 0), 2: (8, 0)}, normal_range=10.0)
+        b = make_view(1, {0: (0, 0), 1: (4, 0), 2: (8, 0)}, normal_range=10.0)
+        assert views_consistent([a, b])
+
+    def test_paper_fig2_views_inconsistent(self):
+        # Fig. 2: w advertised at two positions; u sees the old, v the new.
+        u_view = make_view(0, {0: (0, 0), 1: (5, 0), 2: (2, 5.6)}, normal_range=10.0)
+        v_view = make_view(1, {0: (0, 0), 1: (5, 0), 2: (2, 3.2)}, normal_range=10.0)
+        assert not views_consistent([u_view, v_view])
+
+    def test_single_view_trivially_consistent(self):
+        assert views_consistent([make_view(0, {0: (0, 0), 1: (1, 0)})])
+
+    def test_disjoint_links_consistent(self):
+        a = make_view(0, {0: (0, 0), 1: (4, 0)}, normal_range=10.0)
+        b = make_view(2, {2: (100, 100), 3: (104, 100)}, normal_range=10.0)
+        assert views_consistent([a, b])
+
+    def test_tolerance_respected(self):
+        a = make_view(0, {0: (0, 0), 1: (4, 0)}, normal_range=10.0)
+        b = make_view(1, {0: (0, 0), 1: (4 + 1e-12, 0)}, normal_range=10.0)
+        assert views_consistent([a, b])
+
+
+class TestViewsWeaklyConsistent:
+    def test_paper_example_weakly_consistent(self):
+        # Section 4.2: Ce = {1,3,5} in u's view and {2,4,6} in v's view:
+        # cMinMax = 5 >= cMaxMin = 2.  Realise costs as 1-D positions.
+        u = make_multi_view(0, {0: [(0, 0)], 1: [(1, 0), (3, 0), (5, 0)]}, normal_range=50.0)
+        v = make_multi_view(1, {1: [(0, 0)], 0: [(2, 0), (4, 0), (6, 0)]}, normal_range=50.0)
+        assert views_weakly_consistent([u, v])
+
+    def test_paper_example_weakly_inconsistent(self):
+        # Ce = {1,3} vs {4,5}: cMinMax = 3 < cMaxMin = 4.
+        u = make_multi_view(0, {0: [(0, 0)], 1: [(1, 0), (3, 0)]}, normal_range=50.0)
+        v = make_multi_view(1, {1: [(0, 0)], 0: [(4, 0), (5, 0)]}, normal_range=50.0)
+        assert not views_weakly_consistent([u, v])
+
+    def test_overlapping_histories_consistent(self):
+        # Both nodes retain the same two versions of each other.
+        u = make_multi_view(0, {0: [(0, 0)], 1: [(4, 0), (6, 0)]}, normal_range=50.0)
+        v = make_multi_view(1, {1: [(6, 0)], 0: [(0, 0)]}, normal_range=50.0)
+        assert views_weakly_consistent([u, v])
+
+    def test_single_view_trivially_weak_consistent(self):
+        v = make_multi_view(0, {0: [(0, 0)], 1: [(4, 0)]})
+        assert views_weakly_consistent([v])

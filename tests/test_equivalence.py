@@ -1,0 +1,72 @@
+"""Tests for repro.analysis.equivalence: the v/R scaling study."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.equivalence import EquivalencePoint, generate_equivalence_study
+from repro.analysis.scales import Scale
+
+MICRO = Scale(
+    name="micro-eq",
+    n_nodes=15,
+    area_side=349.0,
+    duration=5.0,
+    sample_rate=1.0,
+    warmup=2.0,
+    repetitions=1,
+    speeds=(1.0,),
+)
+
+
+class TestEquivalenceStudy:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return generate_equivalence_study(
+            MICRO,
+            base_seed=77,
+            range_factors=(1.0, 0.5),
+            mobility_indices=(0.05, 0.4),
+        )
+
+    def test_grid_size(self, points):
+        assert len(points) == 4
+
+    def test_rows_structure(self, points):
+        row = points[0].row()
+        assert {"range_m", "speed_mps", "v_over_R", "connectivity"} <= set(row)
+
+    def test_speed_derived_from_index(self, points):
+        for p in points:
+            assert p.speed == pytest.approx(p.mobility_index * p.normal_range)
+
+    def test_scaling_symmetry_is_exact(self, points):
+        """With shared seeds, the simulated world scales linearly with the
+        range, so equal v/R cells measure *identical* connectivity — the
+        strongest possible form of the paper's equivalence claim."""
+        by_index = {}
+        for p in points:
+            by_index.setdefault(p.mobility_index, []).append(p.connectivity)
+        for values in by_index.values():
+            assert max(values) - min(values) < 1e-9
+
+    def test_higher_index_not_better(self, points):
+        by_index = {}
+        for p in points:
+            by_index.setdefault(p.mobility_index, []).append(p.connectivity)
+        low = float(np.mean(by_index[0.05]))
+        high = float(np.mean(by_index[0.4]))
+        assert high <= low + 0.05
+
+    def test_point_immutability(self, points):
+        with pytest.raises(AttributeError):
+            points[0].speed = 1.0  # type: ignore[misc]
+
+    def test_custom_protocol(self):
+        points = generate_equivalence_study(
+            MICRO, base_seed=77, protocol="mst",
+            range_factors=(1.0,), mobility_indices=(0.05,),
+        )
+        assert len(points) == 1
+        assert isinstance(points[0], EquivalencePoint)

@@ -1,0 +1,50 @@
+"""Example scripts: compile checks plus fast-path execution.
+
+Every example must at least byte-compile; the quick ones also run end to
+end (capped by their internal scenario sizes).  The slow, sweep-heavy
+examples are exercised by the benchmark suite instead.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import py_compile
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+ALL_EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize("path", ALL_EXAMPLES, ids=[p.stem for p in ALL_EXAMPLES])
+def test_example_compiles(path):
+    py_compile.compile(str(path), doraise=True)
+
+
+def test_expected_examples_present():
+    names = {p.stem for p in ALL_EXAMPLES}
+    assert {
+        "quickstart",
+        "consistency_anatomy",
+        "sensor_field_monitoring",
+        "vehicular_convoy",
+        "delay_tolerant_hybrid",
+        "scenario_replay",
+        "full_evaluation",
+    } <= names
+
+
+@pytest.mark.parametrize("name", ["consistency_anatomy", "scenario_replay"])
+def test_fast_example_runs(name, capsys):
+    runpy.run_path(str(EXAMPLES_DIR / f"{name}.py"), run_name="__main__")
+    out = capsys.readouterr().out
+    assert len(out) > 100  # produced a real report
+
+
+def test_every_example_has_module_docstring():
+    for path in ALL_EXAMPLES:
+        text = path.read_text(encoding="utf-8")
+        body = text.split("\n", 1)[1] if text.startswith("#!") else text
+        assert body.lstrip().startswith('"""'), f"{path.name} lacks a docstring"

@@ -1,0 +1,78 @@
+"""Tests for repro.geometry.cones: angular coverage for CBTC/Yao."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.geometry.cones import cone_index, covers_with_alpha, max_angular_gap
+
+TWO_PI = 2 * math.pi
+
+
+class TestMaxAngularGap:
+    def test_empty_is_full_circle(self):
+        assert max_angular_gap([]) == pytest.approx(TWO_PI)
+
+    def test_single_direction_is_full_circle(self):
+        assert max_angular_gap([1.0]) == pytest.approx(TWO_PI)
+
+    def test_two_opposite_directions(self):
+        assert max_angular_gap([0.0, math.pi]) == pytest.approx(math.pi)
+
+    def test_evenly_spread(self):
+        angles = [i * TWO_PI / 8 for i in range(8)]
+        assert max_angular_gap(angles) == pytest.approx(TWO_PI / 8)
+
+    def test_wraparound_gap(self):
+        # Cluster near 0 leaves a wrap gap of almost 2*pi.
+        assert max_angular_gap([0.1, 0.2, 0.3]) == pytest.approx(TWO_PI - 0.2)
+
+    def test_negative_angles_normalised(self):
+        assert max_angular_gap([-0.1, 0.1]) == pytest.approx(TWO_PI - 0.2)
+
+    def test_duplicates_are_harmless(self):
+        assert max_angular_gap([1.0, 1.0, 1.0 + math.pi]) == pytest.approx(math.pi)
+
+
+class TestCoversWithAlpha:
+    def test_exact_threshold_counts_as_covered(self):
+        angles = [0.0, math.pi]
+        assert covers_with_alpha(angles, math.pi)
+
+    def test_not_covered_when_gap_exceeds(self):
+        assert not covers_with_alpha([0.0, math.pi], math.pi - 0.01)
+
+    def test_rejects_nonpositive_alpha(self):
+        with pytest.raises(ValueError):
+            covers_with_alpha([0.0], 0.0)
+
+    def test_random_dense_set_covers_two_pi_over_three(self, rng):
+        angles = rng.uniform(0, TWO_PI, size=200)
+        assert covers_with_alpha(angles, 2 * math.pi / 3)
+
+
+class TestConeIndex:
+    def test_first_cone(self):
+        assert cone_index(0.0, 6) == 0
+
+    def test_last_cone(self):
+        assert cone_index(TWO_PI - 1e-9, 6) == 5
+
+    def test_negative_angle_wraps(self):
+        assert cone_index(-0.1, 4) == 3
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            cone_index(0.0, 0)
+
+    def test_boundary_angle_exactly_two_pi(self):
+        # 2*pi wraps to 0.
+        assert cone_index(TWO_PI, 6) == 0
+
+    @pytest.mark.parametrize("k", [1, 2, 3, 6, 12])
+    def test_all_angles_land_in_valid_cone(self, k, rng):
+        for angle in rng.uniform(-10, 10, size=100):
+            assert 0 <= cone_index(float(angle), k) < k

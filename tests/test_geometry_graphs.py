@@ -1,0 +1,167 @@
+"""Tests for repro.geometry.graphs: reference geometric constructions."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.geometry.graphs import (
+    connected_components,
+    edge_list,
+    euclidean_mst,
+    gabriel_graph,
+    is_connected,
+    largest_component_fraction,
+    relative_neighborhood_graph,
+    unit_disk_graph,
+    yao_graph,
+)
+from repro.geometry.points import pairwise_distances
+
+
+@pytest.fixture
+def cloud(rng):
+    """A well-spread random point cloud."""
+    return rng.random((25, 2)) * 100
+
+
+class TestUnitDiskGraph:
+    def test_edges_respect_radius(self, cloud):
+        adj = unit_disk_graph(cloud, 30.0)
+        d = pairwise_distances(cloud)
+        assert np.array_equal(adj, (d <= 30.0) & ~np.eye(len(cloud), dtype=bool))
+
+    def test_symmetric_no_self_loops(self, cloud):
+        adj = unit_disk_graph(cloud, 40.0)
+        assert np.array_equal(adj, adj.T)
+        assert not adj.diagonal().any()
+
+    def test_radius_zero_is_empty(self, cloud):
+        assert not unit_disk_graph(cloud, 0.0).any()
+
+
+class TestRng:
+    def test_triangle_removes_longest_edge(self):
+        pts = np.array([[0.0, 0.0], [4.0, 0.0], [2.0, 1.0]])
+        adj = relative_neighborhood_graph(pts)
+        assert not adj[0, 1]  # longest side has witness 2
+        assert adj[0, 2] and adj[1, 2]
+
+    def test_subgraph_of_unit_disk(self, cloud):
+        adj = relative_neighborhood_graph(cloud, radius=40.0)
+        udg = unit_disk_graph(cloud, 40.0)
+        assert not (adj & ~udg).any()
+
+    def test_contains_emst(self, cloud):
+        # Classic inclusion: EMST ⊆ RNG.
+        mst = euclidean_mst(cloud)
+        rng_adj = relative_neighborhood_graph(cloud)
+        assert not (mst & ~rng_adj).any()
+
+    def test_connected_when_udg_connected(self, cloud):
+        udg = unit_disk_graph(cloud, 60.0)
+        if is_connected(udg):
+            assert is_connected(relative_neighborhood_graph(cloud, radius=60.0))
+
+    def test_two_points_always_connected(self):
+        pts = np.array([[0.0, 0.0], [1.0, 0.0]])
+        assert relative_neighborhood_graph(pts)[0, 1]
+
+
+class TestGabriel:
+    def test_contains_rng(self, cloud):
+        rng_adj = relative_neighborhood_graph(cloud)
+        gg = gabriel_graph(cloud)
+        assert not (rng_adj & ~gg).any()
+
+    def test_right_angle_witness_removes_edge(self):
+        # Witness on the diametral circle boundary keeps the edge; strictly
+        # inside removes it.
+        pts_inside = np.array([[0.0, 0.0], [4.0, 0.0], [2.0, 0.5]])
+        assert not gabriel_graph(pts_inside)[0, 1]
+        pts_outside = np.array([[0.0, 0.0], [4.0, 0.0], [2.0, 2.5]])
+        assert gabriel_graph(pts_outside)[0, 1]
+
+    def test_symmetric(self, cloud):
+        gg = gabriel_graph(cloud)
+        assert np.array_equal(gg, gg.T)
+
+
+class TestEmst:
+    def test_edge_count(self, cloud):
+        mst = euclidean_mst(cloud)
+        assert mst.sum() // 2 == len(cloud) - 1
+
+    def test_spanning_and_connected(self, cloud):
+        assert is_connected(euclidean_mst(cloud))
+
+    def test_matches_networkx_weight(self, cloud):
+        d = pairwise_distances(cloud)
+        ours = sum(d[u, v] for u, v in edge_list(euclidean_mst(cloud)))
+        g = nx.Graph()
+        n = len(cloud)
+        for i in range(n):
+            for j in range(i + 1, n):
+                g.add_edge(i, j, weight=d[i, j])
+        theirs = sum(
+            data["weight"] for _, _, data in nx.minimum_spanning_edges(g, data=True)
+        )
+        assert ours == pytest.approx(theirs)
+
+    def test_single_point(self):
+        assert euclidean_mst(np.array([[0.0, 0.0]])).shape == (1, 1)
+
+
+class TestYao:
+    def test_connected_with_six_cones(self, cloud):
+        assert is_connected(yao_graph(cloud, k=6))
+
+    def test_out_degree_bounded_by_k(self, cloud):
+        # Each node *selects* at most k neighbors; symmetrisation can raise
+        # total degree, so check selections via a directed reconstruction.
+        k = 6
+        adj = yao_graph(cloud, k=k)
+        # weaker sanity bound: undirected degree <= 2k
+        assert adj.sum(axis=1).max() <= 2 * k
+
+    def test_respects_radius(self, cloud):
+        adj = yao_graph(cloud, k=6, radius=30.0)
+        udg = unit_disk_graph(cloud, 30.0)
+        assert not (adj & ~udg).any()
+
+    def test_invalid_k(self, cloud):
+        with pytest.raises(ValueError):
+            yao_graph(cloud, k=0)
+
+    def test_two_points(self):
+        pts = np.array([[0.0, 0.0], [1.0, 1.0]])
+        assert yao_graph(pts, k=6)[0, 1]
+
+
+class TestConnectivityHelpers:
+    def test_is_connected_trivial(self):
+        assert is_connected(np.zeros((1, 1), dtype=bool))
+        assert is_connected(np.zeros((0, 0), dtype=bool))
+
+    def test_disconnected_pair(self):
+        assert not is_connected(np.zeros((2, 2), dtype=bool))
+
+    def test_connected_components_labels(self):
+        adj = np.zeros((4, 4), dtype=bool)
+        adj[0, 1] = adj[1, 0] = True
+        adj[2, 3] = adj[3, 2] = True
+        labels = connected_components(adj)
+        assert labels[0] == labels[1]
+        assert labels[2] == labels[3]
+        assert labels[0] != labels[2]
+
+    def test_largest_component_fraction(self):
+        adj = np.zeros((4, 4), dtype=bool)
+        adj[0, 1] = adj[1, 0] = True
+        assert largest_component_fraction(adj) == pytest.approx(0.5)
+
+    def test_edge_list_upper_triangle(self):
+        adj = np.zeros((3, 3), dtype=bool)
+        adj[0, 2] = adj[2, 0] = True
+        assert edge_list(adj) == [(0, 2)]

@@ -1,0 +1,112 @@
+"""Tests for repro.geometry.points: vectorized planar kernels."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.geometry.points import (
+    angle_of,
+    angular_difference,
+    as_points,
+    distance,
+    distances_from,
+    neighbors_within,
+    pairwise_distances,
+)
+
+
+class TestAsPoints:
+    def test_accepts_2d_array(self):
+        pts = as_points(np.zeros((5, 2)))
+        assert pts.shape == (5, 2)
+
+    def test_promotes_single_point(self):
+        pts = as_points(np.array([1.0, 2.0]))
+        assert pts.shape == (1, 2)
+
+    def test_accepts_list_of_pairs(self):
+        pts = as_points([(0, 0), (3, 4)])
+        assert pts.dtype == np.float64
+
+    def test_rejects_wrong_width(self):
+        with pytest.raises(ValueError, match="shape"):
+            as_points(np.zeros((4, 3)))
+
+    def test_no_copy_for_float64(self):
+        src = np.zeros((3, 2), dtype=np.float64)
+        assert as_points(src) is src
+
+
+class TestDistance:
+    def test_three_four_five(self):
+        assert distance(np.array([0.0, 0.0]), np.array([3.0, 4.0])) == 5.0
+
+    def test_zero_distance(self):
+        p = np.array([1.5, -2.5])
+        assert distance(p, p) == 0.0
+
+    def test_symmetry(self, rng):
+        p, q = rng.random(2), rng.random(2)
+        assert distance(p, q) == pytest.approx(distance(q, p))
+
+
+class TestPairwiseDistances:
+    def test_matches_naive(self, rng):
+        pts = rng.random((12, 2)) * 50
+        d = pairwise_distances(pts)
+        for i in range(12):
+            for j in range(12):
+                expected = math.hypot(*(pts[i] - pts[j]))
+                assert d[i, j] == pytest.approx(expected)
+
+    def test_symmetric_zero_diagonal(self, rng):
+        pts = rng.random((8, 2))
+        d = pairwise_distances(pts)
+        assert np.allclose(d, d.T)
+        assert np.allclose(np.diag(d), 0.0)
+
+    def test_single_point(self):
+        d = pairwise_distances(np.array([[1.0, 1.0]]))
+        assert d.shape == (1, 1) and d[0, 0] == 0.0
+
+
+class TestDistancesFrom:
+    def test_matches_pairwise_row(self, rng):
+        pts = rng.random((10, 2)) * 10
+        d = pairwise_distances(pts)
+        row = distances_from(pts[3], pts)
+        assert np.allclose(row, d[3])
+
+
+class TestNeighborsWithin:
+    def test_boundary_inclusive(self):
+        pts = np.array([[0.0, 0.0], [5.0, 0.0], [5.0001, 0.0]])
+        idx = neighbors_within(pts[0], pts, 5.0)
+        assert list(idx) == [0, 1]
+
+    def test_includes_self(self):
+        pts = np.array([[0.0, 0.0], [100.0, 0.0]])
+        assert 0 in neighbors_within(pts[0], pts, 1.0)
+
+
+class TestAngles:
+    def test_angle_of_cardinals(self):
+        o = np.array([0.0, 0.0])
+        assert angle_of(o, np.array([1.0, 0.0])) == pytest.approx(0.0)
+        assert angle_of(o, np.array([0.0, 1.0])) == pytest.approx(math.pi / 2)
+        assert abs(angle_of(o, np.array([-1.0, 0.0]))) == pytest.approx(math.pi)
+
+    def test_angular_difference_wraps(self):
+        assert angular_difference(0.1, 2 * math.pi - 0.1) == pytest.approx(0.2)
+
+    def test_angular_difference_bounds(self, rng):
+        for _ in range(50):
+            a, b = rng.uniform(-10, 10, 2)
+            diff = angular_difference(float(a), float(b))
+            assert 0.0 <= diff <= math.pi + 1e-12
+
+    def test_angular_difference_symmetric(self):
+        assert angular_difference(1.0, 2.5) == pytest.approx(angular_difference(2.5, 1.0))

@@ -1,0 +1,161 @@
+"""End-to-end integration tests: the paper's qualitative claims at small scale.
+
+These run real simulations (seconds each) and assert the *shape* of the
+paper's findings: baselines are vulnerable to mobility; buffer zones, view
+synchronization, and physical-neighbor forwarding each recover
+connectivity; topology control still saves range/degree versus no control.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.experiment import ExperimentSpec, run_once, run_repetitions
+from repro.mobility.base import Area
+from repro.sim.config import ScenarioConfig
+
+CFG = ScenarioConfig(
+    n_nodes=40,
+    area=Area(600.0, 600.0),
+    normal_range=250.0,
+    duration=10.0,
+    warmup=2.0,
+    sample_rate=2.0,
+)
+
+REPS = 3
+SEED = 4000
+
+
+def conn(protocol, mechanism="baseline", buffer=0.0, speed=20.0, pn=False):
+    spec = ExperimentSpec(
+        protocol=protocol,
+        mechanism=mechanism,
+        buffer_width=buffer,
+        physical_neighbor_mode=pn,
+        mean_speed=speed,
+        config=CFG,
+    )
+    return run_repetitions(spec, repetitions=REPS, base_seed=SEED).connectivity.mean
+
+
+class TestBaselineVulnerability:
+    """Fig. 6's headline: mobility-insensitive protocols partition."""
+
+    def test_mst_baseline_suffers_even_at_low_speed(self):
+        assert conn("mst", speed=5.0) < 0.85
+
+    def test_uncontrolled_network_stays_connected(self):
+        assert conn("none", speed=20.0) > 0.95
+
+    def test_spt2_beats_mst_under_mobility(self):
+        assert conn("spt2", speed=20.0) > conn("mst", speed=20.0)
+
+    def test_connectivity_degrades_with_speed(self):
+        slow = conn("rng", speed=1.0)
+        fast = conn("rng", speed=80.0)
+        assert fast < slow
+
+
+class TestBufferZoneRecovery:
+    """Fig. 7: wider buffers monotonically help."""
+
+    def test_buffer_improves_connectivity(self):
+        assert conn("rng", buffer=100.0) > conn("rng", buffer=0.0) + 0.1
+
+    def test_large_buffer_restores_rng(self):
+        assert conn("rng", buffer=100.0, speed=20.0) > 0.9
+
+    def test_buffer_costs_transmission_range(self):
+        spec0 = ExperimentSpec(protocol="rng", buffer_width=0.0, mean_speed=20.0, config=CFG)
+        spec100 = spec0.with_(buffer_width=100.0)
+        r0 = run_once(spec0, seed=SEED).mean_transmission_range
+        r100 = run_once(spec100, seed=SEED).mean_transmission_range
+        assert r100 > r0 + 50.0
+
+
+class TestViewSynchronizationRecovery:
+    """Fig. 9: VS + small buffer beats baseline + same buffer."""
+
+    def test_view_sync_improves_over_baseline(self):
+        base = conn("rng", mechanism="baseline", buffer=10.0)
+        vs = conn("rng", mechanism="view-sync", buffer=10.0)
+        assert vs >= base
+
+    def test_view_sync_with_small_buffer_tolerates_moderate(self):
+        assert conn("rng", mechanism="view-sync", buffer=30.0, speed=40.0) > 0.85
+
+
+class TestPhysicalNeighborRecovery:
+    """Fig. 10: PN forwarding + buffer recovers all protocols."""
+
+    def test_pn_improves_over_strict_filtering(self):
+        strict = conn("mst", buffer=10.0)
+        pn = conn("mst", buffer=10.0, pn=True)
+        assert pn >= strict
+
+    def test_pn_with_large_buffer_near_perfect(self):
+        assert conn("spt2", buffer=100.0, pn=True, speed=40.0) > 0.95
+
+
+class TestStrongConsistencyMechanisms:
+    def test_proactive_runs_and_delivers(self):
+        assert conn("rng", mechanism="proactive", buffer=50.0) > 0.7
+
+    def test_reactive_runs_and_delivers(self):
+        assert conn("rng", mechanism="reactive", buffer=50.0) > 0.7
+
+    def test_weak_consistency_is_conservative_but_connected(self):
+        spec_weak = ExperimentSpec(
+            protocol="rng", mechanism="weak", buffer_width=10.0,
+            mean_speed=20.0, config=CFG,
+        )
+        spec_base = spec_weak.with_(mechanism="baseline")
+        weak = run_once(spec_weak, seed=SEED)
+        base = run_once(spec_base, seed=SEED)
+        # conservative selection keeps more neighbors...
+        assert weak.mean_logical_degree >= base.mean_logical_degree
+        # ...and buys connectivity
+        assert weak.connectivity_ratio >= base.connectivity_ratio
+
+
+class TestTopologyControlStillSaves:
+    """Table 1's point: even with mechanisms, TC beats no-TC on range."""
+
+    def test_rng_range_well_below_normal(self):
+        spec = ExperimentSpec(
+            protocol="rng", mechanism="view-sync", buffer_width=10.0,
+            mean_speed=20.0, config=CFG,
+        )
+        result = run_once(spec, seed=SEED)
+        assert result.mean_transmission_range < 0.7 * CFG.normal_range
+
+    def test_degree_ordering_matches_table1(self):
+        degrees = {}
+        for proto in ("mst", "rng", "spt2"):
+            spec = ExperimentSpec(protocol=proto, mean_speed=1.0, config=CFG)
+            degrees[proto] = run_once(spec, seed=SEED).mean_logical_degree
+        assert degrees["mst"] <= degrees["rng"] <= degrees["spt2"]
+
+
+class TestAlternativeProtocolsUnderHarness:
+    """Our extension: the harness drives every registered protocol."""
+
+    @pytest.mark.parametrize("proto", ["gabriel", "yao", "cbtc", "kneigh"])
+    def test_protocol_completes_and_reports(self, proto):
+        spec = ExperimentSpec(
+            protocol=proto, mechanism="baseline", buffer_width=20.0,
+            mean_speed=10.0, config=CFG,
+        )
+        result = run_once(spec, seed=SEED)
+        assert 0.0 <= result.connectivity_ratio <= 1.0
+        assert result.mean_logical_degree > 0.0
+
+    def test_kneigh_degree_close_to_k(self):
+        spec = ExperimentSpec(
+            protocol="kneigh", protocol_kwargs={"k": 5},
+            mean_speed=5.0, config=CFG,
+        )
+        result = run_once(spec, seed=SEED)
+        assert 3.0 <= result.mean_logical_degree <= 5.0

@@ -1,0 +1,86 @@
+"""Tests for repro.analysis.lifetime_study."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.experiment import ExperimentSpec
+from repro.analysis.lifetime_study import run_lifetime_study
+from repro.metrics.energy import EnergyModel
+from repro.mobility.base import Area
+from repro.sim.config import ScenarioConfig
+from repro.util.errors import ConfigurationError
+
+CFG = ScenarioConfig(
+    n_nodes=15,
+    area=Area(349.0, 349.0),
+    normal_range=250.0,
+    duration=8.0,
+    warmup=2.0,
+    sample_rate=1.0,
+)
+
+
+class TestLifetimeStudy:
+    def test_generous_budget_nobody_dies(self):
+        spec = ExperimentSpec(protocol="rng", mean_speed=5.0, config=CFG)
+        result = run_lifetime_study(spec, budget=1e9, seed=2)
+        assert result.alive_fraction_end == 1.0
+        assert math.isinf(result.first_death)
+
+    def test_tiny_budget_everyone_dies(self):
+        spec = ExperimentSpec(protocol="none", mean_speed=5.0, config=CFG)
+        result = run_lifetime_study(spec, budget=1.0, seed=2)
+        assert result.alive_fraction_end == 0.0
+        assert result.first_death <= CFG.duration
+
+    def test_controlled_cheaper_than_uncontrolled(self):
+        managed = run_lifetime_study(
+            ExperimentSpec(protocol="mst", mean_speed=5.0, config=CFG),
+            budget=1e9, seed=2,
+        )
+        unmanaged = run_lifetime_study(
+            ExperimentSpec(protocol="none", mean_speed=5.0, config=CFG),
+            budget=1e9, seed=2,
+        )
+        assert (
+            managed.mean_data_energy_per_step
+            < unmanaged.mean_data_energy_per_step
+        )
+
+    def test_alpha4_magnifies_the_gap(self):
+        gaps = {}
+        for alpha in (2.0, 4.0):
+            model = EnergyModel(alpha=alpha)
+            managed = run_lifetime_study(
+                ExperimentSpec(protocol="mst", mean_speed=5.0, config=CFG),
+                budget=1e30, seed=2, energy_model=model,
+            )
+            unmanaged = run_lifetime_study(
+                ExperimentSpec(protocol="none", mean_speed=5.0, config=CFG),
+                budget=1e30, seed=2, energy_model=model,
+            )
+            gaps[alpha] = (
+                unmanaged.mean_data_energy_per_step
+                / max(managed.mean_data_energy_per_step, 1e-12)
+            )
+        assert gaps[4.0] > gaps[2.0]
+
+    def test_row_structure(self):
+        spec = ExperimentSpec(protocol="rng", mean_speed=5.0, config=CFG)
+        result = run_lifetime_study(spec, budget=1e8, seed=1)
+        assert {"configuration", "first_death_s", "alive_at_end"} <= set(result.row())
+
+    def test_budget_validated(self):
+        spec = ExperimentSpec(protocol="rng", config=CFG)
+        with pytest.raises(ConfigurationError):
+            run_lifetime_study(spec, budget=0.0)
+
+    def test_reproducible(self):
+        spec = ExperimentSpec(protocol="rng", mean_speed=10.0, config=CFG)
+        a = run_lifetime_study(spec, budget=1e7, seed=4)
+        b = run_lifetime_study(spec, budget=1e7, seed=4)
+        assert a.first_death == b.first_death
+        assert a.mean_data_energy_per_step == b.mean_data_energy_per_step

@@ -1,0 +1,224 @@
+"""Tests for repro.mobility: trajectories and all mobility models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.mobility import (
+    Area,
+    GaussMarkov,
+    RandomWalk,
+    RandomWaypoint,
+    StaticPlacement,
+    TrajectorySet,
+)
+from repro.util.errors import ConfigurationError
+
+
+class TestArea:
+    def test_contains_inside(self, area):
+        assert area.contains(np.array([[450.0, 450.0]]))[0]
+
+    def test_contains_boundary(self, area):
+        assert area.contains(np.array([[0.0, 900.0]]))[0]
+
+    def test_excludes_outside(self, area):
+        assert not area.contains(np.array([[901.0, 0.0]]))[0]
+
+    def test_sample_inside(self, area, rng):
+        pts = area.sample(rng, 500)
+        assert area.contains(pts).all()
+
+    def test_diagonal(self):
+        assert Area(3.0, 4.0).diagonal == pytest.approx(5.0)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            Area(0.0, 10.0)
+
+
+class TestTrajectorySet:
+    def _simple(self):
+        # One node: at (0,0) until t=1, then moving +x at 2 m/s.
+        times = np.array([[0.0, 1.0]])
+        points = np.array([[[0.0, 0.0], [0.0, 0.0]]])
+        velocities = np.array([[[0.0, 0.0], [2.0, 0.0]]])
+        return TrajectorySet(times, points, velocities, horizon=10.0)
+
+    def test_interpolates_within_leg(self):
+        traj = self._simple()
+        assert traj.position(0, 2.5)[0] == pytest.approx(3.0)
+
+    def test_positions_matches_position(self):
+        traj = self._simple()
+        assert np.allclose(traj.positions(2.5)[0], traj.position(0, 2.5))
+
+    def test_clamps_before_zero_and_after_horizon(self):
+        traj = self._simple()
+        assert traj.position(0, -5.0)[0] == pytest.approx(0.0)
+        assert traj.position(0, 50.0)[0] == pytest.approx(traj.position(0, 10.0)[0])
+
+    def test_velocities_lookup(self):
+        traj = self._simple()
+        assert traj.velocities(0.5)[0, 0] == 0.0
+        assert traj.velocities(1.5)[0, 0] == 2.0
+
+    def test_max_speed(self):
+        assert self._simple().max_speed() == pytest.approx(2.0)
+
+    def test_rejects_inconsistent_shapes(self):
+        with pytest.raises(ConfigurationError):
+            TrajectorySet(
+                np.zeros((1, 2)), np.zeros((1, 3, 2)), np.zeros((1, 2, 2)), 1.0
+            )
+
+    def test_rejects_nonzero_start(self):
+        with pytest.raises(ConfigurationError):
+            TrajectorySet(
+                np.array([[1.0]]), np.zeros((1, 1, 2)), np.zeros((1, 1, 2)), 1.0
+            )
+
+    def test_rejects_decreasing_times(self):
+        with pytest.raises(ConfigurationError):
+            TrajectorySet(
+                np.array([[0.0, 2.0, 1.0]]),
+                np.zeros((1, 3, 2)),
+                np.zeros((1, 3, 2)),
+                5.0,
+            )
+
+
+class TestRandomWaypoint:
+    @pytest.fixture
+    def model(self, area, rng):
+        return RandomWaypoint(area, 20, horizon=30.0, mean_speed=10.0, rng=rng)
+
+    def test_stays_inside_area(self, model, area):
+        for t in np.linspace(0, 30, 40):
+            assert area.contains(model.positions(float(t))).all()
+
+    def test_continuous_paths(self, model):
+        # Positions over small dt move at most max_speed * dt.
+        dt = 0.1
+        vmax = model.max_speed()
+        for t in np.linspace(0, 29, 30):
+            step = np.linalg.norm(
+                model.positions(float(t) + dt) - model.positions(float(t)), axis=1
+            )
+            assert (step <= vmax * dt + 1e-6).all()
+
+    def test_max_speed_below_two_mean(self, model):
+        assert model.max_speed() <= 2.0 * 10.0
+
+    def test_speeds_bounded_below(self, area, rng):
+        model = RandomWaypoint(area, 10, 20.0, mean_speed=10.0, rng=rng, speed_ratio=0.5)
+        speeds = np.linalg.norm(model.trajectories.leg_velocities, axis=2)
+        moving = speeds[speeds > 0]
+        assert (moving >= 5.0 - 1e-9).all()
+        assert (moving <= 15.0 + 1e-9).all()
+
+    def test_nodes_actually_move(self, model):
+        assert not np.allclose(model.positions(0.0), model.positions(10.0))
+
+    def test_deterministic_given_rng_seed(self, area):
+        a = RandomWaypoint(area, 5, 10.0, 10.0, np.random.default_rng(3)).positions(5.0)
+        b = RandomWaypoint(area, 5, 10.0, 10.0, np.random.default_rng(3)).positions(5.0)
+        assert np.allclose(a, b)
+
+    def test_pause_time_freezes_at_waypoints(self, area, rng):
+        model = RandomWaypoint(
+            area, 5, 20.0, mean_speed=10.0, rng=rng, pause_time=2.0
+        )
+        vel = model.trajectories.leg_velocities
+        speeds = np.linalg.norm(vel, axis=2)
+        assert (speeds < 1e-9).any()  # some legs are pauses
+
+    def test_rejects_speed_ratio_one(self, area, rng):
+        with pytest.raises(ConfigurationError):
+            RandomWaypoint(area, 5, 10.0, 10.0, rng, speed_ratio=1.0)
+
+
+class TestRandomWalk:
+    @pytest.fixture
+    def model(self, area, rng):
+        return RandomWalk(area, 15, horizon=20.0, speed=12.0, rng=rng)
+
+    def test_stays_inside(self, model, area):
+        for t in np.linspace(0, 20, 30):
+            assert area.contains(model.positions(float(t))).all()
+
+    def test_constant_speed_on_moving_legs(self, model):
+        speeds = np.linalg.norm(model.trajectories.leg_velocities, axis=2)
+        moving = speeds[speeds > 1e-9]
+        assert np.allclose(moving, 12.0)
+
+    def test_reflection_changes_direction(self, model):
+        # With a 20s horizon at 12 m/s in a 900m box, direction changes occur.
+        vel = model.trajectories.leg_velocities
+        assert vel.shape[1] > 1
+
+
+class TestGaussMarkov:
+    @pytest.fixture
+    def model(self, area, rng):
+        return GaussMarkov(area, 15, horizon=20.0, mean_speed=10.0, rng=rng)
+
+    def test_stays_inside(self, model, area):
+        for t in np.linspace(0, 20, 30):
+            assert area.contains(model.positions(float(t))).all()
+
+    def test_alpha_one_keeps_direction(self, area, rng):
+        model = GaussMarkov(
+            area, 5, 5.0, mean_speed=10.0, rng=rng, alpha=1.0, direction_sigma=0.0
+        )
+        vel = model.trajectories.leg_velocities
+        # with alpha=1 and no noise, velocity only changes on wall bounces
+        first = vel[:, 0]
+        speeds = np.linalg.norm(first, axis=1)
+        assert np.allclose(speeds, 10.0, rtol=1e-6)
+
+    def test_speed_floor(self, model):
+        speeds = np.linalg.norm(model.trajectories.leg_velocities, axis=2)
+        moving = speeds[speeds > 0]
+        assert (moving >= 0.05 * 10.0 - 1e-9).all()
+
+
+class TestStaticPlacement:
+    def test_never_moves(self, area, rng):
+        model = StaticPlacement(area, 10, horizon=50.0, rng=rng)
+        assert np.allclose(model.positions(0.0), model.positions(50.0))
+
+    def test_explicit_positions(self, area):
+        pts = np.array([[1.0, 1.0], [2.0, 2.0]])
+        model = StaticPlacement(area, 2, 10.0, positions=pts)
+        assert np.allclose(model.positions(5.0), pts)
+
+    def test_max_speed_zero(self, area, rng):
+        assert StaticPlacement(area, 3, 10.0, rng=rng).max_speed() == 0.0
+
+    def test_rejects_wrong_shape(self, area):
+        with pytest.raises(ConfigurationError):
+            StaticPlacement(area, 3, 10.0, positions=np.zeros((2, 2)))
+
+    def test_rejects_positions_outside(self, area):
+        with pytest.raises(ConfigurationError):
+            StaticPlacement(area, 1, 10.0, positions=np.array([[1000.0, 0.0]]))
+
+    def test_requires_rng_or_positions(self, area):
+        with pytest.raises(ConfigurationError):
+            StaticPlacement(area, 3, 10.0)
+
+
+class TestModelValidation:
+    def test_rejects_zero_nodes(self, area, rng):
+        with pytest.raises(ConfigurationError):
+            RandomWaypoint(area, 0, 10.0, 10.0, rng)
+
+    def test_rejects_zero_horizon(self, area, rng):
+        with pytest.raises(ConfigurationError):
+            RandomWaypoint(area, 5, 0.0, 10.0, rng)
+
+    def test_trajectories_cached(self, area, rng):
+        model = RandomWaypoint(area, 5, 10.0, 10.0, rng)
+        assert model.trajectories is model.trajectories

@@ -1,0 +1,149 @@
+"""Second property-test battery: routing, broadcast, and graph hierarchy.
+
+- GFG/GPSR delivers on every connected topology (greedy + face recovery
+  on the Gabriel planarisation) — the guarantee the routing layer rests on;
+- the CDS forward set dominates and covers on connected graphs;
+- the classic containment hierarchy EMST ⊆ RNG ⊆ Gabriel ⊆ Delaunay;
+- weak-consistency selections are monotone in the retained history.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from conftest import make_multi_view
+from repro.geometry.graphs import (
+    delaunay_graph,
+    euclidean_mst,
+    gabriel_graph,
+    is_connected,
+    relative_neighborhood_graph,
+    unit_disk_graph,
+)
+from repro.protocols import MstProtocol, RngProtocol, Spt2Protocol
+from repro.routing.geographic import GeographicRouter
+from repro.sim.broadcast import cds_broadcast, cds_forward_set
+
+
+def _cloud(draw, n_min=4, n_max=16, span=100.0):
+    n = draw(st.integers(n_min, n_max))
+    coords = draw(
+        st.lists(
+            st.tuples(
+                st.floats(0, span, allow_nan=False, width=16),
+                st.floats(0, span, allow_nan=False, width=16),
+            ),
+            min_size=n,
+            max_size=n,
+            unique=True,
+        )
+    )
+    return np.asarray(coords, dtype=np.float64)
+
+
+class TestGpsrDeliveryGuarantee:
+    @settings(max_examples=25, deadline=None)
+    @given(data=st.data())
+    def test_delivers_on_every_connected_unit_disk_graph(self, data):
+        pts = _cloud(data.draw)
+        radius = data.draw(st.floats(30.0, 120.0))
+        adj = unit_disk_graph(pts, radius)
+        if not is_connected(adj):
+            return
+        router = GeographicRouter(adj, pts)
+        n = len(pts)
+        source = data.draw(st.integers(0, n - 1))
+        dest = data.draw(st.integers(0, n - 1))
+        result = router.route(source, dest)
+        assert result.delivered, (
+            f"GPSR failed on a connected graph: {source}->{dest}, "
+            f"path={result.path}"
+        )
+
+    @settings(max_examples=15, deadline=None)
+    @given(data=st.data())
+    def test_delivers_on_gabriel_topology(self, data):
+        # Gabriel graphs are planar AND their own planarisation: the
+        # cleanest face-routing substrate.
+        pts = _cloud(data.draw, n_min=5)
+        adj = gabriel_graph(pts)
+        if not is_connected(adj):
+            return
+        router = GeographicRouter(adj, pts)
+        result = router.route(0, len(pts) - 1)
+        assert result.delivered
+
+
+class TestCdsProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(data=st.data())
+    def test_forward_set_dominates_connected_graphs(self, data):
+        pts = _cloud(data.draw, n_min=5)
+        radius = data.draw(st.floats(35.0, 120.0))
+        adj = unit_disk_graph(pts, radius)
+        if not is_connected(adj):
+            return
+        forward = cds_forward_set(adj)
+        if not forward.any():
+            # clique-like graphs: any single node relays everything
+            assert adj.all(where=~np.eye(len(pts), dtype=bool)) or len(pts) <= 2
+            return
+        covered = forward | (adj & forward[np.newaxis, :]).any(axis=1)
+        assert covered.all()
+
+    @settings(max_examples=25, deadline=None)
+    @given(data=st.data())
+    def test_broadcast_covers_connected_graphs(self, data):
+        pts = _cloud(data.draw, n_min=3)
+        radius = data.draw(st.floats(35.0, 120.0))
+        adj = unit_disk_graph(pts, radius)
+        if not is_connected(adj):
+            return
+        source = data.draw(st.integers(0, len(pts) - 1))
+        outcome = cds_broadcast(adj, source)
+        assert outcome.coverage == 1.0
+        assert outcome.transmissions <= len(pts)
+
+
+class TestProximityHierarchy:
+    @settings(max_examples=25, deadline=None)
+    @given(data=st.data())
+    def test_emst_rng_gabriel_delaunay_chain(self, data):
+        pts = _cloud(data.draw, n_min=4)
+        emst = euclidean_mst(pts)
+        rng_g = relative_neighborhood_graph(pts)
+        gg = gabriel_graph(pts)
+        dt = delaunay_graph(pts)
+        assert not (emst & ~rng_g).any(), "EMST must be inside RNG"
+        assert not (rng_g & ~gg).any(), "RNG must be inside Gabriel"
+        assert not (gg & ~dt).any(), "Gabriel must be inside Delaunay"
+
+
+class TestWeakMonotonicity:
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_longer_history_never_removes_more(self, seed):
+        """Retaining a superset of Hellos widens cost intervals, so the
+        conservative selection can only grow."""
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(3, 8))
+        all_positions = {
+            i: [tuple(rng.random(2) * 60) for _ in range(3)] for i in range(n)
+        }
+        short = {i: hist[-1:] for i, hist in all_positions.items()}
+        long = all_positions
+        for proto in (RngProtocol(), MstProtocol(), Spt2Protocol()):
+            sel_short = proto.select_conservative(
+                make_multi_view(0, short, normal_range=80.0)
+            ).logical_neighbors
+            sel_long = proto.select_conservative(
+                make_multi_view(0, long, normal_range=80.0)
+            ).logical_neighbors
+            # longer history => adjacency can only grow, cost intervals only
+            # widen, removals only shrink: the selection must be a superset
+            removed_by_more_info = sel_short - sel_long
+            assert not removed_by_more_info, (
+                f"{proto.name}: longer history removed {removed_by_more_info}"
+            )

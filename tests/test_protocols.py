@@ -1,0 +1,330 @@
+"""Tests for repro.protocols: every protocol implementation + the registry.
+
+The key validation invariant: on a static network with consistent views,
+each localized protocol's union of selections equals the corresponding
+*global* geometric construction restricted to the unit-disk graph.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from conftest import make_multi_view, make_view
+from repro.geometry.graphs import (
+    gabriel_graph,
+    is_connected,
+    relative_neighborhood_graph,
+    unit_disk_graph,
+    yao_graph,
+)
+from repro.protocols import (
+    CbtcProtocol,
+    GabrielProtocol,
+    KNeighProtocol,
+    MstProtocol,
+    NoTopologyControl,
+    RngProtocol,
+    Spt2Protocol,
+    Spt4Protocol,
+    SptProtocol,
+    YaoProtocol,
+    available_protocols,
+    make_protocol,
+)
+from repro.util.errors import ConfigurationError, ProtocolError
+
+
+def consistent_views(points: np.ndarray, normal_range: float):
+    """One LocalView per node, all built from the same global positions."""
+    n = len(points)
+    views = []
+    for owner in range(n):
+        members = {owner: tuple(points[owner])}
+        for other in range(n):
+            if other != owner and math.hypot(*(points[other] - points[owner])) <= normal_range:
+                members[other] = tuple(points[other])
+        views.append(make_view(owner, members, normal_range=normal_range))
+    return views
+
+
+def union_selection(protocol, views, n):
+    """Union of all nodes' logical links as a boolean adjacency matrix."""
+    adj = np.zeros((n, n), dtype=bool)
+    for view in views:
+        result = protocol.select(view)
+        for v in result.logical_neighbors:
+            adj[view.owner, v] = True
+    return adj
+
+
+@pytest.fixture
+def cloud(rng):
+    return rng.random((20, 2)) * 200
+
+
+NORMAL = 120.0
+
+
+class TestRngProtocol:
+    def test_matches_global_rng(self, cloud):
+        views = consistent_views(cloud, NORMAL)
+        ours = union_selection(RngProtocol(), views, len(cloud))
+        reference = relative_neighborhood_graph(cloud, radius=NORMAL)
+        assert np.array_equal(ours, reference)
+
+    def test_symmetric_on_consistent_views(self, cloud):
+        views = consistent_views(cloud, NORMAL)
+        adj = union_selection(RngProtocol(), views, len(cloud))
+        assert np.array_equal(adj, adj.T)
+
+    def test_preserves_connectivity(self, cloud):
+        if not is_connected(unit_disk_graph(cloud, NORMAL)):
+            pytest.skip("random cloud disconnected at this range")
+        views = consistent_views(cloud, NORMAL)
+        adj = union_selection(RngProtocol(), views, len(cloud))
+        assert is_connected(adj)
+
+
+class TestGabrielProtocol:
+    def test_matches_global_gabriel(self, cloud):
+        views = consistent_views(cloud, NORMAL)
+        ours = union_selection(GabrielProtocol(), views, len(cloud))
+        reference = gabriel_graph(cloud, radius=NORMAL)
+        assert np.array_equal(ours, reference)
+
+    def test_contains_rng_selection(self, cloud):
+        views = consistent_views(cloud, NORMAL)
+        gg = union_selection(GabrielProtocol(), views, len(cloud))
+        rng_adj = union_selection(RngProtocol(), views, len(cloud))
+        assert not (rng_adj & ~gg).any()
+
+
+class TestMstProtocol:
+    def test_preserves_connectivity(self, cloud):
+        if not is_connected(unit_disk_graph(cloud, NORMAL)):
+            pytest.skip("random cloud disconnected at this range")
+        views = consistent_views(cloud, NORMAL)
+        adj = union_selection(MstProtocol(), views, len(cloud))
+        assert is_connected(adj)
+
+    def test_sparsest_of_the_condition_protocols(self, cloud):
+        views = consistent_views(cloud, NORMAL)
+        mst_edges = union_selection(MstProtocol(), views, len(cloud)).sum()
+        rng_edges = union_selection(RngProtocol(), views, len(cloud)).sum()
+        assert mst_edges <= rng_edges
+
+    def test_subset_of_rng(self, cloud):
+        views = consistent_views(cloud, NORMAL)
+        mst_adj = union_selection(MstProtocol(), views, len(cloud))
+        rng_adj = union_selection(RngProtocol(), views, len(cloud))
+        assert not (mst_adj & ~rng_adj).any()
+
+    def test_lmst_degree_bound_six(self, cloud):
+        # Li, Hou & Sha: LMST node degree is at most 6.
+        views = consistent_views(cloud, NORMAL)
+        adj = union_selection(MstProtocol(), views, len(cloud))
+        sym = adj & adj.T
+        assert sym.sum(axis=1).max() <= 6
+
+
+class TestSptProtocol:
+    def test_alpha4_prunes_at_least_alpha2(self, cloud):
+        views = consistent_views(cloud, NORMAL)
+        e2 = union_selection(Spt2Protocol(), views, len(cloud)).sum()
+        e4 = union_selection(Spt4Protocol(), views, len(cloud)).sum()
+        assert e4 <= e2
+
+    def test_preserves_connectivity(self, cloud):
+        if not is_connected(unit_disk_graph(cloud, NORMAL)):
+            pytest.skip("random cloud disconnected at this range")
+        for proto in (Spt2Protocol(), Spt4Protocol()):
+            views = consistent_views(cloud, NORMAL)
+            assert is_connected(union_selection(proto, views, len(cloud)))
+
+    def test_contains_mst_selection(self, cloud):
+        views = consistent_views(cloud, NORMAL)
+        mst_adj = union_selection(MstProtocol(), views, len(cloud))
+        spt_adj = union_selection(Spt2Protocol(), views, len(cloud))
+        assert not (mst_adj & ~spt_adj).any()
+
+    def test_repr_carries_alpha(self):
+        assert "4" in repr(SptProtocol(alpha=4))
+
+
+class TestYaoProtocol:
+    def test_matches_global_yao_out_edges(self, cloud):
+        # Per-node selections equal the directed Yao edges; the global
+        # helper symmetrises, so compare unions.
+        views = consistent_views(cloud, NORMAL)
+        ours = union_selection(YaoProtocol(k=6), views, len(cloud))
+        reference = yao_graph(cloud, k=6, radius=NORMAL)
+        assert np.array_equal(ours | ours.T, reference)
+
+    def test_at_most_k_selections(self, cloud):
+        views = consistent_views(cloud, NORMAL)
+        for view in views:
+            result = YaoProtocol(k=6).select(view)
+            assert len(result.logical_neighbors) <= 6
+
+    def test_preserves_connectivity_with_k6(self, cloud):
+        if not is_connected(unit_disk_graph(cloud, NORMAL)):
+            pytest.skip("random cloud disconnected at this range")
+        views = consistent_views(cloud, NORMAL)
+        adj = union_selection(YaoProtocol(k=6), views, len(cloud))
+        assert is_connected(adj | adj.T)
+
+    def test_invalid_k(self):
+        with pytest.raises(Exception):
+            YaoProtocol(k=0)
+
+
+class TestCbtcProtocol:
+    def test_cone_coverage_or_exhaustion(self, cloud):
+        proto = CbtcProtocol(alpha=2 * math.pi / 3, shrink_back=False)
+        for view in consistent_views(cloud, NORMAL):
+            result = proto.select(view)
+            neighbors = view.neighbor_hellos
+            if result.logical_neighbors != frozenset(neighbors):
+                own = np.asarray(view.own_hello.position)
+                angles = [
+                    math.atan2(*(np.asarray(neighbors[nid].position) - own)[::-1])
+                    for nid in result.logical_neighbors
+                ]
+                from repro.geometry.cones import covers_with_alpha
+
+                assert covers_with_alpha(angles, 2 * math.pi / 3)
+
+    def test_shrink_back_never_increases(self, cloud):
+        plain = CbtcProtocol(shrink_back=False)
+        shrunk = CbtcProtocol(shrink_back=True)
+        for view in consistent_views(cloud, NORMAL):
+            a = plain.select(view).logical_neighbors
+            b = shrunk.select(view).logical_neighbors
+            assert b <= a
+
+    def test_preserves_connectivity_alpha_two_thirds_pi(self, cloud):
+        if not is_connected(unit_disk_graph(cloud, NORMAL)):
+            pytest.skip("random cloud disconnected at this range")
+        proto = CbtcProtocol(alpha=2 * math.pi / 3)
+        views = consistent_views(cloud, NORMAL)
+        adj = union_selection(proto, views, len(cloud))
+        assert is_connected(adj | adj.T)
+
+    def test_rejects_bad_alpha(self):
+        with pytest.raises(ConfigurationError):
+            CbtcProtocol(alpha=0.0)
+        with pytest.raises(ConfigurationError):
+            CbtcProtocol(alpha=7.0)
+
+    def test_no_conservative_mode(self):
+        view = make_multi_view(0, {0: [(0, 0)], 1: [(5, 0)]})
+        with pytest.raises(ProtocolError):
+            CbtcProtocol().select_conservative(view)
+
+
+class TestKNeighProtocol:
+    def test_keeps_k_nearest(self):
+        view = make_view(
+            0,
+            {0: (0, 0), 1: (10, 0), 2: (20, 0), 3: (30, 0), 4: (40, 0)},
+            normal_range=100.0,
+        )
+        result = KNeighProtocol(k=2).select(view)
+        assert result.logical_neighbors == frozenset({1, 2})
+        assert result.actual_range == 20.0
+
+    def test_fewer_neighbors_than_k(self):
+        view = make_view(0, {0: (0, 0), 1: (10, 0)}, normal_range=100.0)
+        result = KNeighProtocol(k=9).select(view)
+        assert result.logical_neighbors == frozenset({1})
+
+    def test_ignores_out_of_range(self):
+        view = make_view(0, {0: (0, 0), 1: (10, 0), 2: (500, 0)}, normal_range=100.0)
+        assert 2 not in KNeighProtocol(k=5).select(view).logical_neighbors
+
+
+class TestNoTopologyControl:
+    def test_keeps_all_in_range_neighbors(self):
+        view = make_view(0, {0: (0, 0), 1: (10, 0), 2: (90, 0)}, normal_range=100.0)
+        result = NoTopologyControl().select(view)
+        assert result.logical_neighbors == frozenset({1, 2})
+        assert result.actual_range == 100.0
+
+    def test_isolated_node_zero_range(self):
+        view = make_view(0, {0: (0, 0)}, normal_range=100.0)
+        result = NoTopologyControl().select(view)
+        assert result.actual_range == 0.0
+
+    def test_conservative_mode_supported(self):
+        view = make_multi_view(0, {0: [(0, 0)], 1: [(5, 0)]})
+        result = NoTopologyControl().select_conservative(view)
+        assert result.logical_neighbors == frozenset({1})
+
+
+class TestConservativeSelection:
+    @pytest.mark.parametrize(
+        "proto", [RngProtocol(), GabrielProtocol(), MstProtocol(), Spt2Protocol()]
+    )
+    def test_conservative_supersets_plain_on_oscillating_neighbor(self, proto):
+        histories = {
+            0: [(0.0, 0.0)],
+            1: [(10.0, 0.0), (4.0, 0.0)],
+            2: [(5.0, 1.0)],
+        }
+        view = make_multi_view(0, histories, normal_range=100.0)
+        conservative = proto.select_conservative(view).logical_neighbors
+        plain = proto.select(view.to_local_view()).logical_neighbors
+        assert plain <= conservative
+
+    @pytest.mark.parametrize(
+        "proto", [RngProtocol(), GabrielProtocol(), MstProtocol(), Spt2Protocol()]
+    )
+    def test_conservative_equals_plain_on_single_version(self, proto, cloud):
+        for owner in range(5):
+            members = {owner: tuple(cloud[owner])}
+            for other in range(len(cloud)):
+                d = math.hypot(*(cloud[other] - cloud[owner]))
+                if other != owner and d <= NORMAL:
+                    members[other] = tuple(cloud[other])
+            single = make_view(owner, members, normal_range=NORMAL)
+            multi = make_multi_view(
+                owner, {nid: [pos] for nid, pos in members.items()}, normal_range=NORMAL
+            )
+            assert (
+                proto.select(single).logical_neighbors
+                == proto.select_conservative(multi).logical_neighbors
+            )
+
+
+class TestRegistry:
+    def test_all_expected_names(self):
+        assert set(available_protocols()) >= {
+            "rng",
+            "gabriel",
+            "mst",
+            "spt2",
+            "spt4",
+            "yao",
+            "cbtc",
+            "kneigh",
+            "none",
+        }
+
+    def test_make_protocol_with_kwargs(self):
+        proto = make_protocol("yao", k=8)
+        assert proto.k == 8
+
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(ProtocolError):
+            make_protocol("carrier-pigeon")
+
+    @pytest.mark.parametrize("name", ["rng", "gabriel", "mst", "spt2", "spt4"])
+    def test_condition_protocols_support_conservative(self, name):
+        assert make_protocol(name).supports_conservative
+
+    @pytest.mark.parametrize("name", ["yao", "cbtc", "kneigh"])
+    def test_geometric_protocols_do_not(self, name):
+        assert not make_protocol(name).supports_conservative

@@ -1,0 +1,80 @@
+"""Tests for repro.analysis.routing_study."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.experiment import ExperimentSpec
+from repro.analysis.routing_study import UnicastStudyResult, run_unicast_study
+from repro.mobility.base import Area
+from repro.sim.config import ScenarioConfig
+from repro.util.errors import ConfigurationError
+
+CFG = ScenarioConfig(
+    n_nodes=20,
+    area=Area(403.0, 403.0),
+    normal_range=250.0,
+    duration=8.0,
+    warmup=2.0,
+    sample_rate=1.0,
+)
+
+
+class TestRunUnicastStudy:
+    def test_counts_and_bounds(self):
+        spec = ExperimentSpec(
+            protocol="rng", mechanism="view-sync", buffer_width=30.0,
+            mean_speed=10.0, config=CFG,
+        )
+        result = run_unicast_study(spec, seed=3, n_snapshots=2, pairs_per_snapshot=5)
+        assert result.attempts == 10
+        assert 0.0 <= result.delivery_ratio <= 1.0
+        assert 0.0 <= result.perimeter_fraction <= 1.0
+
+    def test_stretch_at_least_one_when_defined(self):
+        spec = ExperimentSpec(
+            protocol="none", mechanism="baseline", mean_speed=5.0, config=CFG,
+        )
+        result = run_unicast_study(spec, seed=3, n_snapshots=2, pairs_per_snapshot=5)
+        if not math.isnan(result.mean_hop_stretch):
+            assert result.mean_hop_stretch >= 1.0 - 1e-9
+
+    def test_row_structure(self):
+        spec = ExperimentSpec(protocol="rng", mean_speed=5.0, config=CFG)
+        result = run_unicast_study(spec, seed=1, n_snapshots=1, pairs_per_snapshot=3)
+        assert {"configuration", "delivery", "hop_stretch"} <= set(result.row())
+
+    def test_reproducible(self):
+        spec = ExperimentSpec(protocol="rng", mean_speed=10.0, config=CFG)
+        a = run_unicast_study(spec, seed=6, n_snapshots=2, pairs_per_snapshot=4)
+        b = run_unicast_study(spec, seed=6, n_snapshots=2, pairs_per_snapshot=4)
+        assert a.delivery_ratio == b.delivery_ratio
+        assert a.perimeter_fraction == b.perimeter_fraction
+
+    def test_managed_beats_unmanaged(self):
+        base = run_unicast_study(
+            ExperimentSpec(protocol="mst", mechanism="baseline", buffer_width=0.0,
+                           mean_speed=20.0, config=CFG),
+            seed=2, n_snapshots=2, pairs_per_snapshot=6,
+        )
+        managed = run_unicast_study(
+            ExperimentSpec(protocol="mst", mechanism="view-sync", buffer_width=50.0,
+                           mean_speed=20.0, config=CFG),
+            seed=2, n_snapshots=2, pairs_per_snapshot=6,
+        )
+        assert managed.delivery_ratio >= base.delivery_ratio
+
+    def test_validation(self):
+        spec = ExperimentSpec(protocol="rng", config=CFG)
+        with pytest.raises(ConfigurationError):
+            run_unicast_study(spec, n_snapshots=0)
+        with pytest.raises(ConfigurationError):
+            run_unicast_study(spec, pairs_per_snapshot=0)
+
+    def test_result_is_frozen(self):
+        spec = ExperimentSpec(protocol="rng", mean_speed=5.0, config=CFG)
+        result = run_unicast_study(spec, seed=1, n_snapshots=1, pairs_per_snapshot=2)
+        with pytest.raises(AttributeError):
+            result.attempts = 99  # type: ignore[misc]

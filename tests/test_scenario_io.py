@@ -1,0 +1,123 @@
+"""Tests for repro.mobility.scenario_io: setdest import/export."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.mobility import Area, RandomWaypoint, ScenarioFileMobility
+from repro.mobility.scenario_io import export_setdest, parse_setdest
+from repro.util.errors import ConfigurationError
+
+SCENARIO = """
+# hand-written scenario
+$node_(0) set X_ 0.0
+$node_(0) set Y_ 0.0
+$node_(0) set Z_ 0.0
+$node_(1) set X_ 100.0
+$node_(1) set Y_ 0.0
+$node_(1) set Z_ 0.0
+$ns_ at 1.0 "$node_(0) setdest 30.0 0.0 10.0"
+$ns_ at 10.0 "$node_(0) setdest 30.0 40.0 20.0"
+"""
+
+
+class TestParse:
+    def test_initial_positions(self):
+        traj = parse_setdest(SCENARIO, horizon=20.0)
+        pts = traj.positions(0.0)
+        assert np.allclose(pts[0], [0.0, 0.0])
+        assert np.allclose(pts[1], [100.0, 0.0])
+
+    def test_motion_between_commands(self):
+        traj = parse_setdest(SCENARIO, horizon=20.0)
+        # at t=2, node 0 has moved 10 m toward (30, 0)
+        assert np.allclose(traj.position(0, 2.0), [10.0, 0.0])
+
+    def test_pause_after_arrival(self):
+        traj = parse_setdest(SCENARIO, horizon=20.0)
+        # arrives at (30,0) at t=4; second command at t=10
+        assert np.allclose(traj.position(0, 6.0), [30.0, 0.0])
+
+    def test_second_leg(self):
+        traj = parse_setdest(SCENARIO, horizon=20.0)
+        # from t=10: 40 m at 20 m/s, arrives t=12
+        assert np.allclose(traj.position(0, 11.0), [30.0, 20.0])
+        assert np.allclose(traj.position(0, 15.0), [30.0, 40.0])
+
+    def test_stationary_node(self):
+        traj = parse_setdest(SCENARIO, horizon=20.0)
+        assert np.allclose(traj.position(1, 17.0), [100.0, 0.0])
+
+    def test_no_nodes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            parse_setdest("# empty", horizon=10.0)
+
+    def test_out_of_order_commands_rejected(self):
+        text = (
+            "$node_(0) set X_ 0.0\n$node_(0) set Y_ 0.0\n"
+            '$ns_ at 5.0 "$node_(0) setdest 1.0 1.0 1.0"\n'
+            '$ns_ at 9.0 "$node_(0) setdest 2.0 2.0 1.0"\n'
+        )
+        # in-order commands parse fine
+        parse_setdest(text, horizon=10.0)
+
+    def test_unquoted_command_accepted(self):
+        text = (
+            "$node_(0) set X_ 0.0\n$node_(0) set Y_ 0.0\n"
+            "$ns_ at 1.0 $node_(0) setdest 5.0 0.0 5.0\n"
+        )
+        traj = parse_setdest(text, horizon=5.0)
+        assert np.allclose(traj.position(0, 2.0), [5.0, 0.0])
+
+
+class TestExportRoundtrip:
+    def test_waypoint_roundtrip(self, area, rng):
+        model = RandomWaypoint(area, 8, horizon=20.0, mean_speed=15.0, rng=rng)
+        text = export_setdest(model.trajectories)
+        parsed = parse_setdest(text, horizon=20.0)
+        for t in np.linspace(0.0, 19.5, 14):
+            assert np.allclose(
+                parsed.positions(float(t)), model.positions(float(t)), atol=1e-3
+            ), f"mismatch at t={t}"
+
+    def test_export_contains_all_nodes(self, area, rng):
+        model = RandomWaypoint(area, 5, horizon=10.0, mean_speed=10.0, rng=rng)
+        text = export_setdest(model.trajectories)
+        for i in range(5):
+            assert f"$node_({i}) set X_" in text
+
+    def test_export_commands_sorted_by_time(self, area, rng):
+        model = RandomWaypoint(area, 5, horizon=10.0, mean_speed=10.0, rng=rng)
+        text = export_setdest(model.trajectories)
+        times = [
+            float(line.split()[2])
+            for line in text.splitlines()
+            if line.startswith("$ns_ at")
+        ]
+        assert times == sorted(times)
+
+
+class TestScenarioFileMobility:
+    def test_model_wraps_parsed_trajectories(self, area):
+        model = ScenarioFileMobility(area, SCENARIO, horizon=20.0)
+        assert model.n_nodes == 2
+        assert np.allclose(model.position(0, 2.0), [10.0, 0.0])
+
+    def test_usable_in_world(self, area):
+        from repro.core.manager import MobilitySensitiveTopologyControl
+        from repro.protocols import RngProtocol
+        from repro.sim.config import ScenarioConfig
+        from repro.sim.world import NetworkWorld
+
+        cfg = ScenarioConfig(
+            n_nodes=2, area=area, normal_range=250.0, duration=15.0,
+            warmup=2.0, sample_rate=1.0,
+        )
+        model = ScenarioFileMobility(area, SCENARIO, horizon=20.0)
+        world = NetworkWorld(
+            cfg, model, MobilitySensitiveTopologyControl(RngProtocol()), seed=1
+        )
+        world.run_until(10.0)
+        snap = world.snapshot()
+        assert snap.positions.shape == (2, 2)

@@ -1,0 +1,85 @@
+"""Tests for repro.analysis.sweeps: the generic grid-sweep utility."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.experiment import ExperimentSpec
+from repro.analysis.sweeps import grid_sweep, sweep_rows
+from repro.mobility.base import Area
+from repro.sim.config import ScenarioConfig
+from repro.util.errors import ConfigurationError
+
+TINY = ScenarioConfig(
+    n_nodes=10,
+    area=Area(285.0, 285.0),
+    normal_range=250.0,
+    duration=5.0,
+    warmup=2.0,
+    sample_rate=1.0,
+)
+
+BASE = ExperimentSpec(protocol="rng", mean_speed=10.0, config=TINY)
+
+
+class TestGridSweep:
+    def test_cartesian_product_size(self):
+        points = grid_sweep(
+            BASE,
+            {"buffer_width": [0.0, 10.0], "mean_speed": [5.0, 20.0, 40.0]},
+            repetitions=1,
+            base_seed=70,
+        )
+        assert len(points) == 6
+
+    def test_last_axis_fastest(self):
+        points = grid_sweep(
+            BASE,
+            {"buffer_width": [0.0, 10.0], "mean_speed": [5.0, 20.0]},
+            repetitions=1,
+            base_seed=70,
+        )
+        assignments = [p.assignment for p in points]
+        assert assignments[0] == {"buffer_width": 0.0, "mean_speed": 5.0}
+        assert assignments[1] == {"buffer_width": 0.0, "mean_speed": 20.0}
+        assert assignments[2] == {"buffer_width": 10.0, "mean_speed": 5.0}
+
+    def test_config_prefixed_axis(self):
+        points = grid_sweep(
+            BASE,
+            {"config.hello_interval": [0.5, 1.0]},
+            repetitions=1,
+            base_seed=70,
+        )
+        assert len(points) == 2
+        assert points[0].result.spec.config.hello_interval == 0.5
+
+    def test_unknown_axis_rejected(self):
+        with pytest.raises(ConfigurationError):
+            grid_sweep(BASE, {"warp_factor": [9]}, repetitions=1)
+
+    def test_unknown_config_field_rejected(self):
+        with pytest.raises(ConfigurationError):
+            grid_sweep(BASE, {"config.warp": [9]}, repetitions=1)
+
+    def test_empty_axes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            grid_sweep(BASE, {}, repetitions=1)
+
+    def test_results_carry_modified_specs(self):
+        points = grid_sweep(BASE, {"protocol": ["mst", "spt2"]}, repetitions=1, base_seed=70)
+        assert [p.result.spec.protocol for p in points] == ["mst", "spt2"]
+
+
+class TestSweepRows:
+    def test_rows_contain_axes_and_metrics(self):
+        points = grid_sweep(BASE, {"buffer_width": [0.0, 20.0]}, repetitions=1, base_seed=70)
+        rows = sweep_rows(points)
+        assert len(rows) == 2
+        assert {"buffer_width", "connectivity", "tx_range"} <= set(rows[0])
+
+    def test_rows_order_matches_points(self):
+        points = grid_sweep(BASE, {"buffer_width": [0.0, 20.0]}, repetitions=1, base_seed=70)
+        rows = sweep_rows(points)
+        assert rows[0]["buffer_width"] == 0.0
+        assert rows[1]["buffer_width"] == 20.0

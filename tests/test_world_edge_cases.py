@@ -1,0 +1,141 @@
+"""Edge-case and integration tests that cross module boundaries."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.experiment import ExperimentSpec, run_once
+from repro.mobility.base import Area
+from repro.protocols import make_protocol
+from repro.sim.config import ScenarioConfig
+from repro.util.errors import ProtocolError
+
+CFG = ScenarioConfig(
+    n_nodes=15,
+    area=Area(349.0, 349.0),
+    normal_range=250.0,
+    duration=8.0,
+    warmup=2.0,
+    sample_rate=1.0,
+)
+
+
+class TestCompositeByName:
+    def test_make_protocol_parses_ampersand(self):
+        combo = make_protocol("rng&spt2")
+        assert combo.name == "rng&spt2"
+        assert [p.name for p in combo.protocols] == ["rng", "spt2"]
+
+    def test_composite_kwargs_rejected(self):
+        with pytest.raises(ProtocolError):
+            make_protocol("rng&spt2", k=3)
+
+    def test_unknown_constituent_rejected(self):
+        with pytest.raises(ProtocolError):
+            make_protocol("rng&warp")
+
+    def test_composite_runs_in_harness(self):
+        spec = ExperimentSpec(
+            protocol="rng&spt2", mechanism="view-sync", buffer_width=30.0,
+            mean_speed=10.0, config=CFG,
+        )
+        result = run_once(spec, seed=4)
+        assert 0.0 <= result.connectivity_ratio <= 1.0
+        # intersection is sparser than either constituent alone
+        rng_only = run_once(spec.with_(protocol="rng"), seed=4)
+        assert result.mean_logical_degree <= rng_only.mean_logical_degree + 1e-9
+
+    def test_composite_weak_mode_in_harness(self):
+        spec = ExperimentSpec(
+            protocol="rng&mst", mechanism="weak", buffer_width=10.0,
+            mean_speed=10.0, config=CFG,
+        )
+        result = run_once(spec, seed=4)
+        assert result.mean_logical_degree > 0
+
+
+class TestMechanismLossInterplay:
+    @pytest.mark.parametrize("mechanism", ["baseline", "view-sync", "reactive"])
+    def test_mechanisms_survive_hello_loss(self, mechanism):
+        cfg = ScenarioConfig(
+            n_nodes=15, area=Area(349.0, 349.0), normal_range=250.0,
+            duration=8.0, warmup=2.0, sample_rate=1.0, hello_loss_rate=0.25,
+        )
+        spec = ExperimentSpec(
+            protocol="rng", mechanism=mechanism, buffer_width=30.0,
+            mean_speed=10.0, config=cfg,
+        )
+        result = run_once(spec, seed=5)
+        assert result.channel_stats["hello_losses"] > 0
+        assert 0.0 <= result.connectivity_ratio <= 1.0
+
+    def test_proactive_tolerates_loss(self):
+        # Lost version-s Hellos shrink versioned views; the mechanism must
+        # keep functioning (smaller views, never crashes).
+        cfg = ScenarioConfig(
+            n_nodes=15, area=Area(349.0, 349.0), normal_range=250.0,
+            duration=8.0, warmup=2.0, sample_rate=1.0, hello_loss_rate=0.3,
+        )
+        spec = ExperimentSpec(
+            protocol="rng", mechanism="proactive", buffer_width=50.0,
+            mean_speed=5.0, config=cfg,
+        )
+        result = run_once(spec, seed=5)
+        assert result.connectivity_ratio >= 0.0
+
+
+class TestTraceAcrossMechanisms:
+    @pytest.mark.parametrize("mechanism", ["baseline", "weak", "proactive"])
+    def test_trace_roundtrip(self, mechanism, tmp_path):
+        from repro.analysis.experiment import build_world
+        from repro.sim.trace import SimulationTrace, TraceRecorder
+
+        spec = ExperimentSpec(
+            protocol="rng", mechanism=mechanism, buffer_width=10.0,
+            mean_speed=10.0, config=CFG,
+        )
+        world = build_world(spec, seed=6)
+        recorder = TraceRecorder(world)
+        for t in (3.0, 5.0, 7.0):
+            world.run_until(t)
+            recorder.record()
+        trace = recorder.finish()
+        path = tmp_path / f"{mechanism}.npz"
+        trace.save(path)
+        loaded = SimulationTrace.load(path)
+        assert loaded.n_samples == 3
+        snap = loaded.snapshot(1)
+        assert snap.time == 5.0
+        assert snap.positions.shape == (CFG.n_nodes, 2)
+
+
+class TestVelocitiesApi:
+    def test_trajectory_velocities_match_finite_difference(self, area, rng):
+        from repro.mobility.waypoint import RandomWaypoint
+
+        model = RandomWaypoint(area, 6, horizon=20.0, mean_speed=10.0, rng=rng)
+        traj = model.trajectories
+        t = 7.3
+        vel = traj.velocities(t)
+        eps = 1e-4
+        approx = (traj.positions(t + eps) - traj.positions(t - eps)) / (2 * eps)
+        # matches except exactly at waypoints (measure zero)
+        close = np.isclose(vel, approx, atol=1e-2)
+        assert close.mean() > 0.8
+
+
+class TestFloodOverride:
+    def test_pn_override_parameter(self):
+        from repro.analysis.experiment import build_world
+        from repro.sim.flood import flood
+
+        spec = ExperimentSpec(
+            protocol="mst", mechanism="baseline", buffer_width=0.0,
+            mean_speed=20.0, config=CFG,
+        )
+        world = build_world(spec, seed=7)
+        world.run_until(6.0)
+        strict = flood(world, source=0, physical_neighbor_mode=False)
+        relaxed = flood(world, source=0, physical_neighbor_mode=True)
+        assert relaxed.reached.sum() >= strict.reached.sum()

@@ -1,0 +1,124 @@
+"""Tests for the XTC protocol and the HTML report renderer."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from conftest import make_view
+from repro.analysis.campaign import run_campaign
+from repro.analysis.html_report import render_html_report, svg_chart, write_html_report
+from repro.analysis.scales import Scale
+from repro.geometry.graphs import is_connected, unit_disk_graph
+from repro.protocols import RngProtocol, XtcProtocol, make_protocol
+
+NORMAL = 120.0
+
+
+def consistent_views(points):
+    views = []
+    for owner in range(len(points)):
+        members = {owner: tuple(points[owner])}
+        for other in range(len(points)):
+            d = math.hypot(*(points[other] - points[owner]))
+            if other != owner and d <= NORMAL:
+                members[other] = tuple(points[other])
+        views.append(make_view(owner, members, normal_range=NORMAL))
+    return views
+
+
+class TestXtcProtocol:
+    def test_registered(self):
+        assert make_protocol("xtc").name == "xtc"
+
+    def test_equals_rng_on_distance_order(self, rng):
+        """With quality = distance, XTC's keep rule is exactly the RNG
+        witness condition — per-node selections must coincide."""
+        pts = rng.random((18, 2)) * 180
+        xtc, rng_proto = XtcProtocol(), RngProtocol()
+        for view in consistent_views(pts):
+            assert (
+                xtc.select(view).logical_neighbors
+                == rng_proto.select(view).logical_neighbors
+            )
+
+    def test_preserves_connectivity(self, rng):
+        pts = rng.random((18, 2)) * 180
+        if not is_connected(unit_disk_graph(pts, NORMAL)):
+            pytest.skip("disconnected cloud")
+        adj = np.zeros((18, 18), dtype=bool)
+        for view in consistent_views(pts):
+            for v in XtcProtocol().select(view).logical_neighbors:
+                adj[view.owner, v] = True
+        assert is_connected(adj | adj.T)
+
+    def test_no_conservative_mode(self):
+        assert not XtcProtocol().supports_conservative
+
+    def test_isolated_node(self):
+        view = make_view(0, {0: (0.0, 0.0)})
+        result = XtcProtocol().select(view)
+        assert result.logical_neighbors == frozenset()
+
+
+MICRO = Scale(
+    name="micro-html",
+    n_nodes=15,
+    area_side=349.0,
+    duration=4.0,
+    sample_rate=1.0,
+    warmup=2.0,
+    repetitions=1,
+    speeds=(1.0, 40.0),
+    buffer_widths=(0.0, 100.0),
+)
+
+
+class TestHtmlReport:
+    @pytest.fixture(scope="class")
+    def campaign(self):
+        return run_campaign(MICRO, base_seed=9500)
+
+    def test_renders_complete_document(self, campaign):
+        text = render_html_report(campaign)
+        assert text.startswith("<!DOCTYPE html>")
+        assert text.endswith("</html>")
+        assert "Table 1" in text
+        for fig in ("Fig. 6", "Fig. 7", "Fig. 8a", "Fig. 8b", "Fig. 9", "Fig. 10"):
+            assert fig in text
+
+    def test_contains_inline_svg(self, campaign):
+        text = render_html_report(campaign)
+        assert text.count("<svg") >= 6
+        assert "polyline" in text
+
+    def test_no_external_resources(self, campaign):
+        text = render_html_report(campaign)
+        assert "http://" not in text.replace("http://www.w3.org/2000/svg", "")
+        assert "<script" not in text
+
+    def test_write_to_file(self, campaign, tmp_path):
+        path = tmp_path / "report.html"
+        write_html_report(campaign, path)
+        assert path.read_text(encoding="utf-8").startswith("<!DOCTYPE html>")
+
+
+class TestSvgChart:
+    def test_basic_structure(self):
+        svg = svg_chart({"a": ([0, 1, 2], [0.1, 0.5, 0.9])}, title="T")
+        assert svg.startswith("<svg") and svg.endswith("</svg>")
+        assert "polyline" in svg and "circle" in svg
+        assert ">T<" in svg
+
+    def test_empty(self):
+        assert svg_chart({}) == "<svg/>"
+
+    def test_escapes_labels(self):
+        svg = svg_chart({"a<b>": ([0, 1], [0, 1])})
+        assert "a&lt;b&gt;" in svg
+
+    def test_constant_series(self):
+        svg = svg_chart({"flat": ([0, 1], [0.5, 0.5])})
+        assert "polyline" in svg
