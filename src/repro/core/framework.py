@@ -200,29 +200,13 @@ class LocalCostGraph:
         """Build the interval-cost graph of a k-version view.
 
         For every member pair, distances over all retained position pairs
-        give [dMin, dMax]; costs follow by monotonicity of the cost model.
-        A pair is adjacent if *any* position pair is within normal range
-        (conservative link presence).
+        give [dMin, dMax] (via the vectorized
+        :meth:`~repro.core.views.MultiVersionView.distance_bounds`); costs
+        follow by monotonicity of the cost model.  A pair is adjacent if
+        *any* position pair is within normal range (conservative link
+        presence).
         """
-        ids = view.members
-        m = len(ids)
-        # Stack all retained positions; slices[i] = rows belonging to ids[i].
-        all_pts: list[tuple[float, float]] = []
-        slices: list[slice] = []
-        for nid in ids:
-            hellos = view.hellos_of(nid)
-            slices.append(slice(len(all_pts), len(all_pts) + len(hellos)))
-            all_pts.extend(h.position for h in hellos)
-        pts = np.asarray(all_pts, dtype=np.float64)
-        diff = pts[:, np.newaxis, :] - pts[np.newaxis, :, :]
-        dist_all = np.sqrt(np.einsum("ijk,ijk->ij", diff, diff))
-        dist_low = np.zeros((m, m))
-        dist_high = np.zeros((m, m))
-        for i in range(m):
-            for j in range(i + 1, m):
-                block = dist_all[slices[i], slices[j]]
-                dist_low[i, j] = dist_low[j, i] = block.min()
-                dist_high[i, j] = dist_high[j, i] = block.max()
+        ids, dist_low, dist_high = view.distance_bounds()
         adj = dist_low <= view.normal_range
         np.fill_diagonal(adj, False)
         cost_low = np.asarray(cost_model.from_distance(dist_low), dtype=np.float64)

@@ -224,6 +224,37 @@ class MultiVersionView:
             for b in self.hellos_of(v)
         ]
 
+    def distance_bounds(self) -> tuple[list[int], np.ndarray, np.ndarray]:
+        """(members, dist_low, dist_high) over all retained position pairs.
+
+        ``dist_low[i, j]`` / ``dist_high[i, j]`` are the min / max distance
+        between any retained position of member ``i`` and any of member
+        ``j`` (zero on the diagonal).  Fully vectorized: one stacked
+        distance matrix over every retained Hello, then grouped min/max
+        reductions per member pair — no per-pair Python loop.  Because
+        every cost model is strictly increasing in distance, cost bounds
+        follow by applying the model to these matrices.
+        """
+        ids = self.members
+        all_pts: list[tuple[float, float]] = []
+        starts: list[int] = []
+        for nid in ids:
+            starts.append(len(all_pts))
+            all_pts.extend(h.position for h in self.hellos_of(nid))
+        pts = np.asarray(all_pts, dtype=np.float64)
+        diff = pts[:, np.newaxis, :] - pts[np.newaxis, :, :]
+        dist_all = np.sqrt(np.einsum("ijk,ijk->ij", diff, diff))
+        bounds = np.asarray(starts)
+        dist_low = np.minimum.reduceat(
+            np.minimum.reduceat(dist_all, bounds, axis=0), bounds, axis=1
+        )
+        dist_high = np.maximum.reduceat(
+            np.maximum.reduceat(dist_all, bounds, axis=0), bounds, axis=1
+        )
+        np.fill_diagonal(dist_low, 0.0)
+        np.fill_diagonal(dist_high, 0.0)
+        return ids, dist_low, dist_high
+
     def cost_bounds(self, u: int, v: int, cost_model: CostModel) -> tuple[float, float]:
         """(cMin, cMax) of link (u, v) in this view."""
         costs = self.cost_set(u, v, cost_model)
@@ -261,12 +292,25 @@ class MultiVersionView:
         return 1 + len(self.neighbor_hellos)
 
 
+def _view_links(view: LocalView) -> tuple[list[int], np.ndarray, np.ndarray]:
+    """(member IDs, distance matrix, index pairs of links) of one view.
+
+    Vectorized replacement for the old per-pair ``has_link`` scan: one
+    dense distance matrix, one boolean mask, one ``nonzero``.
+    """
+    ids, pts = view.positions()
+    diff = pts[:, np.newaxis, :] - pts[np.newaxis, :, :]
+    dist = np.sqrt(np.einsum("ijk,ijk->ij", diff, diff))
+    adj = dist <= view.normal_range
+    np.fill_diagonal(adj, False)
+    iu, iv = np.nonzero(np.triu(adj, k=1))
+    return ids, dist, np.stack((iu, iv), axis=1)
+
+
 def _iter_view_links(view: LocalView) -> Iterable[tuple[int, int]]:
-    ids = view.members
-    for i, u in enumerate(ids):
-        for v in ids[i + 1 :]:
-            if view.has_link(u, v):
-                yield (u, v)
+    ids, _, pairs = _view_links(view)
+    for i, j in pairs:
+        yield (ids[i], ids[j])
 
 
 def views_consistent(
@@ -283,9 +327,15 @@ def views_consistent(
     model = cost_model or DistanceCost()
     seen: dict[tuple[int, int], float] = {}
     for view in views:
-        for (u, v) in _iter_view_links(view):
-            c = float(model.from_distance(view.distance(u, v)))
-            key = (min(u, v), max(u, v))
+        ids, dist, pairs = _view_links(view)
+        if not pairs.size:
+            continue
+        costs = np.asarray(
+            model.from_distance(dist[pairs[:, 0], pairs[:, 1]]), dtype=np.float64
+        )
+        for (i, j), c in zip(pairs.tolist(), costs.tolist()):
+            u, v = ids[i], ids[j]
+            key = (u, v) if u < v else (v, u)
             if key in seen and abs(seen[key] - c) > tol:
                 return False
             seen.setdefault(key, c)
@@ -299,19 +349,26 @@ def views_weakly_consistent(
     """Definition 2: for every link, ``cMinMax >= cMaxMin`` across views.
 
     ``cMinMax`` is the smallest per-view cMax, ``cMaxMin`` the largest
-    per-view cMin, over all views containing the link.
+    per-view cMin, over all views containing the link.  Per-view bounds
+    come from :meth:`MultiVersionView.distance_bounds` (vectorized) and
+    the cost model's monotonicity, exactly as the enhanced removal
+    conditions consume them.
     """
     model = cost_model or DistanceCost()
     min_of_max: dict[tuple[int, int], float] = {}
     max_of_min: dict[tuple[int, int], float] = {}
     for view in views:
-        ids = view.members
-        for i, u in enumerate(ids):
-            for v in ids[i + 1 :]:
-                if not view.has_link(u, v):
-                    continue
-                lo, hi = view.cost_bounds(u, v, model)
-                key = (min(u, v), max(u, v))
-                min_of_max[key] = min(min_of_max.get(key, math.inf), hi)
-                max_of_min[key] = max(max_of_min.get(key, -math.inf), lo)
+        ids, dist_low, dist_high = view.distance_bounds()
+        adj = dist_low <= view.normal_range
+        np.fill_diagonal(adj, False)
+        iu, iv = np.nonzero(np.triu(adj, k=1))
+        if not iu.size:
+            continue
+        lo = np.asarray(model.from_distance(dist_low[iu, iv]), dtype=np.float64)
+        hi = np.asarray(model.from_distance(dist_high[iu, iv]), dtype=np.float64)
+        for i, j, lo_c, hi_c in zip(iu.tolist(), iv.tolist(), lo.tolist(), hi.tolist()):
+            u, v = ids[i], ids[j]
+            key = (u, v) if u < v else (v, u)
+            min_of_max[key] = min(min_of_max.get(key, math.inf), hi_c)
+            max_of_min[key] = max(max_of_min.get(key, -math.inf), lo_c)
     return all(min_of_max[key] >= max_of_min[key] - 1e-12 for key in min_of_max)

@@ -1,6 +1,7 @@
 """Computational-geometry substrate: point kernels and proximity graphs."""
 
 from repro.geometry.cones import cone_index, covers_with_alpha, max_angular_gap
+from repro.geometry.grid import DENSE_THRESHOLD, GraphBackend, GridIndex
 from repro.geometry.graphs import (
     connected_components,
     delaunay_graph,
@@ -44,4 +45,7 @@ __all__ = [
     "max_angular_gap",
     "covers_with_alpha",
     "cone_index",
+    "GridIndex",
+    "GraphBackend",
+    "DENSE_THRESHOLD",
 ]

@@ -1,0 +1,108 @@
+"""Loop-based reference implementations of the proximity-graph kernels.
+
+These are the original (pre-vectorization) per-pair constructions, kept
+verbatim as the *semantic specification* of the fast kernels in
+:mod:`repro.geometry.graphs`:
+
+- the equivalence test suite asserts the vectorized kernels produce
+  bit-identical adjacency matrices on randomized, collinear and
+  duplicate-point layouts;
+- ``benchmarks/bench_geometry.py`` times loop vs. vectorized to track the
+  speedup in ``BENCH_geometry.json``.
+
+They are deliberately slow (O(n^2) Python pair loops) — never call them
+from simulator code.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.points import as_points, pairwise_distances
+
+__all__ = [
+    "unit_disk_graph_loop",
+    "relative_neighborhood_graph_loop",
+    "gabriel_graph_loop",
+    "yao_graph_loop",
+]
+
+
+def unit_disk_graph_loop(points: np.ndarray, radius: float) -> np.ndarray:
+    """Dense unit-disk construction: edge iff ``0 < d(u, v) <= radius``."""
+    dist = pairwise_distances(points)
+    adj = dist <= radius
+    np.fill_diagonal(adj, False)
+    return adj
+
+
+def relative_neighborhood_graph_loop(
+    points: np.ndarray, radius: float | None = None
+) -> np.ndarray:
+    """Per-pair RNG witness elimination (Toussaint 1980), original loop."""
+    pts = as_points(points)
+    n = pts.shape[0]
+    dist = pairwise_distances(pts)
+    adj = np.ones((n, n), dtype=bool) if radius is None else dist <= radius
+    np.fill_diagonal(adj, False)
+    out = adj.copy()
+    for u in range(n):
+        for v in range(u + 1, n):
+            if not adj[u, v]:
+                continue
+            duv = dist[u, v]
+            witnesses = np.flatnonzero(np.maximum(dist[u], dist[v]) < duv)
+            if radius is not None:
+                witnesses = witnesses[adj[u, witnesses] & adj[v, witnesses]]
+            if witnesses.size:
+                out[u, v] = out[v, u] = False
+    return out
+
+
+def gabriel_graph_loop(points: np.ndarray, radius: float | None = None) -> np.ndarray:
+    """Per-pair Gabriel witness elimination, original loop."""
+    pts = as_points(points)
+    n = pts.shape[0]
+    dist = pairwise_distances(pts)
+    adj = np.ones((n, n), dtype=bool) if radius is None else dist <= radius
+    np.fill_diagonal(adj, False)
+    sq = dist * dist
+    out = adj.copy()
+    for u in range(n):
+        for v in range(u + 1, n):
+            if not adj[u, v]:
+                continue
+            witnesses = np.flatnonzero(sq[u] + sq[v] < sq[u, v])
+            if radius is not None:
+                witnesses = witnesses[adj[u, witnesses] & adj[v, witnesses]]
+            if witnesses.size:
+                out[u, v] = out[v, u] = False
+    return out
+
+
+def yao_graph_loop(
+    points: np.ndarray, k: int = 6, radius: float | None = None
+) -> np.ndarray:
+    """Per-node Yao cone scan, original loop."""
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    pts = as_points(points)
+    n = pts.shape[0]
+    dist = pairwise_distances(pts)
+    visible = np.ones((n, n), dtype=bool) if radius is None else dist <= radius
+    np.fill_diagonal(visible, False)
+    out = np.zeros((n, n), dtype=bool)
+    sector = 2.0 * np.pi / k
+    for u in range(n):
+        nbrs = np.flatnonzero(visible[u])
+        if nbrs.size == 0:
+            continue
+        vecs = pts[nbrs] - pts[u]
+        angles = np.arctan2(vecs[:, 1], vecs[:, 0]) % (2.0 * np.pi)
+        cones = np.minimum((angles / sector).astype(np.intp), k - 1)
+        for c in range(k):
+            in_cone = nbrs[cones == c]
+            if in_cone.size:
+                best = in_cone[np.argmin(dist[u, in_cone])]
+                out[u, best] = out[best, u] = True
+    return out

@@ -6,8 +6,16 @@ static networks with consistent views (a key validation invariant), and the
 metrics layer uses them to characterise snapshots.
 
 Graphs over ``n`` points are represented as dense boolean adjacency
-matrices — for the paper's network sizes (~100 nodes) this is the fastest
-and simplest representation.
+matrices.  The witness-elimination kernels (RNG, Gabriel) and the Yao cone
+scan are fully vectorized: candidate edges are processed in memory-bounded
+blocks of an ``(edges, witnesses)`` tensor instead of per-pair Python
+loops, which is 1-2 orders of magnitude faster at the paper-and-beyond
+scales (see ``docs/PERFORMANCE.md``; the original loop kernels survive in
+:mod:`repro.geometry._reference` as the equivalence-test oracle).
+
+Every construction accepts an optional precomputed ``dist`` matrix so
+callers that already hold a snapshot's distances (e.g.
+:class:`repro.sim.world.WorldSnapshot`) never pay for them twice.
 """
 
 from __future__ import annotations
@@ -17,6 +25,7 @@ from scipy.sparse import csr_matrix
 from scipy.sparse.csgraph import connected_components as _cc
 from scipy.sparse.csgraph import minimum_spanning_tree as _mst
 
+from repro.geometry.grid import DENSE_THRESHOLD, GraphBackend
 from repro.geometry.points import as_points, pairwise_distances
 
 __all__ = [
@@ -32,17 +41,113 @@ __all__ = [
     "edge_list",
 ]
 
+#: Memory bound for one witness-tensor block: ~16 MB of float64 per
+#: temporary, so n=1000 never allocates the full (edges, n) tensor at once
+#: (that would be ~8 GB for a dense-radius layout).
+_WITNESS_BLOCK_FLOATS = 2_000_000
 
-def unit_disk_graph(points: np.ndarray, radius: float) -> np.ndarray:
-    """Adjacency of the unit-disk graph: edge iff ``0 < d(u, v) <= radius``."""
-    dist = pairwise_distances(points)
-    adj = dist <= radius
-    np.fill_diagonal(adj, False)
-    return adj
+#: Live-edge count below which witness elimination switches from the
+#: witness-major shrinking pass to one blocked (edges, witnesses) tensor.
+_SCALAR_SWITCH = 1024
+
+
+def _witness_block(n: int) -> int:
+    """Edges per witness-elimination block, keeping blocks ~16 MB."""
+    return max(1, _WITNESS_BLOCK_FLOATS // max(n, 1))
+
+
+def _witness_surviving(metric: np.ndarray, adj: np.ndarray, gabriel: bool) -> np.ndarray:
+    """Candidate edges of *adj* that no witness eliminates, vectorized.
+
+    *metric* is the pairwise distance matrix for the RNG rule
+    (``max(m[u,w], m[w,v]) < m[u,v]``) or its elementwise square for the
+    Gabriel rule (``m[u,w] + m[w,v] < m[u,v]``).  Witness visibility needs
+    no explicit adjacency filter: both rules force ``m[u,w] < m[u,v]`` and
+    ``m[w,v] < m[u,v]``, and every candidate edge already satisfies
+    ``d(u, v) <= radius``, so a successful witness is automatically within
+    radius of both endpoints (the loop oracle's ``adj[u, w] & adj[v, w]``
+    filter is implied).
+
+    Two phases keep both Python overhead and memory bounded:
+
+    1. **witness-major** — one witness per iteration against the whole
+       shrinking live-edge set (cheap 1-D gathers; most edges die to the
+       first few witnesses, so the live set collapses quickly);
+    2. **edge-major** — once few edges remain (or few witnesses were
+       needed), the survivors are screened against all remaining witnesses
+       in blocked 2-D broadcasts of at most ``_WITNESS_BLOCK_FLOATS``
+       elements.
+    """
+    n = adj.shape[0]
+    iu, iv = np.nonzero(np.triu(adj, k=1))
+    target = metric[iu, iv]
+    w = 0
+    while w < n and iu.size > _SCALAR_SWITCH:
+        row = metric[w]  # symmetric matrix: contiguous row view, cheap gathers
+        a, b = row[iu], row[iv]
+        keep = (a + b >= target) if gabriel else ((a >= target) | (b >= target))
+        if not keep.all():
+            iu, iv, target = iu[keep], iv[keep], target[keep]
+        w += 1
+    if w < n and iu.size:
+        cols = metric[:, w:]  # contiguous witness slice: a view, no copy
+        block = _witness_block(n - w)
+        for s in range(0, iu.size, block):
+            bu, bv, bt = iu[s : s + block], iv[s : s + block], target[s : s + block]
+            a, b = cols[bu], cols[bv]
+            if gabriel:
+                dead = (a + b < bt[:, np.newaxis]).any(axis=1)
+            else:
+                bt = bt[:, np.newaxis]
+                dead = ((a < bt) & (b < bt)).any(axis=1)
+            iu[s : s + block][dead] = -1
+        keep = iu >= 0
+        iu, iv = iu[keep], iv[keep]
+    out = np.zeros((n, n), dtype=bool)
+    out[iu, iv] = True
+    return out | out.T
+
+
+def _dist_or_compute(pts: np.ndarray, dist: np.ndarray | None) -> np.ndarray:
+    if dist is None:
+        return pairwise_distances(pts)
+    dist = np.asarray(dist, dtype=np.float64)
+    n = pts.shape[0]
+    if dist.shape != (n, n):
+        raise ValueError(f"dist has shape {dist.shape}, expected {(n, n)}")
+    return dist
+
+
+def unit_disk_graph(
+    points: np.ndarray,
+    radius: float,
+    dist: np.ndarray | None = None,
+    backend: GraphBackend | None = None,
+) -> np.ndarray:
+    """Adjacency of the unit-disk graph: edge iff ``0 < d(u, v) <= radius``.
+
+    Dispatches automatically: small point sets (or calls providing a
+    precomputed *dist*) use the dense distance matrix; at
+    ``n >= DENSE_THRESHOLD``, when the deployment area spans enough grid
+    cells, a spatial grid index builds the adjacency from near cells
+    only.  Pass *backend* to reuse one
+    :class:`~repro.geometry.grid.GraphBackend` across several queries on
+    the same point set.
+    """
+    if backend is None:
+        pts = as_points(points)
+        if dist is not None or pts.shape[0] < DENSE_THRESHOLD or radius <= 0:
+            adj = _dist_or_compute(pts, dist) <= radius
+            np.fill_diagonal(adj, False)
+            return adj
+        backend = GraphBackend(pts)
+    return backend.unit_disk(radius)
 
 
 def relative_neighborhood_graph(
-    points: np.ndarray, radius: float | None = None
+    points: np.ndarray,
+    radius: float | None = None,
+    dist: np.ndarray | None = None,
 ) -> np.ndarray:
     """Adjacency of the RNG restricted to a unit-disk graph.
 
@@ -50,94 +155,114 @@ def relative_neighborhood_graph(
     ``max(d(u, w), d(w, v)) < d(u, v)`` (Toussaint 1980).  When *radius* is
     given, only unit-disk edges are considered and only unit-disk-visible
     witnesses count, which is exactly the localized setting of the paper.
+
+    Vectorized witness elimination — see :func:`_witness_surviving`; the
+    per-pair loop oracle survives in :mod:`repro.geometry._reference`.
     """
     pts = as_points(points)
     n = pts.shape[0]
-    dist = pairwise_distances(pts)
+    dist = _dist_or_compute(pts, dist)
     adj = np.ones((n, n), dtype=bool) if radius is None else dist <= radius
     np.fill_diagonal(adj, False)
-    out = adj.copy()
-    for u in range(n):
-        for v in range(u + 1, n):
-            if not adj[u, v]:
-                continue
-            duv = dist[u, v]
-            witnesses = np.flatnonzero(
-                np.maximum(dist[u], dist[v]) < duv
-            )
-            if radius is not None:
-                witnesses = witnesses[adj[u, witnesses] & adj[v, witnesses]]
-            if witnesses.size:
-                out[u, v] = out[v, u] = False
-    return out
+    return _witness_surviving(dist, adj, gabriel=False)
 
 
-def gabriel_graph(points: np.ndarray, radius: float | None = None) -> np.ndarray:
+def gabriel_graph(
+    points: np.ndarray,
+    radius: float | None = None,
+    dist: np.ndarray | None = None,
+) -> np.ndarray:
     """Adjacency of the Gabriel graph (witness restricted to the diametral disk).
 
     Edge (u, v) survives iff no w satisfies
-    ``d(u, w)^2 + d(w, v)^2 < d(u, v)^2``.
+    ``d(u, w)^2 + d(w, v)^2 < d(u, v)^2``.  Same vectorized witness
+    elimination as :func:`relative_neighborhood_graph`, on squared
+    distances.
     """
     pts = as_points(points)
     n = pts.shape[0]
-    dist = pairwise_distances(pts)
+    dist = _dist_or_compute(pts, dist)
     adj = np.ones((n, n), dtype=bool) if radius is None else dist <= radius
     np.fill_diagonal(adj, False)
-    sq = dist * dist
-    out = adj.copy()
-    for u in range(n):
-        for v in range(u + 1, n):
-            if not adj[u, v]:
-                continue
-            witnesses = np.flatnonzero(sq[u] + sq[v] < sq[u, v])
-            if radius is not None:
-                witnesses = witnesses[adj[u, witnesses] & adj[v, witnesses]]
-            if witnesses.size:
-                out[u, v] = out[v, u] = False
-    return out
+    return _witness_surviving(dist * dist, adj, gabriel=True)
 
 
-def euclidean_mst(points: np.ndarray) -> np.ndarray:
+def euclidean_mst(points: np.ndarray, dist: np.ndarray | None = None) -> np.ndarray:
     """Adjacency of the Euclidean minimum spanning tree of *points*."""
     pts = as_points(points)
     n = pts.shape[0]
     out = np.zeros((n, n), dtype=bool)
     if n <= 1:
         return out
-    tree = _mst(csr_matrix(pairwise_distances(pts))).tocoo()
+    tree = _mst(csr_matrix(_dist_or_compute(pts, dist))).tocoo()
     out[tree.row, tree.col] = True
     return out | out.T
 
 
-def yao_graph(points: np.ndarray, k: int = 6, radius: float | None = None) -> np.ndarray:
+def yao_graph(
+    points: np.ndarray,
+    k: int = 6,
+    radius: float | None = None,
+    dist: np.ndarray | None = None,
+) -> np.ndarray:
     """Adjacency of the (symmetrised) Yao graph with *k* cones.
 
     Each node keeps, in each of *k* equal cones around it, a directed edge
     to its nearest visible neighbor; the result here is the undirected
     union, which is how the paper's protocols use it (logical links are
     bidirectional).
+
+    Vectorized cone scan, two regimes picked by edge density:
+
+    - sparse (restricted radius): visible directed pairs are bucketed
+      into ``(node, cone)`` groups; one stable distance sort plus a
+      reverse scatter picks each group's nearest neighbor (ties broken
+      by the smaller index, exactly as the loop oracle's ``argmin``);
+    - dense (most pairs visible): the sort over ~n^2 pairs would
+      dominate, so instead each cone gets one masked ``argmin`` row scan
+      of the full matrix (argmin's first-minimum rule is the same
+      tie-break).
     """
     if k < 1:
         raise ValueError(f"k must be >= 1, got {k}")
     pts = as_points(points)
     n = pts.shape[0]
-    dist = pairwise_distances(pts)
+    dist = _dist_or_compute(pts, dist)
     visible = np.ones((n, n), dtype=bool) if radius is None else dist <= radius
     np.fill_diagonal(visible, False)
     out = np.zeros((n, n), dtype=bool)
+    su, sv = np.nonzero(visible)
+    if su.size == 0:
+        return out
     sector = 2.0 * np.pi / k
-    for u in range(n):
-        nbrs = np.flatnonzero(visible[u])
-        if nbrs.size == 0:
-            continue
-        vecs = pts[nbrs] - pts[u]
-        angles = np.arctan2(vecs[:, 1], vecs[:, 0]) % (2.0 * np.pi)
+    if su.size * 4 >= n * n:
+        dx = pts[:, 0][np.newaxis, :] - pts[:, 0][:, np.newaxis]
+        dy = pts[:, 1][np.newaxis, :] - pts[:, 1][:, np.newaxis]
+        angles = np.arctan2(dy, dx) % (2.0 * np.pi)
         cones = np.minimum((angles / sector).astype(np.intp), k - 1)
+        masked = np.empty((n, n))
+        rows = np.arange(n)
         for c in range(k):
-            in_cone = nbrs[cones == c]
-            if in_cone.size:
-                best = in_cone[np.argmin(dist[u, in_cone])]
-                out[u, best] = out[best, u] = True
+            np.copyto(masked, dist)
+            masked[~(visible & (cones == c))] = np.inf
+            w = np.argmin(masked, axis=1)
+            hit = masked[rows, w] < np.inf
+            out[rows[hit], w[hit]] = True
+            out[w[hit], rows[hit]] = True
+        return out
+    vecs = pts[sv] - pts[su]
+    angles = np.arctan2(vecs[:, 1], vecs[:, 0]) % (2.0 * np.pi)
+    cones = np.minimum((angles / sector).astype(np.intp), k - 1)
+    group = su * np.intp(k) + cones
+    # Stable sort by distance keeps equal-distance pairs in (u, v-ascending)
+    # enumeration order; scattering winners in *reverse* sorted order leaves
+    # each group holding its first (nearest, smallest-v) pair.
+    order = np.argsort(dist[su, sv], kind="stable")[::-1]
+    winner = np.full(n * k, -1, dtype=np.intp)
+    winner[group[order]] = order
+    winners = winner[winner >= 0]
+    bu, bv = su[winners], sv[winners]
+    out[bu, bv] = out[bv, bu] = True
     return out
 
 

@@ -56,13 +56,16 @@ def stretch_factors(
     reference: np.ndarray,
     positions: np.ndarray,
     alpha: float = 1.0,
+    dist: np.ndarray | None = None,
 ) -> StretchReport:
     """Stretch of *reduced* w.r.t. *reference* under cost ``d**alpha``.
 
     ``alpha = 1`` gives distance stretch; ``alpha = 2`` or ``4`` energy
-    stretch.  Both graphs are treated as undirected.
+    stretch.  Both graphs are treated as undirected.  Pass a snapshot's
+    precomputed *dist* to skip recomputing pairwise distances.
     """
-    dist = pairwise_distances(positions)
+    if dist is None:
+        dist = pairwise_distances(positions)
     weights = np.power(dist, alpha, where=dist > 0, out=np.zeros_like(dist))
     ref_sp = _all_pairs(reference | reference.T, weights)
     red_sp = _all_pairs(reduced | reduced.T, weights)

@@ -11,11 +11,55 @@ mobility-assisted baselines so that comparison can actually be run.
 from __future__ import annotations
 
 import math
+from collections import OrderedDict
 from dataclasses import dataclass
 
+import numpy as np
+
+from repro.geometry.points import pairwise_distances
 from repro.util.validate import check_positive
 
-__all__ = ["RoutingOutcome", "ContactProcessConfig"]
+__all__ = ["RoutingOutcome", "ContactProcessConfig", "MobilityDistanceCache"]
+
+
+class MobilityDistanceCache:
+    """Bounded per-time memo of pairwise-distance matrices over a mobility model.
+
+    Contact-process routing re-reads the same tick grid for every
+    (source, destination) pair of a study, so the ``(n, n)`` distance
+    matrix of each tick is recomputed up to ``n_pairs`` times.  This cache
+    keys matrices by exact query time and evicts least-recently-used
+    entries beyond *maxsize* (a full study's tick grid usually fits).
+
+    Share one instance across routers over the same mobility to share the
+    matrices too.
+    """
+
+    __slots__ = ("mobility", "maxsize", "_store", "hits", "misses")
+
+    def __init__(self, mobility, maxsize: int = 512) -> None:
+        if maxsize < 1:
+            raise ValueError(f"maxsize must be >= 1, got {maxsize}")
+        self.mobility = mobility
+        self.maxsize = int(maxsize)
+        self._store: OrderedDict[float, np.ndarray] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def at(self, t: float) -> np.ndarray:
+        """Pairwise distances between all nodes at time *t* (cached)."""
+        key = float(t)
+        dist = self._store.get(key)
+        if dist is not None:
+            self._store.move_to_end(key)
+            self.hits += 1
+            return dist
+        self.misses += 1
+        dist = pairwise_distances(self.mobility.positions(key))
+        self._store[key] = dist
+        if len(self._store) > self.maxsize:
+            self._store.popitem(last=False)
+        return dist
 
 
 @dataclass(frozen=True)

@@ -18,16 +18,27 @@ import math
 
 import numpy as np
 
-from repro.geometry.points import pairwise_distances
 from repro.mobility.base import MobilityModel
-from repro.routing.base import ContactProcessConfig, RoutingOutcome
+from repro.routing.base import (
+    ContactProcessConfig,
+    MobilityDistanceCache,
+    RoutingOutcome,
+)
 from repro.util.validate import check_probability
 
 __all__ = ["EpidemicRouting", "TwoHopRelayRouting"]
 
 
 class _ContactSimulation:
-    """Shared tick loop: subclasses decide who may infect whom."""
+    """Shared tick loop: subclasses decide who may infect whom.
+
+    Distance matrices per tick come from a
+    :class:`~repro.routing.base.MobilityDistanceCache`: a study delivers
+    many (source, destination) pairs over the same tick grid, so each
+    tick's ``(n, n)`` matrix is computed once and reused.  Pass
+    *dist_cache* to share matrices between several routers over the same
+    mobility.
+    """
 
     def __init__(
         self,
@@ -35,6 +46,7 @@ class _ContactSimulation:
         config: ContactProcessConfig | None = None,
         copy_probability: float = 1.0,
         rng: np.random.Generator | None = None,
+        dist_cache: MobilityDistanceCache | None = None,
     ) -> None:
         self.mobility = mobility
         self.config = config or ContactProcessConfig()
@@ -42,6 +54,9 @@ class _ContactSimulation:
         if self.copy_probability < 1.0 and rng is None:
             raise ValueError("copy_probability < 1 requires an rng")
         self._rng = rng
+        if dist_cache is not None and dist_cache.mobility is not mobility:
+            raise ValueError("dist_cache was built over a different mobility model")
+        self.dist_cache = dist_cache or MobilityDistanceCache(mobility)
 
     def _may_copy(self, n_candidates: int) -> np.ndarray:
         if self.copy_probability >= 1.0:
@@ -66,8 +81,7 @@ class _ContactSimulation:
         t = start_time
         end = min(start_time + cfg.deadline, self.mobility.horizon)
         while t <= end + 1e-9:
-            positions = self.mobility.positions(t)
-            dist = pairwise_distances(positions)
+            dist = self.dist_cache.at(t)
             forwarders = self._forwarders(carriers, source)
             in_contact = (dist <= cfg.contact_range) & forwarders[:, np.newaxis]
             np.fill_diagonal(in_contact, False)
@@ -132,9 +146,7 @@ class TwoHopRelayRouting(_ContactSimulation):
         t = start_time
         end = min(start_time + cfg.deadline, self.mobility.horizon)
         while t <= end + 1e-9:
-            positions = self.mobility.positions(t)
-            dist = pairwise_distances(positions)
-            within = dist <= cfg.contact_range
+            within = self.dist_cache.at(t) <= cfg.contact_range
             # any carrier (source or relay) in contact with the destination
             if (within[destination] & carriers)[np.arange(n) != destination].any():
                 carriers[destination] = True

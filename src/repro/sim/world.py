@@ -172,6 +172,10 @@ class NetworkWorld:
             )
             for i in range(config.n_nodes)
         ]
+        # One (time, positions, dist) memo: repeated observers sampling the
+        # same tick share a single distance matrix instead of recomputing
+        # the O(n^2) geometry per observer.
+        self._geometry_memo: tuple[float, np.ndarray, np.ndarray] | None = None
         self._setup_hello_schedule()
 
     # ------------------------------------------------------------------ #
@@ -400,8 +404,13 @@ class NetworkWorld:
                 f"cannot snapshot the future: t={t} > now={self.engine.now}"
             )
         n = self.config.n_nodes
-        positions = self.positions(now)
-        dist = pairwise_distances(positions)
+        memo = self._geometry_memo
+        if memo is not None and memo[0] == now:
+            _, positions, dist = memo
+        else:
+            positions = self.positions(now)
+            dist = pairwise_distances(positions)
+            self._geometry_memo = (now, positions, dist)
         logical = np.zeros((n, n), dtype=bool)
         actual = np.zeros(n)
         extended = np.zeros(n)

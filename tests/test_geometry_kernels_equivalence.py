@@ -1,0 +1,174 @@
+"""Exact-equivalence tests: vectorized kernels vs. the loop oracle.
+
+The vectorized witness-elimination / cone-scan kernels in
+:mod:`repro.geometry.graphs` and the grid-backed unit-disk construction in
+:mod:`repro.geometry.grid` must be *bit-identical* to the original loop
+implementations (preserved in :mod:`repro.geometry._reference`) on every
+layout — randomized clouds across sizes, collinear sets, duplicate points
+and boundary-distance ties.  Any divergence is a correctness bug, not a
+tolerance issue: downstream protocol validation compares adjacency
+matrices exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.geometry._reference import (
+    gabriel_graph_loop,
+    relative_neighborhood_graph_loop,
+    unit_disk_graph_loop,
+    yao_graph_loop,
+)
+from repro.geometry.graphs import (
+    gabriel_graph,
+    relative_neighborhood_graph,
+    unit_disk_graph,
+    yao_graph,
+)
+from repro.geometry.grid import DENSE_THRESHOLD, GraphBackend, GridIndex
+from repro.geometry.points import pairwise_distances
+
+SIZES = [1, 2, 10, 100, 500]
+RADII = [None, 50.0, 250.0]
+
+
+def random_layout(n: int, seed: int) -> np.ndarray:
+    return np.random.default_rng(seed).random((n, 2)) * 900.0
+
+
+def collinear_layout(n: int) -> np.ndarray:
+    return np.stack([np.linspace(0.0, 900.0, max(n, 1)), np.zeros(max(n, 1))], axis=1)
+
+
+def duplicate_layout(n: int, seed: int) -> np.ndarray:
+    base = np.random.default_rng(seed).random((max(n // 2, 1), 2)) * 900.0
+    return np.repeat(base, 2, axis=0)[:n]
+
+
+def layouts(n: int, seed: int):
+    yield "random", random_layout(n, seed)
+    yield "collinear", collinear_layout(n)
+    yield "duplicates", duplicate_layout(n, seed)
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_rng_gabriel_match_loop_oracle(n):
+    for name, pts in layouts(n, seed=n):
+        for radius in RADII:
+            got = relative_neighborhood_graph(pts, radius)
+            want = relative_neighborhood_graph_loop(pts, radius)
+            assert np.array_equal(got, want), f"RNG n={n} {name} r={radius}"
+            got = gabriel_graph(pts, radius)
+            want = gabriel_graph_loop(pts, radius)
+            assert np.array_equal(got, want), f"Gabriel n={n} {name} r={radius}"
+
+
+@pytest.mark.parametrize("n", SIZES)
+@pytest.mark.parametrize("k", [1, 4, 6])
+def test_yao_matches_loop_oracle(n, k):
+    for name, pts in layouts(n, seed=3 * n + k):
+        for radius in (None, 250.0):
+            got = yao_graph(pts, k, radius)
+            want = yao_graph_loop(pts, k, radius)
+            assert np.array_equal(got, want), f"Yao n={n} k={k} {name} r={radius}"
+
+
+def test_yao_tie_break_matches_argmin_semantics():
+    # Two equidistant neighbors in the same cone: the loop oracle keeps the
+    # one with the smaller index (np.argmin takes the first minimum).
+    pts = np.array([[0.0, 0.0], [10.0, 1.0], [10.0, -1.0], [10.0, 1.0]])
+    assert np.array_equal(yao_graph(pts, 1), yao_graph_loop(pts, 1))
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_unit_disk_grid_matches_dense(n):
+    for name, pts in layouts(n, seed=7 * n + 1):
+        for radius in (25.0, 250.0):
+            dense = unit_disk_graph_loop(pts, radius)
+            assert np.array_equal(
+                GridIndex(pts, cell_size=radius).unit_disk(radius), dense
+            ), f"grid n={n} {name} r={radius}"
+            assert np.array_equal(
+                GraphBackend(pts, mode="grid").unit_disk(radius), dense
+            ), f"backend n={n} {name} r={radius}"
+            assert np.array_equal(unit_disk_graph(pts, radius), dense)
+
+
+def test_unit_disk_boundary_tie_identical_on_grid_and_dense():
+    # Distance exactly equal to the radius, including across a cell border.
+    pts = np.array([[0.0, 0.0], [30.0, 0.0], [60.0, 0.0], [30.0, 30.0]])
+    dense = unit_disk_graph_loop(pts, 30.0)
+    assert dense[0, 1] and dense[1, 3]
+    assert np.array_equal(GridIndex(pts, cell_size=30.0).unit_disk(30.0), dense)
+
+
+def test_unit_disk_dispatches_to_grid_at_scale():
+    n = DENSE_THRESHOLD + 10
+    pts = random_layout(n, seed=5)
+    dense = unit_disk_graph_loop(pts, 100.0)
+    assert np.array_equal(unit_disk_graph(pts, 100.0), dense)
+
+
+def test_unit_disk_accepts_precomputed_dist():
+    pts = random_layout(50, seed=11)
+    dist = pairwise_distances(pts)
+    assert np.array_equal(
+        unit_disk_graph(pts, 100.0, dist=dist), unit_disk_graph_loop(pts, 100.0)
+    )
+
+
+def test_kernels_accept_precomputed_dist():
+    pts = random_layout(80, seed=13)
+    dist = pairwise_distances(pts)
+    assert np.array_equal(
+        relative_neighborhood_graph(pts, 250.0, dist=dist),
+        relative_neighborhood_graph_loop(pts, 250.0),
+    )
+    assert np.array_equal(
+        gabriel_graph(pts, 250.0, dist=dist), gabriel_graph_loop(pts, 250.0)
+    )
+    assert np.array_equal(
+        yao_graph(pts, 6, 250.0, dist=dist), yao_graph_loop(pts, 6, 250.0)
+    )
+
+
+def test_dist_shape_mismatch_rejected():
+    pts = random_layout(10, seed=1)
+    with pytest.raises(ValueError, match="dist has shape"):
+        relative_neighborhood_graph(pts, 100.0, dist=np.zeros((4, 4)))
+
+
+class TestGridIndex:
+    def test_empty_and_single_point(self):
+        empty = GridIndex(np.empty((0, 2)), cell_size=10.0)
+        assert empty.unit_disk(10.0).shape == (0, 0)
+        assert empty.neighbors_within(np.array([0.0, 0.0]), 10.0).size == 0
+        one = GridIndex(np.array([[3.0, 4.0]]), cell_size=10.0)
+        assert not one.unit_disk(10.0).any()
+        assert list(one.neighbors_within(np.array([0.0, 0.0]), 5.0)) == [0]
+
+    def test_rejects_bad_cell_size(self):
+        with pytest.raises(ValueError, match="cell_size"):
+            GridIndex(np.zeros((2, 2)), cell_size=0.0)
+
+    def test_negative_coordinates(self):
+        pts = np.array([[-100.0, -100.0], [-70.0, -100.0], [100.0, 100.0]])
+        dense = unit_disk_graph_loop(pts, 30.0)
+        assert np.array_equal(GridIndex(pts, cell_size=30.0).unit_disk(30.0), dense)
+
+    def test_query_radius_larger_than_cell(self):
+        pts = random_layout(100, seed=21)
+        index = GridIndex(pts, cell_size=20.0)
+        dense = unit_disk_graph_loop(pts, 75.0)
+        assert np.array_equal(index.unit_disk(75.0), dense)
+
+    def test_backend_caches_distance_matrix(self):
+        pts = random_layout(30, seed=2)
+        backend = GraphBackend(pts, mode="dense")
+        assert backend.distances() is backend.distances()
+
+    def test_backend_rejects_unknown_mode(self):
+        with pytest.raises(ValueError, match="mode"):
+            GraphBackend(np.zeros((2, 2)), mode="quantum")

@@ -87,9 +87,28 @@ class TestNeighborsWithin:
         idx = neighbors_within(pts[0], pts, 5.0)
         assert list(idx) == [0, 1]
 
+    def test_exact_boundary_distance_is_included(self):
+        # The unit-disk convention is d <= r: a point *exactly* at the
+        # radius is reachable (what the docstring promises).
+        pts = np.array([[0.0, 0.0], [7.5, 0.0], [0.0, 7.5], [7.5000001, 0.0]])
+        assert list(neighbors_within(pts[0], pts, 7.5)) == [0, 1, 2]
+
     def test_includes_self(self):
         pts = np.array([[0.0, 0.0], [100.0, 0.0]])
         assert 0 in neighbors_within(pts[0], pts, 1.0)
+
+    def test_grid_index_matches_dense_scan(self):
+        from repro.geometry.grid import GridIndex
+
+        rng = np.random.default_rng(99)
+        pts = rng.random((60, 2)) * 100
+        for radius in (10.0, 35.0):
+            index = GridIndex(pts, cell_size=radius)
+            for probe in (pts[0], pts[31], np.array([50.0, 50.0])):
+                assert np.array_equal(
+                    neighbors_within(probe, pts, radius, index=index),
+                    neighbors_within(probe, pts, radius),
+                )
 
 
 class TestAngles:

@@ -169,6 +169,63 @@ class TestCounters:
         assert eng.pending_events == 1
 
 
+class TestTombstoneCompaction:
+    def test_heap_compacts_when_cancellations_dominate(self):
+        # Cancel 99 of 100 events: compaction must shrink the underlying
+        # heap, not just the logical count, or long simulations with heavy
+        # timer churn would leak dead entries.
+        eng = Engine()
+        handles = [eng.schedule_at(float(t + 1), lambda: None) for t in range(100)]
+        for h in handles[1:]:
+            h.cancel()
+        assert eng.pending_events == 1
+        # At most one tombstone may remain below the compaction threshold.
+        assert len(eng._queue) <= 2
+        assert eng._tombstones <= 1
+
+    def test_events_still_fire_in_order_after_compaction(self):
+        eng = Engine()
+        seen = []
+        handles = [
+            eng.schedule_at(float(t + 1), seen.append, t) for t in range(20)
+        ]
+        for h in handles[::2]:  # cancel every other event -> triggers compaction
+            h.cancel()
+        eng.run(until=30.0)
+        assert seen == list(range(1, 20, 2))
+        assert eng.pending_events == 0
+
+    def test_pop_of_uncompacted_tombstone_keeps_count_consistent(self):
+        # Below the compaction threshold the tombstone stays in the heap;
+        # popping it during run() must decrement the counter.
+        eng = Engine()
+        handles = [eng.schedule_at(float(t + 1), lambda: None) for t in range(5)]
+        handles[0].cancel()  # 1 tombstone of 5 entries: no compaction yet
+        assert eng._tombstones == 1
+        eng.run(until=10.0)
+        assert eng._tombstones == 0
+        assert eng.pending_events == 0
+
+    def test_double_cancel_counts_once(self):
+        eng = Engine()
+        h = eng.schedule_at(1.0, lambda: None)
+        eng.schedule_at(2.0, lambda: None)
+        eng.schedule_at(3.0, lambda: None)
+        h.cancel()
+        h.cancel()
+        assert eng.pending_events == 2
+
+    def test_clear_resets_tombstones(self):
+        eng = Engine()
+        handles = [eng.schedule_at(float(t + 1), lambda: None) for t in range(6)]
+        handles[0].cancel()
+        eng.clear()
+        assert eng.pending_events == 0
+        assert eng._tombstones == 0
+        eng.schedule_at(1.0, lambda: None)
+        assert eng.pending_events == 1
+
+
 class TestPeriodicTimer:
     def test_fires_at_interval(self):
         eng = Engine()
