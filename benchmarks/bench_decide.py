@@ -1,0 +1,207 @@
+"""Decision-pipeline benchmark: fingerprint cache and the RNG batch kernel.
+
+Measures the incremental decision pipeline introduced with the
+view-fingerprint cache (see ``docs/PERFORMANCE.md``):
+
+- ``redecide_all`` at the paper's scale (100 nodes) under view
+  synchronization, cache on vs cache off — packet-time recomputation with
+  an unchanged view must collapse to cache hits;
+- the batched :func:`~repro.core.framework.rng_removable_batch` kernel vs
+  one :func:`~repro.core.framework.rng_removable` scan per link.
+
+Outputs are asserted bit-identical between the compared variants before
+any timing, and ``BENCH_decide.json`` (median ns/op plus speedups) is
+written at the repository root for regression tracking.
+
+Run explicitly — it is not part of tier-1:
+
+    PYTHONPATH=src python benchmarks/bench_decide.py [--smoke]
+    PYTHONPATH=src python -m pytest benchmarks/bench_decide.py -m decide_bench
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.analysis.experiment import ExperimentSpec, build_world
+from repro.analysis.scales import Scale
+from repro.core.framework import LocalCostGraph, rng_removable, rng_removable_batch
+
+pytestmark = pytest.mark.decide_bench
+
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_decide.json"
+
+#: paper density: 8100 m^2 per node => side = 90 * sqrt(n)
+def _side(n: int) -> float:
+    return 90.0 * float(np.sqrt(n))
+
+
+def _median_ns(fn, budget_s: float = 2.0, min_reps: int = 5) -> float:
+    """Median wall time of ``fn()`` in nanoseconds (self-sizing reps)."""
+    start = time.perf_counter()
+    fn()
+    est = time.perf_counter() - start
+    reps = max(min_reps, min(200, int(budget_s / max(est, 1e-9))))
+    samples = []
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - t0)
+    return float(np.median(samples) * 1e9)
+
+
+def _decisions(world) -> list:
+    return [
+        (
+            node.node_id,
+            None
+            if node.decision is None
+            else (
+                node.decision.logical_neighbors,
+                node.decision.actual_range,
+                node.decision.extended_range,
+            ),
+        )
+        for node in world.nodes
+    ]
+
+
+def bench_redecide(n: int, seed: int = 7, warm_t: float = 3.0) -> dict:
+    """Time ``redecide_all`` cache-on vs cache-off at *n* nodes, view-sync."""
+    scale = Scale(
+        name="bench",
+        n_nodes=n,
+        area_side=_side(n),
+        duration=warm_t + 2.0,
+        sample_rate=1.0,
+        repetitions=1,
+    )
+    spec = ExperimentSpec(
+        protocol="rng",
+        mechanism="view-sync",
+        mean_speed=20.0,
+        config=scale.config(),
+    )
+    world_on = build_world(spec, seed)
+    world_off = build_world(spec, seed)
+    world_off.manager.decision_cache_enabled = False
+    world_on.run_until(warm_t)
+    world_off.run_until(warm_t)
+
+    # Bit-identical decisions with the cache on and off, before any timing.
+    world_on.redecide_all()
+    world_off.redecide_all()
+    if _decisions(world_on) != _decisions(world_off):
+        raise AssertionError("decision cache changed redecide_all outputs")
+
+    on_ns = _median_ns(world_on.redecide_all)
+    off_ns = _median_ns(world_off.redecide_all)
+    info = world_on.manager.cache_info()
+    print(
+        f"redecide_all n={n:<4} cache-off={off_ns / 1e6:8.2f} ms   "
+        f"cache-on={on_ns / 1e6:8.2f} ms   {off_ns / on_ns:6.1f}x   "
+        f"(hits={info['decision_cache_hits']}, "
+        f"misses={info['decision_cache_misses']})"
+    )
+    return {
+        "n": n,
+        "cache_off_ns": round(off_ns),
+        "cache_on_ns": round(on_ns),
+        "speedup": round(off_ns / on_ns, 2),
+        **info,
+    }
+
+
+def _random_cost_graph(m: int, seed: int) -> LocalCostGraph:
+    rng = np.random.default_rng(seed)
+    pts = rng.random((m, 2)) * 250.0
+    diff = pts[:, np.newaxis, :] - pts[np.newaxis, :, :]
+    dist = np.hypot(diff[..., 0], diff[..., 1])
+    adj = dist <= 250.0
+    np.fill_diagonal(adj, False)
+    graph = LocalCostGraph(list(range(m)), adj, dist, dist, dist, dist)
+    graph.rank_low  # pre-rank: both predicates share the cached rank matrices
+    return graph
+
+
+def bench_rng_kernel(m: int, seed: int = 11) -> dict:
+    """Time the batched RNG condition vs one per-edge scan per link."""
+    graph = _random_cost_graph(m, seed)
+
+    def per_edge() -> dict[int, bool]:
+        return {
+            int(j): rng_removable(graph, 0, int(j))
+            for j in np.flatnonzero(graph.adj[0])
+        }
+
+    want, got = per_edge(), rng_removable_batch(graph)
+    if want != got:
+        raise AssertionError(f"rng batch kernel diverges from per-edge at m={m}")
+    edge_ns = _median_ns(per_edge, budget_s=1.0)
+    batch_ns = _median_ns(lambda: rng_removable_batch(graph), budget_s=1.0)
+    print(
+        f"rng_kernel  m={m:<4} per-edge={edge_ns / 1e3:8.1f} us   "
+        f"batch={batch_ns / 1e3:8.1f} us   {edge_ns / batch_ns:6.1f}x"
+    )
+    return {
+        "m": m,
+        "per_edge_ns": round(edge_ns),
+        "batch_ns": round(batch_ns),
+        "speedup": round(edge_ns / batch_ns, 2),
+    }
+
+
+def run_benchmark(smoke: bool = False) -> dict:
+    redecide_sizes = (25,) if smoke else (50, 100)
+    kernel_sizes = (16,) if smoke else (25, 50, 100)
+    results = {
+        "redecide_all": {str(n): bench_redecide(n) for n in redecide_sizes},
+        "rng_kernel": {str(m): bench_rng_kernel(m) for m in kernel_sizes},
+    }
+    return {
+        "meta": {
+            "unit": "ns/op (median)",
+            "mechanism": "view-sync",
+            "protocol": "rng",
+            "smoke": smoke,
+            "redecide_sizes": list(redecide_sizes),
+            "kernel_sizes": list(kernel_sizes),
+        },
+        "results": results,
+    }
+
+
+def test_decide_bench():
+    payload = run_benchmark()
+    OUTPUT.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {OUTPUT}")
+    # Packet-time recomputation with an unchanged view must be dominated by
+    # cache hits: >= 3x over the uncached pipeline at the paper's scale.
+    assert payload["results"]["redecide_all"]["100"]["speedup"] >= 3.0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny sizes, no speedup thresholds (CI sanity run)",
+    )
+    args = parser.parse_args()
+    if args.smoke:
+        payload = run_benchmark(smoke=True)
+        OUTPUT.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+        print(f"wrote {OUTPUT} (smoke)")
+        return 0
+    test_decide_bench()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -53,6 +53,7 @@ def generate_equivalence_study(
     protocol: str = "rng",
     range_factors: tuple[float, ...] = (1.0, 0.5, 0.25),
     mobility_indices: tuple[float, ...] = (0.04, 0.16, 0.64),
+    workers: int | None = None,
 ) -> list[EquivalencePoint]:
     """Measure connectivity across the (range, speed) grid.
 
@@ -78,7 +79,10 @@ def generate_equivalence_study(
                 config=cfg,
             )
             agg = run_repetitions(
-                spec, repetitions=scale.repetitions, base_seed=base_seed
+                spec,
+                repetitions=scale.repetitions,
+                base_seed=base_seed,
+                workers=workers,
             )
             points.append(
                 EquivalencePoint(

@@ -133,7 +133,13 @@ def build_world(spec: ExperimentSpec, seed: int) -> NetworkWorld:
 
 @dataclass(frozen=True)
 class RunResult:
-    """Per-sample series of one simulation run."""
+    """Per-sample series of one simulation run.
+
+    ``channel_stats`` carries the channel's message counters plus the
+    manager's decision-cache counters (``decision_cache_hits`` /
+    ``decision_cache_misses`` / ``decision_cache_uncacheable``), so the
+    cache's effectiveness is observable per run.
+    """
 
     spec: ExperimentSpec
     seed: int
@@ -197,7 +203,10 @@ def run_once(spec: ExperimentSpec, seed: int = 0) -> RunResult:
         mean_logical_degrees=np.asarray(ldeg),
         mean_physical_degrees=np.asarray(pdeg),
         strict_connected=np.asarray(strict, dtype=bool),
-        channel_stats=world.channel.stats.as_dict(),
+        channel_stats={
+            **world.channel.stats.as_dict(),
+            **world.manager.cache_info(),
+        },
     )
 
 

@@ -114,6 +114,7 @@ def _speed_sweep(
     buffer_width: float = 0.0,
     physical_neighbor_mode: bool = False,
     label: str | None = None,
+    workers: int | None = None,
 ) -> FigureSeries:
     """Run one protocol/config over the scale's speed grid."""
     points = []
@@ -126,17 +127,25 @@ def _speed_sweep(
             mean_speed=speed,
             config=scale.config(),
         )
-        agg = run_repetitions(spec, repetitions=scale.repetitions, base_seed=base_seed)
+        agg = run_repetitions(
+            spec,
+            repetitions=scale.repetitions,
+            base_seed=base_seed,
+            workers=workers,
+        )
         points.append(FigurePoint(x=speed, result=agg))
     return FigureSeries(
         label=label or protocol, x_name="speed_mps", points=tuple(points)
     )
 
 
-def generate_fig6(scale: Scale = QUICK, base_seed: int = 3000) -> FigureResult:
+def generate_fig6(
+    scale: Scale = QUICK, base_seed: int = 3000, workers: int | None = None
+) -> FigureResult:
     """Fig. 6: connectivity ratio of the baseline protocols vs speed."""
     series = tuple(
-        _speed_sweep(p, scale, base_seed) for p in BASELINE_PROTOCOLS
+        _speed_sweep(p, scale, base_seed, workers=workers)
+        for p in BASELINE_PROTOCOLS
     )
     return FigureResult(
         figure_id="fig6",
@@ -153,6 +162,7 @@ def _buffer_family(
     physical_neighbor_mode: bool,
     figure_id: str,
     title: str,
+    workers: int | None = None,
 ) -> FigureResult:
     """Figs. 7/9/10 share this shape: per protocol, one curve per buffer."""
     series = []
@@ -167,6 +177,7 @@ def _buffer_family(
                     buffer_width=width,
                     physical_neighbor_mode=physical_neighbor_mode,
                     label=f"{protocol}+buf{width:g}",
+                    workers=workers,
                 )
             )
     return FigureResult(
@@ -174,7 +185,9 @@ def _buffer_family(
     )
 
 
-def generate_fig7(scale: Scale = QUICK, base_seed: int = 3700) -> FigureResult:
+def generate_fig7(
+    scale: Scale = QUICK, base_seed: int = 3700, workers: int | None = None
+) -> FigureResult:
     """Fig. 7: connectivity with different buffer widths (buffer alone)."""
     return _buffer_family(
         scale,
@@ -183,10 +196,13 @@ def generate_fig7(scale: Scale = QUICK, base_seed: int = 3700) -> FigureResult:
         physical_neighbor_mode=False,
         figure_id="fig7",
         title="connectivity ratio with different buffer zone widths",
+        workers=workers,
     )
 
 
-def generate_fig9(scale: Scale = QUICK, base_seed: int = 3900) -> FigureResult:
+def generate_fig9(
+    scale: Scale = QUICK, base_seed: int = 3900, workers: int | None = None
+) -> FigureResult:
     """Fig. 9: connectivity with view synchronization + buffer zones."""
     return _buffer_family(
         scale,
@@ -195,10 +211,13 @@ def generate_fig9(scale: Scale = QUICK, base_seed: int = 3900) -> FigureResult:
         physical_neighbor_mode=False,
         figure_id="fig9",
         title="connectivity ratio with and without view synchronization",
+        workers=workers,
     )
 
 
-def generate_fig10(scale: Scale = QUICK, base_seed: int = 4100) -> FigureResult:
+def generate_fig10(
+    scale: Scale = QUICK, base_seed: int = 4100, workers: int | None = None
+) -> FigureResult:
     """Fig. 10: connectivity with physical-neighbor forwarding + buffers."""
     return _buffer_family(
         scale,
@@ -207,6 +226,7 @@ def generate_fig10(scale: Scale = QUICK, base_seed: int = 4100) -> FigureResult:
         physical_neighbor_mode=True,
         figure_id="fig10",
         title="connectivity ratio before and after using physical neighbors",
+        workers=workers,
     )
 
 
@@ -215,6 +235,7 @@ def generate_fig8(
     base_seed: int = 3800,
     speed: float = MODERATE_SPEED,
     widths: tuple[float, ...] | None = None,
+    workers: int | None = None,
 ) -> tuple[FigureResult, FigureResult]:
     """Fig. 8: (a) tx range and (b) physical degree vs buffer width.
 
@@ -235,7 +256,10 @@ def generate_fig8(
                 config=scale.config(),
             )
             agg = run_repetitions(
-                spec, repetitions=scale.repetitions, base_seed=base_seed
+                spec,
+                repetitions=scale.repetitions,
+                base_seed=base_seed,
+                workers=workers,
             )
             pts.append(FigurePoint(x=width, result=agg))
         series_range.append(

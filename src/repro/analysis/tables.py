@@ -76,6 +76,7 @@ def generate_table1(
     base_seed: int = 2000,
     speed: float = 1.0,
     include_reference: bool = True,
+    workers: int | None = None,
 ) -> Table1Result:
     """Measure Table 1 at the given *scale*.
 
@@ -95,6 +96,9 @@ def generate_table1(
             config=scale.config(),
         )
         results[name] = run_repetitions(
-            spec, repetitions=scale.repetitions, base_seed=base_seed
+            spec,
+            repetitions=scale.repetitions,
+            base_seed=base_seed,
+            workers=workers,
         )
     return Table1Result(scale=scale, results=results)

@@ -46,13 +46,35 @@ _SCALES: dict[str, Scale] = {
 }
 
 _FIGURES = {
-    "table1": lambda scale, seed: [generate_table1(scale, base_seed=seed)],
-    "fig6": lambda scale, seed: [generate_fig6(scale, base_seed=seed)],
-    "fig7": lambda scale, seed: [generate_fig7(scale, base_seed=seed)],
-    "fig8": lambda scale, seed: list(generate_fig8(scale, base_seed=seed)),
-    "fig9": lambda scale, seed: [generate_fig9(scale, base_seed=seed)],
-    "fig10": lambda scale, seed: [generate_fig10(scale, base_seed=seed)],
+    "table1": lambda scale, seed, workers: [
+        generate_table1(scale, base_seed=seed, workers=workers)
+    ],
+    "fig6": lambda scale, seed, workers: [
+        generate_fig6(scale, base_seed=seed, workers=workers)
+    ],
+    "fig7": lambda scale, seed, workers: [
+        generate_fig7(scale, base_seed=seed, workers=workers)
+    ],
+    "fig8": lambda scale, seed, workers: list(
+        generate_fig8(scale, base_seed=seed, workers=workers)
+    ),
+    "fig9": lambda scale, seed, workers: [
+        generate_fig9(scale, base_seed=seed, workers=workers)
+    ],
+    "fig10": lambda scale, seed, workers: [
+        generate_fig10(scale, base_seed=seed, workers=workers)
+    ],
 }
+
+
+def _add_workers_flag(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="processes for repetition fan-out (default: REPRO_WORKERS env "
+        "var, else 1); results are identical at any worker count",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -72,12 +94,14 @@ def build_parser() -> argparse.ArgumentParser:
             "--no-chart", dest="chart", action="store_false",
             help="suppress the ASCII chart rendering",
         )
+        _add_workers_flag(p)
 
     p = sub.add_parser("report", help="run the full campaign and write EXPERIMENTS.md")
     p.add_argument("--scale", choices=sorted(_SCALES), default="quick")
     p.add_argument("--seed", type=int, default=2026)
     p.add_argument("--output", default="EXPERIMENTS.md")
     p.add_argument("--html", help="also write a standalone HTML report here")
+    _add_workers_flag(p)
 
     p = sub.add_parser("unicast", help="GFG/GPSR unicast over maintained topologies")
     p.add_argument("--scale", choices=sorted(_SCALES), default="quick")
@@ -92,6 +116,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("equivalence", help="speed-range equivalence study (Sec. 5.1)")
     p.add_argument("--scale", choices=sorted(_SCALES), default="quick")
     p.add_argument("--seed", type=int, default=2026)
+    _add_workers_flag(p)
 
     p = sub.add_parser("run", help="run one custom configuration")
     p.add_argument("--protocol", choices=available_protocols(), default="rng")
@@ -108,6 +133,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--sample-rate", type=float, default=10.0)
     p.add_argument("--repetitions", type=int, default=5)
     p.add_argument("--seed", type=int, default=2026)
+    _add_workers_flag(p)
     return parser
 
 
@@ -117,7 +143,7 @@ def _run_figures(args: argparse.Namespace) -> int:
     all_rows = []
     for name in names:
         t0 = time.perf_counter()
-        for result in _FIGURES[name](scale, args.seed):
+        for result in _FIGURES[name](scale, args.seed, args.workers):
             print(result.format())
             print()
             if getattr(result, "series", None) and getattr(args, "chart", True):
@@ -151,7 +177,12 @@ def _run_single(args: argparse.Namespace) -> int:
         config=scale_cfg.config(),
     )
     t0 = time.perf_counter()
-    agg = run_repetitions(spec, repetitions=args.repetitions, base_seed=args.seed)
+    agg = run_repetitions(
+        spec,
+        repetitions=args.repetitions,
+        base_seed=args.seed,
+        workers=args.workers,
+    )
     elapsed = time.perf_counter() - t0
     print(format_kv(
         {
@@ -172,7 +203,9 @@ def _run_single(args: argparse.Namespace) -> int:
 def _run_report(args: argparse.Namespace) -> int:
     from repro.analysis.campaign import render_experiments_md, run_campaign
 
-    result = run_campaign(_SCALES[args.scale], base_seed=args.seed)
+    result = run_campaign(
+        _SCALES[args.scale], base_seed=args.seed, workers=args.workers
+    )
     text = render_experiments_md(result)
     with open(args.output, "w", encoding="utf-8") as fh:
         fh.write(text)
@@ -231,7 +264,9 @@ def _run_equivalence(args: argparse.Namespace) -> int:
     from repro.analysis.equivalence import generate_equivalence_study
     from repro.analysis.report import format_table
 
-    points = generate_equivalence_study(_SCALES[args.scale], base_seed=args.seed)
+    points = generate_equivalence_study(
+        _SCALES[args.scale], base_seed=args.seed, workers=args.workers
+    )
     print(
         format_table(
             [p.row() for p in points],

@@ -22,8 +22,11 @@ from repro.core.framework import (
     SelectionResult,
     apply_removal_condition,
     mst_removable,
+    mst_removable_batch,
     rng_removable,
+    rng_removable_batch,
     spt_removable,
+    spt_removable_batch,
 )
 from repro.core.manager import MobilitySensitiveTopologyControl, NodeDecision
 from repro.core.tables import NeighborTable
@@ -53,8 +56,11 @@ __all__ = [
     "SelectionResult",
     "apply_removal_condition",
     "rng_removable",
+    "rng_removable_batch",
     "spt_removable",
+    "spt_removable_batch",
     "mst_removable",
+    "mst_removable_batch",
     "NeighborTable",
     "ConsistencyMechanism",
     "BaselineConsistency",

@@ -79,6 +79,23 @@ class ConsistencyMechanism(ABC):
             Global Hello version a packet mandates (proactive/reactive).
         """
 
+    def decision_fingerprint(
+        self,
+        table: NeighborTable,
+        now: float,
+        current_hello: Hello,
+        version: int | None = None,
+    ) -> tuple | None:
+        """Hashable value pinning every input :meth:`decide` reads, or None.
+
+        Equal fingerprints MUST imply equal :meth:`decide` outputs — the
+        decision cache in
+        :class:`~repro.core.manager.MobilitySensitiveTopologyControl` is an
+        equality-of-inputs memo, not an approximation.  A mechanism whose
+        inputs cannot be pinned cheaply returns None (never cached).
+        """
+        return None
+
     def __repr__(self) -> str:
         return f"{type(self).__name__}()"
 
@@ -91,6 +108,12 @@ class BaselineConsistency(ConsistencyMechanism):
     def decide(self, protocol, table, now, current_hello, version=None):
         view = table.latest_view(now, own_hello=current_hello)
         return protocol.select(view)
+
+    def decision_fingerprint(self, table, now, current_hello, version=None):
+        # The selection reads the live latest Hellos plus the node's current
+        # true position; under mobility the latter changes per call, so hits
+        # occur only while the node is stationary between table changes.
+        return (self.name, table.live_view_token(now), current_hello.position)
 
 
 class ViewSynchronization(ConsistencyMechanism):
@@ -115,6 +138,13 @@ class ViewSynchronization(ConsistencyMechanism):
             own = current_hello
         view = table.latest_view(now, own_hello=own)
         return protocol.select(view)
+
+    def decision_fingerprint(self, table, now, current_hello, version=None):
+        # The own position is the *last advertised* one, which only changes
+        # with a table mutation — this is what makes packet-time
+        # recomputation (redecide_all) near-free between Hello generations.
+        own = table.last_advertised or current_hello
+        return (self.name, table.live_view_token(now), own.position)
 
 
 class ProactiveConsistency(ConsistencyMechanism):
@@ -152,6 +182,12 @@ class ProactiveConsistency(ConsistencyMechanism):
             view = table.versioned_view(now, max(candidates))
         return protocol.select(view)
 
+    def decision_fingerprint(self, table, now, current_hello, version=None):
+        # Versioned views ignore the expiry window and never read the
+        # current true position; the full retained state plus the requested
+        # version pin the decision (including the fallback resolution).
+        return (self.name, table.full_token(), version)
+
 
 class ReactiveConsistency(ProactiveConsistency):
     """Strong consistency from synchronized Hello rounds (reactive approach).
@@ -186,6 +222,12 @@ class WeakConsistency(ConsistencyMechanism):
     def decide(self, protocol, table, now, current_hello, version=None):
         view = table.multi_view(now, own_hello=current_hello)
         return protocol.select_conservative(view)
+
+    def decision_fingerprint(self, table, now, current_hello, version=None):
+        # The conservative view spans the retained histories plus the
+        # node's current true position (appended as the freshest own
+        # record), so mobility keeps this missing like the baseline.
+        return (self.name, table.live_view_token(now), current_hello.position)
 
     def __repr__(self) -> str:
         return f"WeakConsistency(history_depth={self.history_depth})"

@@ -36,6 +36,7 @@ __all__ = [
     "LocalCostGraph",
     "SelectionResult",
     "rng_removable",
+    "rng_removable_batch",
     "spt_removable",
     "spt_removable_batch",
     "mst_removable",
@@ -234,6 +235,38 @@ def rng_removable(graph: LocalCostGraph, owner: int, v: int) -> bool:
     )
     witnesses[owner] = witnesses[v] = False
     return bool(witnesses.any())
+
+
+def rng_removable_batch(graph: LocalCostGraph) -> dict[int, bool]:
+    """Condition 1 for *all* of the owner's links in one broadcast pass.
+
+    One ``(k, m)`` witness mask replaces k per-edge scans: for every
+    neighbor v of the owner, witness w qualifies iff it is adjacent to
+    both ends and both witness links rank (by upper bound) strictly below
+    the direct link's lower bound — exactly :func:`rng_removable`, so the
+    conservative low/high asymmetry carries over and interval graphs need
+    no fallback.
+    """
+    adj = graph.adj
+    neighbors = np.flatnonzero(adj[0])
+    if neighbors.size == 0:
+        return {}
+    rank_high = graph.rank_high
+    targets = graph.rank_low[0, neighbors][:, np.newaxis]
+    witnesses = (
+        adj[0][np.newaxis, :]
+        & adj[neighbors, :]
+        & (rank_high[0][np.newaxis, :] < targets)
+        & (rank_high[:, neighbors].T < targets)
+    )
+    witnesses[:, 0] = False
+    witnesses[np.arange(neighbors.size), neighbors] = False
+    removable = witnesses.any(axis=1)
+    return {int(v): bool(r) for v, r in zip(neighbors, removable)}
+
+
+#: marker consumed by apply_removal_condition
+rng_removable_batch.is_batch = True  # type: ignore[attr-defined]
 
 
 def spt_removable(graph: LocalCostGraph, owner: int, v: int) -> bool:

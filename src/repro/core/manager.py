@@ -14,11 +14,22 @@ The object is simulator-agnostic: it turns a neighbor table + current
 position into a :class:`NodeDecision`.  The simulator calls it at Hello
 time and (for packet-recomputing mechanisms) at forward time; library
 users can call it directly on hand-built tables.
+
+Because the paper's decisions are made from *stale, asynchronously
+collected* views, most consecutive decisions at a node see identical
+inputs — every packet-time recomputation between two Hello generations,
+for instance.  :meth:`MobilitySensitiveTopologyControl.decide` therefore
+keeps a **view-fingerprint decision cache**: an equality-of-inputs memo
+(never an approximation) that returns the standing selection when the
+mechanism's declared inputs are unchanged, skipping cost-graph
+construction and the removal predicate entirely.  See
+``docs/PERFORMANCE.md`` for the fingerprint contents and invalidation
+rules.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.core.buffer_zone import BufferZonePolicy
 from repro.core.consistency import BaselineConsistency, ConsistencyMechanism
@@ -70,6 +81,12 @@ class MobilitySensitiveTopologyControl:
         When True, receivers accept data packets from *any* in-range
         sender ("enabling physical neighbors", Section 5.1); the logical
         set still determines each node's transmission range.
+    decision_cache:
+        Enable the view-fingerprint decision cache (default: the class
+        attribute :attr:`decision_cache_default`, normally True).  The
+        cache never changes outputs — it only skips recomputation when a
+        decision's inputs are provably unchanged; disable it to benchmark
+        the uncached path or to rule it out while debugging.
 
     Examples
     --------
@@ -81,17 +98,30 @@ class MobilitySensitiveTopologyControl:
     'rng+baseline+buf10'
     """
 
+    #: default for the ``decision_cache`` constructor argument; tests and
+    #: benchmarks flip this to compare cached vs uncached pipelines.
+    decision_cache_default: bool = True
+
     def __init__(
         self,
         protocol: TopologyControlProtocol,
         mechanism: ConsistencyMechanism | None = None,
         buffer_policy: BufferZonePolicy | None = None,
         physical_neighbor_mode: bool = False,
+        decision_cache: bool | None = None,
     ) -> None:
         self.protocol = protocol
         self.mechanism = mechanism or BaselineConsistency()
         self.buffer_policy = buffer_policy or BufferZonePolicy(width=0.0)
         self.physical_neighbor_mode = bool(physical_neighbor_mode)
+        self.decision_cache_enabled = bool(
+            self.decision_cache_default if decision_cache is None else decision_cache
+        )
+        #: per-owner standing decision keyed by its input fingerprint
+        self._decision_cache: dict[int, tuple[tuple, NodeDecision]] = {}
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.cache_uncacheable = 0
         if (
             self.mechanism.name == "weak"
             and not protocol.supports_conservative
@@ -118,17 +148,59 @@ class MobilitySensitiveTopologyControl:
         current_hello: Hello,
         version: int | None = None,
     ) -> NodeDecision:
-        """Make a full topology control decision for one node."""
+        """Make a full topology control decision for one node.
+
+        When the decision cache is enabled and the mechanism's declared
+        inputs (view fingerprint + requested version + buffer policy) are
+        unchanged since the owner's last decision, the standing decision
+        is returned with a refreshed ``decided_at`` — bit-identical to a
+        recomputation, without building the cost graph.
+        """
+        fingerprint: tuple | None = None
+        if self.decision_cache_enabled:
+            inputs = self.mechanism.decision_fingerprint(
+                table, now, current_hello, version=version
+            )
+            if inputs is None:
+                self.cache_uncacheable += 1
+            else:
+                fingerprint = (inputs, self.buffer_policy, self.physical_neighbor_mode)
+                cached = self._decision_cache.get(table.owner)
+                if cached is not None and cached[0] == fingerprint:
+                    self.cache_hits += 1
+                    decision = cached[1]
+                    if decision.decided_at == now:
+                        return decision
+                    return replace(decision, decided_at=now)
         result = self.mechanism.decide(
             self.protocol, table, now, current_hello, version=version
         )
-        return NodeDecision(
+        decision = NodeDecision(
             owner=result.owner,
             logical_neighbors=result.logical_neighbors,
             actual_range=result.actual_range,
             extended_range=self.buffer_policy.extended_range(result.actual_range),
             decided_at=now,
         )
+        if fingerprint is not None:
+            self.cache_misses += 1
+            self._decision_cache[table.owner] = (fingerprint, decision)
+        return decision
+
+    # ------------------------------------------------------------------ #
+    # decision-cache maintenance
+
+    def cache_info(self) -> dict[str, int]:
+        """Decision-cache counters, ``channel_stats``-style (for reports)."""
+        return {
+            "decision_cache_hits": self.cache_hits,
+            "decision_cache_misses": self.cache_misses,
+            "decision_cache_uncacheable": self.cache_uncacheable,
+        }
+
+    def clear_decision_cache(self) -> None:
+        """Drop all standing decisions (counters are kept)."""
+        self._decision_cache.clear()
 
     def describe(self) -> str:
         """Compact configuration label used in reports and figures."""

@@ -273,7 +273,10 @@ def delaunay_graph(points: np.ndarray) -> np.ndarray:
     ``EMST ⊆ RNG ⊆ Gabriel ⊆ Delaunay`` makes this the outermost
     reference construction; degenerate inputs (< 3 points, collinear
     sets) fall back to the complete graph on the points, which preserves
-    the hierarchy's containment property.
+    the hierarchy's containment property.  Co-circular quadruples are the
+    remaining degeneracy: their triangulation is not unique and qhull
+    picks one diagonal arbitrarily, so the containment only holds for
+    points in general position.
     """
     pts = as_points(points)
     n = pts.shape[0]

@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.geometry.grid import GraphBackend
 from repro.geometry.points import distances_from
 from repro.util.validate import check_non_negative, check_probability
 
@@ -79,7 +80,11 @@ class IdealChannel:
             raise ValueError("hello_loss_rate > 0 requires a loss_rng")
 
     def receivers(
-        self, sender: int, positions: np.ndarray, tx_range: float
+        self,
+        sender: int,
+        positions: np.ndarray,
+        tx_range: float,
+        backend: GraphBackend | None = None,
     ) -> np.ndarray:
         """Indices of nodes that hear a broadcast (sender excluded).
 
@@ -91,11 +96,19 @@ class IdealChannel:
             True ``(n, 2)`` node positions at the transmission instant.
         tx_range:
             Transmission range used for this message.
+        backend:
+            Optional :class:`~repro.geometry.grid.GraphBackend` built over
+            *positions*; when given, the range query dispatches through it
+            (grid index at scale, the same dense ``distances_from`` scan
+            below the dense threshold — results are bit-identical).
         """
         if tx_range <= 0.0:
             return np.empty(0, dtype=np.intp)
-        d = distances_from(positions[sender], positions)
-        hit = np.flatnonzero(d <= tx_range)
+        if backend is not None:
+            hit = backend.neighbors_within(positions[sender], tx_range)
+        else:
+            d = distances_from(positions[sender], positions)
+            hit = np.flatnonzero(d <= tx_range)
         return hit[hit != sender]
 
     def surviving_hello_receivers(self, receivers: np.ndarray) -> np.ndarray:

@@ -25,7 +25,7 @@ import numpy as np
 from repro.core.manager import MobilitySensitiveTopologyControl
 from repro.core.tables import NeighborTable
 from repro.core.views import Hello
-from repro.geometry.points import pairwise_distances
+from repro.geometry.grid import GraphBackend
 from repro.mobility.base import MobilityModel
 from repro.sim.clock import ClockSet
 from repro.sim.config import ScenarioConfig
@@ -36,6 +36,11 @@ from repro.util.errors import ConfigurationError, ViewError
 from repro.util.randomness import SeedSequenceFactory
 
 __all__ = ["NetworkWorld", "WorldSnapshot"]
+
+# Node count above which snapshot assembly scatters the logical matrix
+# from precollected index arrays; below it, per-element scalar writes are
+# faster (measured crossover ~400 at paper densities).
+_SCATTER_SWITCH = 400
 
 
 @dataclass(frozen=True)
@@ -172,10 +177,12 @@ class NetworkWorld:
             )
             for i in range(config.n_nodes)
         ]
-        # One (time, positions, dist) memo: repeated observers sampling the
-        # same tick share a single distance matrix instead of recomputing
-        # the O(n^2) geometry per observer.
-        self._geometry_memo: tuple[float, np.ndarray, np.ndarray] | None = None
+        # One (time, positions, backend) memo: every consumer of the same
+        # tick — Hello emission, packet-time redecisions, snapshots,
+        # repeated observers — shares a single mobility evaluation and one
+        # GraphBackend (lazy dense distance matrix below the threshold,
+        # grid index at scale) instead of recomputing the geometry each.
+        self._geometry_memo: tuple[float, np.ndarray, GraphBackend] | None = None
         self._setup_hello_schedule()
 
     # ------------------------------------------------------------------ #
@@ -188,6 +195,23 @@ class NetworkWorld:
     def position(self, node: int, t: float | None = None) -> np.ndarray:
         """True position of one node at time *t* (default: now)."""
         return self.mobility.position(node, self.engine.now if t is None else t)
+
+    def _geometry(self, t: float) -> tuple[np.ndarray, GraphBackend]:
+        """(positions, backend) at time *t*, memoized per tick.
+
+        The mobility trajectories are analytic, so positions at a given
+        *t* never change — the memo is exact.  The backend's distance
+        matrix and grid indices are built lazily: Hello emission only pays
+        for one O(n) range query (or a grid lookup at scale), while a
+        snapshot at the same tick reuses the positions and materialises
+        the dense matrix once.
+        """
+        memo = self._geometry_memo
+        if memo is None or memo[0] != t:
+            positions = self.positions(t)
+            memo = (t, positions, GraphBackend(positions))
+            self._geometry_memo = memo
+        return memo[1], memo[2]
 
     # ------------------------------------------------------------------ #
     # Hello protocol
@@ -225,7 +249,8 @@ class NetworkWorld:
         """Broadcast a Hello at the normal range; deliver after the prop delay."""
         t = self.engine.now
         node = self.nodes[node_id]
-        pos = self.position(node_id, t)
+        all_positions, backend = self._geometry(t)
+        pos = all_positions[node_id]
         hello = Hello(
             sender=node_id,
             version=version,
@@ -236,9 +261,10 @@ class NetworkWorld:
         node.table.record_own(hello)
         node.hellos_sent += 1
         self.channel.stats.hello_messages += 1
-        all_positions = self.positions(t)
         receivers = self.channel.surviving_hello_receivers(
-            self.channel.receivers(node_id, all_positions, self.config.normal_range)
+            self.channel.receivers(
+                node_id, all_positions, self.config.normal_range, backend=backend
+            )
         )
         if self.config.hello_tx_duration > 0.0:
             receivers = self._drop_collided(t, node_id, pos, receivers, all_positions)
@@ -270,18 +296,24 @@ class NetworkWorld:
         self._recent_hellos = [
             entry for entry in self._recent_hellos if t - entry[0] <= window
         ]
-        surviving = []
-        for rid in receivers:
-            rpos = positions[int(rid)]
-            collided = any(
-                sid == int(rid)  # half duplex: it was itself on the air
-                or np.hypot(*(spos - rpos)) <= self.config.normal_range
-                for (_, sid, spos) in self._recent_hellos
+        recent = self._recent_hellos
+        if recent and receivers.size:
+            # One broadcast distance check of all on-air senders against all
+            # receivers replaces the per-receiver Python loop; np.hypot on
+            # the coordinate differences is the exact same IEEE computation
+            # the scalar form ran per pair.
+            on_air_ids = np.asarray([sid for (_, sid, _) in recent], dtype=np.intp)
+            on_air_pos = np.asarray([spos for (_, _, spos) in recent], dtype=np.float64)
+            rpos = positions[receivers]
+            diff = on_air_pos[:, np.newaxis, :] - rpos[np.newaxis, :, :]
+            in_range = (
+                np.hypot(diff[..., 0], diff[..., 1]) <= self.config.normal_range
             )
-            if collided:
-                self.channel.stats.collisions += 1
-            else:
-                surviving.append(int(rid))
+            collided = in_range.any(axis=0) | np.isin(receivers, on_air_ids)
+            self.channel.stats.collisions += int(collided.sum())
+            surviving = receivers[~collided]
+        else:
+            surviving = receivers
         self._recent_hellos.append(
             (t, sender_id, np.asarray(sender_pos, dtype=float))
         )
@@ -354,7 +386,9 @@ class NetworkWorld:
         node = self.nodes[node_id]
         t = self.engine.now
         if current_hello is None:
-            pos = self.position(node_id, t)
+            # The per-tick memo makes packet-time recomputation share one
+            # vectorized mobility evaluation across all n redecisions.
+            pos = self._geometry(t)[0][node_id]
             current_hello = Hello(
                 sender=node_id,
                 version=node.next_version,
@@ -404,23 +438,45 @@ class NetworkWorld:
                 f"cannot snapshot the future: t={t} > now={self.engine.now}"
             )
         n = self.config.n_nodes
-        memo = self._geometry_memo
-        if memo is not None and memo[0] == now:
-            _, positions, dist = memo
-        else:
-            positions = self.positions(now)
-            dist = pairwise_distances(positions)
-            self._geometry_memo = (now, positions, dist)
+        positions, backend = self._geometry(now)
+        dist = backend.distances()
         logical = np.zeros((n, n), dtype=bool)
         actual = np.zeros(n)
         extended = np.zeros(n)
-        for node in self.nodes:
-            if node.decision is None:
-                continue
-            for v in node.decision.logical_neighbors:
-                logical[node.node_id, v] = True
-            actual[node.node_id] = node.decision.actual_range
-            extended[node.node_id] = node.decision.extended_range
+        if n >= _SCATTER_SWITCH:
+            # One fancy-indexed scatter from precollected (owner, count,
+            # neighbor) index arrays replaces n small per-node writes.
+            ids: list[int] = []
+            counts: list[int] = []
+            cols: list[int] = []
+            cols_extend = cols.extend
+            for node in self.nodes:
+                decision = node.decision
+                if decision is None:
+                    continue
+                i = node.node_id
+                neighbors = decision.logical_neighbors
+                if neighbors:
+                    ids.append(i)
+                    counts.append(len(neighbors))
+                    cols_extend(neighbors)
+                actual[i] = decision.actual_range
+                extended[i] = decision.extended_range
+            if ids:
+                logical[np.repeat(ids, counts), cols] = True
+        else:
+            # Below the crossover the per-element scalar writes beat the
+            # index-list build; neighbor sets are only a handful wide.
+            for node in self.nodes:
+                decision = node.decision
+                if decision is None:
+                    continue
+                i = node.node_id
+                row = logical[i]
+                for v in decision.logical_neighbors:
+                    row[v] = True
+                actual[i] = decision.actual_range
+                extended[i] = decision.extended_range
         return WorldSnapshot(
             time=now,
             positions=positions,

@@ -13,6 +13,7 @@ from repro.core.framework import (
     apply_removal_condition,
     mst_removable,
     rng_removable,
+    rng_removable_batch,
     spt_removable,
 )
 from repro.util.errors import ProtocolError
@@ -188,3 +189,69 @@ class TestSelectionResult:
     def test_nan_range_rejected(self):
         with pytest.raises(ProtocolError):
             SelectionResult(owner=0, logical_neighbors=frozenset(), actual_range=float("nan"))
+
+
+class TestRngBatchKernel:
+    """``rng_removable_batch`` must match the per-edge predicate exactly —
+    same verdicts, same covered links — on every layout class, including
+    the interval graphs where the conservative low/high asymmetry bites."""
+
+    def _oracle(self, g):
+        return {
+            int(j): rng_removable(g, 0, int(j)) for j in np.flatnonzero(g.adj[0])
+        }
+
+    def test_random_layouts(self, rng):
+        for _ in range(40):
+            n = int(rng.integers(2, 14))
+            pts = {i: tuple(rng.random(2) * 70) for i in range(n)}
+            for model in (DistanceCost(), EnergyCost(alpha=2)):
+                view = make_view(0, pts, normal_range=60.0)
+                g = LocalCostGraph.from_local_view(view, model)
+                assert rng_removable_batch(g) == self._oracle(g)
+
+    def test_collinear_layouts(self, rng):
+        for _ in range(20):
+            n = int(rng.integers(2, 10))
+            xs = rng.random(n) * 80
+            pts = {i: (float(xs[i]), 0.0) for i in range(n)}
+            g = graph_of(pts, normal_range=60.0)
+            assert rng_removable_batch(g) == self._oracle(g)
+
+    def test_duplicate_positions(self):
+        # coincident nodes: zero-cost links, verdicts decided by ID keys
+        pts = {0: (0.0, 0.0), 1: (5.0, 0.0), 2: (5.0, 0.0), 3: (0.0, 0.0)}
+        g = graph_of(pts, normal_range=60.0)
+        assert rng_removable_batch(g) == self._oracle(g)
+
+    def test_grid_tie_layouts(self, rng):
+        for n in range(2, 12):
+            pts = {i: (float(i % 3) * 10.0, float(i // 3) * 10.0) for i in range(n)}
+            g = graph_of(pts, normal_range=60.0)
+            assert rng_removable_batch(g) == self._oracle(g)
+
+    def test_interval_graphs(self, rng):
+        for _ in range(30):
+            n = int(rng.integers(2, 8))
+            hist = {
+                i: [tuple(rng.random(2) * 60), tuple(rng.random(2) * 60)]
+                for i in range(n)
+            }
+            view = make_multi_view(0, hist, normal_range=70.0)
+            g = LocalCostGraph.from_multi_version_view(view, DistanceCost())
+            assert rng_removable_batch(g) == self._oracle(g)
+
+    def test_empty_neighborhood(self):
+        g = graph_of({0: (0.0, 0.0)})
+        assert rng_removable_batch(g) == {}
+
+    def test_selection_result_identical_to_per_edge(self, rng):
+        # end to end: the batch path of apply_removal_condition yields the
+        # same SelectionResult (survivors, range) as the per-edge path
+        for _ in range(20):
+            n = int(rng.integers(2, 12))
+            pts = {i: tuple(rng.random(2) * 70) for i in range(n)}
+            g = graph_of(pts, normal_range=60.0)
+            batch = apply_removal_condition(g, rng_removable_batch)
+            scalar = apply_removal_condition(g, rng_removable)
+            assert batch == scalar

@@ -1,0 +1,245 @@
+"""Tests for the view-fingerprint decision cache.
+
+Two layers:
+
+- manager-level invalidation semantics on hand-built tables — every input
+  the mechanisms declare must flip a hit into a miss when it changes;
+- world-level equivalence — simulations at every mechanism x protocol pair
+  must produce bit-identical metrics with the cache on and off, and
+  packet-time recomputation between Hello generations must be all hits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from conftest import make_hello
+from repro.analysis.experiment import ExperimentSpec, build_world, run_once
+from repro.analysis.scales import Scale
+from repro.core.buffer_zone import BufferZonePolicy
+from repro.core.consistency import (
+    BaselineConsistency,
+    ProactiveConsistency,
+    ViewSynchronization,
+)
+from repro.core.manager import MobilitySensitiveTopologyControl
+from repro.core.tables import NeighborTable
+from repro.protocols.rng import RngProtocol
+
+TINY = Scale(
+    name="tiny",
+    n_nodes=16,
+    area_side=360.0,  # 8100 m^2 per node, the paper's density
+    duration=4.0,
+    sample_rate=1.0,
+    warmup=2.0,
+    repetitions=1,
+)
+
+
+def make_table(owner: int = 0, expiry: float = 2.5) -> NeighborTable:
+    table = NeighborTable(owner, normal_range=100.0, expiry=expiry)
+    table.record_own(make_hello(owner, (0.0, 0.0), version=1, sent_at=0.0))
+    table.record_hello(make_hello(1, (30.0, 0.0), version=1, sent_at=0.0))
+    table.record_hello(make_hello(2, (0.0, 40.0), version=1, sent_at=0.0))
+    return table
+
+
+def make_manager(mechanism=None, **kwargs) -> MobilitySensitiveTopologyControl:
+    return MobilitySensitiveTopologyControl(
+        RngProtocol(), mechanism=mechanism or ViewSynchronization(), **kwargs
+    )
+
+
+class TestCacheHits:
+    def test_identical_inputs_hit(self):
+        manager = make_manager()
+        table = make_table()
+        hello = make_hello(0, (1.0, 1.0), version=2, sent_at=1.0)
+        first = manager.decide(table, 1.0, hello)
+        second = manager.decide(table, 1.0, hello)
+        assert manager.cache_misses == 1
+        assert manager.cache_hits == 1
+        assert first == second
+
+    def test_hit_refreshes_decided_at_only(self):
+        manager = make_manager()
+        table = make_table()
+        hello = make_hello(0, (1.0, 1.0), version=2, sent_at=1.0)
+        first = manager.decide(table, 1.0, hello)
+        later = manager.decide(table, 1.5, hello)
+        assert manager.cache_hits == 1
+        assert later.decided_at == 1.5
+        assert later.logical_neighbors == first.logical_neighbors
+        assert later.actual_range == first.actual_range
+        assert later.extended_range == first.extended_range
+
+    def test_view_sync_ignores_current_position_drift(self):
+        # view-sync decides from the *advertised* own position, so a moving
+        # node still hits between Hello generations (the redecide_all case)
+        manager = make_manager()
+        table = make_table()
+        manager.decide(table, 1.0, make_hello(0, (1.0, 0.0), version=2, sent_at=1.0))
+        manager.decide(table, 1.2, make_hello(0, (5.0, 0.0), version=2, sent_at=1.2))
+        assert manager.cache_hits == 1
+
+    def test_disabled_cache_never_counts(self):
+        manager = make_manager(decision_cache=False)
+        table = make_table()
+        hello = make_hello(0, (1.0, 1.0), version=2, sent_at=1.0)
+        manager.decide(table, 1.0, hello)
+        manager.decide(table, 1.0, hello)
+        assert manager.cache_info() == {
+            "decision_cache_hits": 0,
+            "decision_cache_misses": 0,
+            "decision_cache_uncacheable": 0,
+        }
+
+    def test_uncacheable_mechanism_counts(self):
+        class Opaque(BaselineConsistency):
+            def decision_fingerprint(self, table, now, current_hello, version=None):
+                return None
+
+        manager = make_manager(mechanism=Opaque())
+        table = make_table()
+        hello = make_hello(0, (0.0, 0.0), version=2, sent_at=1.0)
+        manager.decide(table, 1.0, hello)
+        manager.decide(table, 1.0, hello)
+        assert manager.cache_uncacheable == 2
+        assert manager.cache_hits == 0
+
+
+class TestCacheInvalidation:
+    def test_new_hello_misses(self):
+        manager = make_manager()
+        table = make_table()
+        hello = make_hello(0, (1.0, 1.0), version=2, sent_at=1.0)
+        manager.decide(table, 1.0, hello)
+        table.record_hello(make_hello(1, (35.0, 0.0), version=2, sent_at=1.1))
+        manager.decide(table, 1.2, hello)
+        assert manager.cache_hits == 0
+        assert manager.cache_misses == 2
+
+    def test_expired_entry_misses(self):
+        manager = make_manager()
+        table = make_table()
+        hello = make_hello(0, (1.0, 1.0), version=2, sent_at=1.0)
+        first = manager.decide(table, 1.0, hello)
+        assert 1 in first.logical_neighbors or 2 in first.logical_neighbors
+        # no mutation — neighbors expire purely by time passing (> 2.5 s)
+        stale = manager.decide(table, 4.0, hello)
+        assert manager.cache_hits == 0
+        assert manager.cache_misses == 2
+        assert stale.logical_neighbors == frozenset()
+
+    def test_buffer_width_change_misses(self):
+        manager = make_manager()
+        table = make_table()
+        hello = make_hello(0, (1.0, 1.0), version=2, sent_at=1.0)
+        narrow = manager.decide(table, 1.0, hello)
+        manager.buffer_policy = BufferZonePolicy(width=10.0, cap=250.0)
+        wide = manager.decide(table, 1.0, hello)
+        assert manager.cache_hits == 0
+        assert manager.cache_misses == 2
+        assert wide.extended_range == pytest.approx(narrow.extended_range + 10.0)
+
+    def test_version_override_misses(self):
+        manager = make_manager(mechanism=ProactiveConsistency())
+        table = make_table()
+        table.record_own(make_hello(0, (2.0, 0.0), version=2, sent_at=1.0))
+        table.record_hello(make_hello(1, (32.0, 0.0), version=2, sent_at=1.0))
+        table.record_hello(make_hello(2, (0.0, 42.0), version=2, sent_at=1.0))
+        hello = make_hello(0, (2.0, 0.0), version=3, sent_at=1.5)
+        manager.decide(table, 1.5, hello, version=1)
+        manager.decide(table, 1.5, hello, version=2)
+        assert manager.cache_misses == 2
+        manager.decide(table, 1.5, hello, version=2)
+        assert manager.cache_hits == 1
+
+    def test_baseline_misses_when_own_position_moves(self):
+        manager = make_manager(mechanism=BaselineConsistency())
+        table = make_table()
+        manager.decide(table, 1.0, make_hello(0, (0.0, 0.0), version=2, sent_at=1.0))
+        manager.decide(table, 1.2, make_hello(0, (3.0, 0.0), version=2, sent_at=1.2))
+        assert manager.cache_misses == 2
+
+    def test_two_tables_same_owner_do_not_alias(self):
+        manager = make_manager()
+        a, b = make_table(), make_table()
+        hello = make_hello(0, (1.0, 1.0), version=2, sent_at=1.0)
+        manager.decide(a, 1.0, hello)
+        manager.decide(b, 1.0, hello)
+        assert manager.cache_hits == 0
+        assert manager.cache_misses == 2
+
+
+def _world_decisions(world) -> list:
+    return [
+        (
+            node.node_id,
+            None
+            if node.decision is None
+            else (
+                node.decision.logical_neighbors,
+                node.decision.actual_range,
+                node.decision.extended_range,
+            ),
+        )
+        for node in world.nodes
+    ]
+
+
+class TestWorldLevelCache:
+    def test_redecide_all_between_hellos_is_all_hits(self):
+        spec = ExperimentSpec(
+            protocol="rng",
+            mechanism="view-sync",
+            mean_speed=20.0,
+            config=TINY.config(),
+        )
+        world = build_world(spec, seed=5)
+        world.run_until(2.5)
+        world.redecide_all()  # warm: standing results enter the cache
+        baseline = _world_decisions(world)
+        hits_before = world.manager.cache_hits
+        misses_before = world.manager.cache_misses
+        world.redecide_all()
+        assert world.manager.cache_hits == hits_before + len(world.nodes)
+        assert world.manager.cache_misses == misses_before
+        assert _world_decisions(world) == baseline
+
+    @pytest.mark.parametrize(
+        "mechanism", ["baseline", "view-sync", "proactive", "reactive", "weak"]
+    )
+    @pytest.mark.parametrize("protocol", ["rng", "spt2", "mst"])
+    def test_run_once_identical_cache_on_and_off(
+        self, mechanism, protocol, monkeypatch
+    ):
+        spec = ExperimentSpec(
+            protocol=protocol,
+            mechanism=mechanism,
+            buffer_width=10.0,
+            mean_speed=20.0,
+            config=TINY.config(),
+        )
+        cached = run_once(spec, seed=9)
+        monkeypatch.setattr(
+            MobilitySensitiveTopologyControl, "decision_cache_default", False
+        )
+        uncached = run_once(spec, seed=9)
+        assert np.array_equal(cached.delivery_ratios, uncached.delivery_ratios)
+        assert np.array_equal(cached.mean_actual_ranges, uncached.mean_actual_ranges)
+        assert np.array_equal(
+            cached.mean_extended_ranges, uncached.mean_extended_ranges
+        )
+        assert np.array_equal(cached.mean_logical_degrees, uncached.mean_logical_degrees)
+        assert np.array_equal(
+            cached.mean_physical_degrees, uncached.mean_physical_degrees
+        )
+        assert np.array_equal(cached.strict_connected, uncached.strict_connected)
+        for key, value in uncached.channel_stats.items():
+            if not key.startswith("decision_cache_"):
+                assert cached.channel_stats[key] == value
+        assert uncached.channel_stats["decision_cache_hits"] == 0
+        assert uncached.channel_stats["decision_cache_misses"] == 0

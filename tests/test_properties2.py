@@ -107,6 +107,35 @@ class TestCdsProperties:
         assert outcome.transmissions <= len(pts)
 
 
+def _no_cocircular_quad(pts: np.ndarray) -> bool:
+    """True when no four points are (near-)co-circular.
+
+    With a co-circular quadruple the Delaunay triangulation is not unique
+    — qhull arbitrarily picks one diagonal of the quad while the Gabriel
+    graph may keep the other — so ``Gabriel ⊆ Delaunay`` only holds in
+    general position.  The incircle determinant is evaluated on
+    span-normalised coordinates so the zero test is scale-free.
+    """
+    from itertools import combinations
+
+    n = len(pts)
+    if n < 4:
+        return True
+    span = max(float(np.ptp(pts[:, 0])), float(np.ptp(pts[:, 1])), 1.0)
+    q = pts / span
+    idx = np.array(list(combinations(range(n), 4)))
+    quads = q[idx]  # (m, 4, 2)
+    mats = np.concatenate(
+        [
+            quads,
+            (quads**2).sum(axis=2, keepdims=True),
+            np.ones((len(idx), 4, 1)),
+        ],
+        axis=2,
+    )
+    return bool((np.abs(np.linalg.det(mats)) > 1e-9).all())
+
+
 class TestProximityHierarchy:
     @settings(max_examples=25, deadline=None)
     @given(data=st.data())
@@ -115,10 +144,11 @@ class TestProximityHierarchy:
         emst = euclidean_mst(pts)
         rng_g = relative_neighborhood_graph(pts)
         gg = gabriel_graph(pts)
-        dt = delaunay_graph(pts)
         assert not (emst & ~rng_g).any(), "EMST must be inside RNG"
         assert not (rng_g & ~gg).any(), "RNG must be inside Gabriel"
-        assert not (gg & ~dt).any(), "Gabriel must be inside Delaunay"
+        if _no_cocircular_quad(pts):
+            dt = delaunay_graph(pts)
+            assert not (gg & ~dt).any(), "Gabriel must be inside Delaunay"
 
 
 class TestWeakMonotonicity:
