@@ -1,0 +1,73 @@
+"""Benchmarks for the fault-injection seams (repro.faults).
+
+Two claims worth tracking:
+
+- **Disabled injection is free.** A world built without a schedule takes
+  the exact pre-faults hot paths (``fault_filter is None``, no wrapper
+  objects), so its run time must match a plain world's within noise.
+- **Armed injection is cheap.** A busy schedule (loss burst + outage +
+  noise) should cost little over the clean run — the seams are O(active
+  events) per delivery, not O(schedule).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiment import ExperimentSpec, build_world
+from repro.faults import (
+    FaultSchedule,
+    HelloLossBurst,
+    NodeOutage,
+    PositionNoise,
+)
+from repro.mobility.base import Area
+from repro.sim.config import ScenarioConfig
+
+CFG = ScenarioConfig(
+    n_nodes=100,
+    area=Area(900.0, 900.0),
+    normal_range=250.0,
+    duration=6.0,
+    warmup=2.0,
+    sample_rate=1.0,
+)
+SPEC = ExperimentSpec(protocol="rng", mean_speed=20.0, config=CFG)
+
+BUSY = FaultSchedule(
+    events=(
+        HelloLossBurst(start=2.0, end=5.0, probability=0.3),
+        NodeOutage(node=7, start=3.0, end=5.5),
+        PositionNoise(amplitude=3.0, start=2.5, end=6.0),
+    )
+)
+
+
+def _run(faults: FaultSchedule | None) -> float:
+    world = build_world(SPEC, seed=3, faults=faults)
+    world.run_until(CFG.duration)
+    return world.engine.now
+
+
+def test_run_without_schedule(benchmark):
+    """The zero-cost baseline: no schedule, no injector, no seams armed."""
+    assert benchmark(_run, None) == CFG.duration
+
+
+def test_run_with_empty_schedule(benchmark):
+    """An empty schedule must not arm any seam either."""
+    world = build_world(SPEC, seed=3, faults=FaultSchedule())
+    assert world.fault_injector is None or not world.fault_injector.schedule
+    assert benchmark(_run, FaultSchedule()) == CFG.duration
+
+
+def test_run_with_busy_schedule(benchmark):
+    """Armed seams: loss draws + outage filtering + advertised noise."""
+    assert benchmark(_run, BUSY) == CFG.duration
+
+
+def test_injection_actually_happened():
+    """Guard: the busy benchmark measures real injection, not a no-op."""
+    world = build_world(SPEC, seed=3, faults=BUSY)
+    world.run_until(CFG.duration)
+    stats = world.fault_stats()
+    assert stats["fault_hello_drops"] > 0
+    assert stats["fault_noisy_positions"] > 0

@@ -26,6 +26,7 @@ import numpy as np
 from repro.core.buffer_zone import BufferZonePolicy
 from repro.core.consistency import make_mechanism
 from repro.core.manager import MobilitySensitiveTopologyControl
+from repro.faults.schedule import FaultSchedule
 from repro.metrics.connectivity import strictly_connected
 from repro.metrics.stats import Estimate, mean_ci
 from repro.metrics.topology import sample_topology
@@ -123,12 +124,14 @@ def build_mobility(spec: ExperimentSpec, rng: np.random.Generator) -> MobilityMo
     )
 
 
-def build_world(spec: ExperimentSpec, seed: int) -> NetworkWorld:
+def build_world(
+    spec: ExperimentSpec, seed: int, faults: "FaultSchedule | None" = None
+) -> NetworkWorld:
     """Construct the fully wired world for one repetition."""
     seeds = SeedSequenceFactory(seed)
     mobility = build_mobility(spec, seeds.rng("mobility"))
     manager = build_manager(spec)
-    return NetworkWorld(spec.config, mobility, manager, seed=seed)
+    return NetworkWorld(spec.config, mobility, manager, seed=seed, faults=faults)
 
 
 @dataclass(frozen=True)
@@ -172,9 +175,15 @@ class RunResult:
         return float(self.mean_physical_degrees.mean())
 
 
-def run_once(spec: ExperimentSpec, seed: int = 0) -> RunResult:
-    """Execute one repetition of *spec* and collect all per-sample metrics."""
-    world = build_world(spec, seed)
+def run_once(
+    spec: ExperimentSpec, seed: int = 0, faults: "FaultSchedule | None" = None
+) -> RunResult:
+    """Execute one repetition of *spec* and collect all per-sample metrics.
+
+    When a :class:`~repro.faults.FaultSchedule` is supplied its ``fault_``
+    counters are merged into ``channel_stats`` alongside the channel's own.
+    """
+    world = build_world(spec, seed, faults=faults)
     cfg = spec.config
     seeds = SeedSequenceFactory(seed)
     source_rng = seeds.rng("flood-sources")
@@ -206,6 +215,7 @@ def run_once(spec: ExperimentSpec, seed: int = 0) -> RunResult:
         channel_stats={
             **world.channel.stats.as_dict(),
             **world.manager.cache_info(),
+            **world.fault_stats(),
         },
     )
 

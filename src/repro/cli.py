@@ -118,6 +118,33 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=2026)
     _add_workers_flag(p)
 
+    p = sub.add_parser(
+        "fuzz",
+        help="differential fault-injection fuzzing against the paper's theorems",
+    )
+    p.add_argument("--runs", type=int, default=25, help="random cases to execute")
+    p.add_argument("--seed", type=int, default=0, help="campaign seed (case i is a pure function of (seed, i))")
+    p.add_argument(
+        "--deep", action="store_true",
+        help="audit invariants after every simulation event, not just at samples",
+    )
+    p.add_argument(
+        "--no-differential", dest="differential", action="store_false",
+        help="skip the decision-cache-disabled twin runs",
+    )
+    p.add_argument(
+        "--no-shrink", dest="shrink", action="store_false",
+        help="report failures without minimizing their fault schedules",
+    )
+    p.add_argument(
+        "--mechanism", action="append", dest="mechanisms", metavar="NAME",
+        help="restrict to this mechanism (repeatable; default: all shipped)",
+    )
+    p.add_argument(
+        "--out-dir", default=None,
+        help="write shrunk failing cases as JSON repros into this directory",
+    )
+
     p = sub.add_parser("run", help="run one custom configuration")
     p.add_argument("--protocol", choices=available_protocols(), default="rng")
     p.add_argument(
@@ -276,11 +303,45 @@ def _run_equivalence(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_fuzz(args: argparse.Namespace) -> int:
+    from repro.faults.fuzz import MECHANISMS, fuzz
+
+    mechanisms = tuple(args.mechanisms) if args.mechanisms else MECHANISMS
+    t0 = time.perf_counter()
+
+    def progress(i, case, result):
+        mark = "FAIL" if result.failed else "ok"
+        print(f"[{i + 1:>3}/{args.runs}] {mark:<4} {case.describe()}")
+
+    report = fuzz(
+        runs=args.runs,
+        seed=args.seed,
+        deep=args.deep,
+        differential=args.differential,
+        mechanisms=mechanisms,
+        shrink=args.shrink,
+        out_dir=args.out_dir,
+        progress=progress,
+    )
+    elapsed = time.perf_counter() - t0
+    print(f"\n{report.runs} cases, {len(report.failures)} failing, {elapsed:.1f}s")
+    for result in report.failures:
+        print(f"\n{result.case.describe()} "
+              f"(shrunk to {len(result.case.schedule)} fault events)")
+        for finding in result.findings:
+            print(f"  {finding}")
+    for path in report.saved:
+        print(f"repro written: {path}")
+    return 0 if report.ok else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
     if args.command == "run":
         return _run_single(args)
+    if args.command == "fuzz":
+        return _run_fuzz(args)
     if args.command == "report":
         return _run_report(args)
     if args.command == "unicast":

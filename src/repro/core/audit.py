@@ -51,6 +51,11 @@ def audit_world(world: NetworkWorld) -> list[Violation]:
     cfg = world.config
     policy = world.manager.buffer_policy
     weak_mode = world.manager.mechanism.name == "weak"
+    # Advertised positions may carry injected GPS noise (bounded by the
+    # fault schedule's PositionNoise amplitudes); widen the drift slack by
+    # the worst case at each end so noise alone never trips invariant 2.
+    injector = world.fault_injector
+    noise_bound = 0.0 if injector is None else injector.position_noise_bound()
     for node in world.nodes:
         table = node.table
         # -- invariant 5: history discipline
@@ -104,7 +109,10 @@ def audit_world(world: NetworkWorld) -> list[Violation]:
                 # baseline decisions use the CURRENT position rather than
                 # the advertised one, which can shift the believed
                 # distance; allow the drift bound of one Hello interval.
-                slack = 2.0 * cfg.max_hello_interval * world.mobility.max_speed()
+                slack = (
+                    2.0 * cfg.max_hello_interval * world.mobility.max_speed()
+                    + 2.0 * noise_bound
+                )
                 if dist > decision.actual_range + slack + 1e-6:
                     violations.append(
                         Violation(

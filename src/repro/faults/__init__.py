@@ -1,0 +1,41 @@
+"""Deterministic fault injection and differential fuzzing.
+
+The paper's mechanisms are exactly the machinery that must survive
+*imperfect* conditions — lost Hellos, crashed neighbors, skewed clocks,
+stale or reordered control traffic, noisy GPS fixes.  This package makes
+those conditions first-class, reproducible inputs:
+
+- :mod:`repro.faults.schedule` — composable, seed-reproducible fault
+  events assembled into a :class:`FaultSchedule` (JSON-serializable, so
+  failing cases become permanent repro files);
+- :mod:`repro.faults.inject` — the :class:`FaultInjector` runtime that
+  worlds consult through narrow seams (zero-cost when absent);
+- :mod:`repro.faults.oracles` — invariant oracles layered on
+  :func:`repro.core.audit.audit_world` plus the paper's theorem
+  cross-checks;
+- :mod:`repro.faults.fuzz` — the differential fuzzer behind the
+  ``repro fuzz`` CLI: randomized scenario x mechanism x protocol x fault
+  runs, failure shrinking, and the ``tests/corpus/`` replay format.
+"""
+
+from repro.faults.inject import FaultInjector
+from repro.faults.schedule import (
+    ClockSkew,
+    DeliveryDelay,
+    FaultSchedule,
+    HelloIntervalScale,
+    HelloLossBurst,
+    NodeOutage,
+    PositionNoise,
+)
+
+__all__ = [
+    "FaultSchedule",
+    "FaultInjector",
+    "HelloLossBurst",
+    "NodeOutage",
+    "ClockSkew",
+    "HelloIntervalScale",
+    "DeliveryDelay",
+    "PositionNoise",
+]

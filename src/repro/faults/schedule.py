@@ -1,0 +1,353 @@
+"""Composable, seed-reproducible fault events and schedules.
+
+A :class:`FaultSchedule` is a *pure description*: an ordered tuple of
+fault events plus nothing else.  All randomness needed to realise a
+schedule (partial-probability loss draws, GPS noise vectors) comes from
+the world's named seed streams at run time, so the same ``(seed,
+schedule)`` pair replays bit-identically — the property the fuzzer's
+shrinker and the ``tests/corpus/`` replay suite rely on.
+
+Event taxonomy (all windows are half-open ``[start, end)`` in physical
+simulation seconds):
+
+- :class:`HelloLossBurst` — Hello deliveries matching a sender/receiver
+  filter are dropped with a (default 1.0) probability;
+- :class:`NodeOutage` — a node crashes: it neither sends nor receives
+  while down, and recovers with its pre-crash table intact;
+- :class:`ClockSkew` — an additional fixed local-clock offset for one
+  node (on top of the scenario's bounded random skew);
+- :class:`HelloIntervalScale` — one node's Hello interval is scaled
+  while the window is open (timer drift / load shedding);
+- :class:`DeliveryDelay` — matching Hello deliveries arrive an extra
+  ``delay`` seconds late, which reorders them against later Hellos;
+- :class:`PositionNoise` — a node's *advertised* position (never its
+  true one) is perturbed by a vector drawn uniformly from a disk of
+  radius ``amplitude``.
+
+Schedules serialize to plain JSON (:meth:`FaultSchedule.to_json` /
+:meth:`FaultSchedule.from_json`); the corpus format in
+:mod:`repro.faults.fuzz` embeds them next to the scenario that ran them.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, fields
+from typing import ClassVar
+
+from repro.util.errors import ConfigurationError
+from repro.util.validate import check_non_negative, check_probability
+
+__all__ = [
+    "FaultEvent",
+    "HelloLossBurst",
+    "NodeOutage",
+    "ClockSkew",
+    "HelloIntervalScale",
+    "DeliveryDelay",
+    "PositionNoise",
+    "FaultSchedule",
+]
+
+
+def _node_tuple(nodes: object) -> tuple[int, ...] | None:
+    """Normalise a node filter: None = every node, else a sorted tuple."""
+    if nodes is None:
+        return None
+    out = tuple(sorted(int(n) for n in nodes))  # type: ignore[union-attr]
+    if any(n < 0 for n in out):
+        raise ConfigurationError(f"node ids must be non-negative, got {out}")
+    return out
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """Base fault event: a time window plus kind-specific fields.
+
+    ``start``/``end`` bound the window ``[start, end)``; ``end`` may be
+    ``inf`` for a permanent fault.  Subclasses set :attr:`kind` (the JSON
+    discriminator) and add their own fields.
+    """
+
+    kind: ClassVar[str] = ""
+
+    start: float = 0.0
+    end: float = math.inf
+
+    def __post_init__(self) -> None:
+        check_non_negative("start", self.start)
+        if not self.end > self.start:
+            raise ConfigurationError(
+                f"fault window must be non-empty: start={self.start}, end={self.end}"
+            )
+
+    def active(self, t: float) -> bool:
+        """True while *t* lies inside the event window."""
+        return self.start <= t < self.end
+
+    # -- JSON ----------------------------------------------------------- #
+
+    def as_dict(self) -> dict:
+        """Plain-JSON form (``inf`` end encoded as ``None``)."""
+        out: dict = {"kind": self.kind}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if f.name == "end" and math.isinf(value):
+                value = None
+            elif isinstance(value, tuple):
+                value = list(value)
+            out[f.name] = value
+        return out
+
+    @staticmethod
+    def from_dict(data: dict) -> "FaultEvent":
+        """Rebuild the concrete event a :meth:`as_dict` payload describes."""
+        payload = dict(data)
+        kind = payload.pop("kind", None)
+        cls = _EVENT_KINDS.get(kind)
+        if cls is None:
+            raise ConfigurationError(
+                f"unknown fault kind {kind!r}; known: {sorted(_EVENT_KINDS)}"
+            )
+        if payload.get("end") is None:
+            payload["end"] = math.inf
+        for key in ("senders", "receivers", "nodes"):
+            if key in payload and payload[key] is not None:
+                payload[key] = tuple(payload[key])
+        return cls(**payload)
+
+
+@dataclass(frozen=True)
+class HelloLossBurst(FaultEvent):
+    """Drop matching Hello deliveries during the window.
+
+    ``senders`` / ``receivers`` restrict which directed deliveries the
+    burst hits (None = any); ``probability`` is the per-delivery drop
+    chance (1.0 = a total blackout of the matched links).
+    """
+
+    kind: ClassVar[str] = "hello_loss"
+
+    probability: float = 1.0
+    senders: tuple[int, ...] | None = None
+    receivers: tuple[int, ...] | None = None
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        check_probability("probability", self.probability)
+        if self.probability == 0.0:
+            raise ConfigurationError("a loss burst with probability 0 is a no-op")
+        object.__setattr__(self, "senders", _node_tuple(self.senders))
+        object.__setattr__(self, "receivers", _node_tuple(self.receivers))
+
+    def matches(self, sender: int, receiver: int) -> bool:
+        """True if the burst applies to the directed delivery sender->receiver."""
+        return (self.senders is None or sender in self.senders) and (
+            self.receivers is None or receiver in self.receivers
+        )
+
+
+@dataclass(frozen=True)
+class NodeOutage(FaultEvent):
+    """One node is down (no sends, no receptions) during the window."""
+
+    kind: ClassVar[str] = "node_outage"
+
+    node: int = 0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.node < 0:
+            raise ConfigurationError(f"node must be non-negative, got {self.node}")
+
+
+@dataclass(frozen=True)
+class ClockSkew(FaultEvent):
+    """Extra fixed clock offset for one node (whole-run; window ignored).
+
+    Clock offsets in this simulator are constant per run (drift over a
+    100 s run is negligible at the skews studied), so the fault is a
+    static shift applied at world construction.
+    """
+
+    kind: ClassVar[str] = "clock_skew"
+
+    node: int = 0
+    offset: float = 0.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.node < 0:
+            raise ConfigurationError(f"node must be non-negative, got {self.node}")
+        if not math.isfinite(self.offset):
+            raise ConfigurationError(f"offset must be finite, got {self.offset!r}")
+
+
+@dataclass(frozen=True)
+class HelloIntervalScale(FaultEvent):
+    """Scale one node's Hello interval while the window is open."""
+
+    kind: ClassVar[str] = "hello_interval_scale"
+
+    node: int = 0
+    factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.node < 0:
+            raise ConfigurationError(f"node must be non-negative, got {self.node}")
+        if not (math.isfinite(self.factor) and self.factor > 0):
+            raise ConfigurationError(
+                f"factor must be a positive finite number, got {self.factor!r}"
+            )
+
+
+@dataclass(frozen=True)
+class DeliveryDelay(FaultEvent):
+    """Matching Hello deliveries arrive ``delay`` seconds late.
+
+    Delayed Hellos can arrive *after* fresher ones sent later — the
+    delivery seam applies the standard sequence-number discipline
+    (out-of-date versions are discarded on arrival), so reordering
+    manifests as extra staleness, exactly as in a real stack.
+    """
+
+    kind: ClassVar[str] = "delivery_delay"
+
+    delay: float = 0.5
+    senders: tuple[int, ...] | None = None
+    receivers: tuple[int, ...] | None = None
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        check_non_negative("delay", self.delay)
+        object.__setattr__(self, "senders", _node_tuple(self.senders))
+        object.__setattr__(self, "receivers", _node_tuple(self.receivers))
+
+    def matches(self, sender: int, receiver: int) -> bool:
+        """True if the delay applies to the directed delivery sender->receiver."""
+        return (self.senders is None or sender in self.senders) and (
+            self.receivers is None or receiver in self.receivers
+        )
+
+
+@dataclass(frozen=True)
+class PositionNoise(FaultEvent):
+    """Perturb a node's advertised GPS position during the window.
+
+    The noise vector is drawn uniformly from the disk of radius
+    ``amplitude`` (a hard bound, so audits can extend their drift slack
+    by exactly ``amplitude`` rather than a soft sigma).
+    """
+
+    kind: ClassVar[str] = "position_noise"
+
+    amplitude: float = 10.0
+    nodes: tuple[int, ...] | None = None
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        check_non_negative("amplitude", self.amplitude)
+        object.__setattr__(self, "nodes", _node_tuple(self.nodes))
+
+    def matches(self, node: int) -> bool:
+        """True if the noise applies to *node*."""
+        return self.nodes is None or node in self.nodes
+
+
+_EVENT_KINDS: dict[str, type[FaultEvent]] = {
+    cls.kind: cls
+    for cls in (
+        HelloLossBurst,
+        NodeOutage,
+        ClockSkew,
+        HelloIntervalScale,
+        DeliveryDelay,
+        PositionNoise,
+    )
+}
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """An immutable, ordered collection of fault events.
+
+    The schedule is *descriptive only*; pass it to
+    :class:`~repro.sim.world.NetworkWorld` (``faults=...``) to arm it.
+    Event order is normalised to ``(start, kind, repr)`` so two schedules
+    with the same events compare and serialize identically regardless of
+    construction order.
+    """
+
+    events: tuple[FaultEvent, ...] = ()
+    note: str = ""
+
+    def __post_init__(self) -> None:
+        ordered = tuple(
+            sorted(self.events, key=lambda e: (e.start, e.kind, repr(e)))
+        )
+        object.__setattr__(self, "events", ordered)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    @property
+    def horizon(self) -> float:
+        """Latest finite event boundary (0.0 for an empty schedule)."""
+        bounds = [e.start for e in self.events]
+        bounds += [e.end for e in self.events if math.isfinite(e.end)]
+        return max(bounds, default=0.0)
+
+    def without(self, index: int) -> "FaultSchedule":
+        """A copy with the *index*-th event removed (shrinker primitive)."""
+        kept = self.events[:index] + self.events[index + 1 :]
+        return FaultSchedule(events=kept, note=self.note)
+
+    def subset(self, indices) -> "FaultSchedule":
+        """A copy keeping only the events at *indices* (shrinker primitive)."""
+        keep = set(indices)
+        kept = tuple(e for i, e in enumerate(self.events) if i in keep)
+        return FaultSchedule(events=kept, note=self.note)
+
+    def any_active(self, start: float, end: float) -> bool:
+        """True if any event window intersects ``[start, end]``.
+
+        Whole-run faults (:class:`ClockSkew`, with its ignored window)
+        count as always active — a skewed clock never goes quiet.
+        """
+        for event in self.events:
+            if isinstance(event, ClockSkew):
+                return True
+            if event.start <= end and event.end > start:
+                return True
+        return False
+
+    # -- JSON ----------------------------------------------------------- #
+
+    def as_dict(self) -> dict:
+        """Plain-JSON form of the whole schedule."""
+        return {
+            "note": self.note,
+            "events": [event.as_dict() for event in self.events],
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "FaultSchedule":
+        """Rebuild a schedule from :meth:`as_dict` output."""
+        return FaultSchedule(
+            events=tuple(FaultEvent.from_dict(e) for e in data.get("events", ())),
+            note=str(data.get("note", "")),
+        )
+
+    def to_json(self, indent: int | None = 2) -> str:
+        """JSON text (stable field order, human-diffable)."""
+        return json.dumps(self.as_dict(), indent=indent, sort_keys=True)
+
+    @staticmethod
+    def from_json(text: str) -> "FaultSchedule":
+        """Parse :meth:`to_json` output."""
+        return FaultSchedule.from_dict(json.loads(text))

@@ -96,6 +96,7 @@ class Engine:
         # outnumber live events, so long-running simulations with heavy
         # timer churn never accumulate dead entries.
         self._tombstones = 0
+        self._event_hook: Callable[[float], Any] | None = None
 
     @property
     def now(self) -> float:
@@ -111,6 +112,17 @@ class Engine:
     def pending_events(self) -> int:
         """Number of not-yet-cancelled events still in the queue (O(1))."""
         return len(self._queue) - self._tombstones
+
+    def set_event_hook(self, hook: Callable[[float], Any] | None) -> None:
+        """Install (or clear, with None) a post-event observer seam.
+
+        ``hook(now)`` fires after every executed event.  This exists for
+        continuous invariant auditing (``repro fuzz --deep`` audits the
+        world between events, not just at sampling instants); the hook
+        must not schedule into the past.  When unset the only cost is one
+        ``None`` check per event.
+        """
+        self._event_hook = hook
 
     def _note_cancelled(self) -> None:
         """Account for one newly tombstoned entry; compact if they dominate."""
@@ -166,6 +178,8 @@ class Engine:
                 handle.fired = True
                 self._events_processed += 1
                 handle.fn(*handle.args)
+                if self._event_hook is not None:
+                    self._event_hook(entry.time)
             self._now = float(until)
         finally:
             self._running = False
@@ -181,6 +195,8 @@ class Engine:
             entry.handle.fired = True
             self._events_processed += 1
             entry.handle.fn(*entry.handle.args)
+            if self._event_hook is not None:
+                self._event_hook(entry.time)
             return True
         return False
 

@@ -82,7 +82,16 @@ class ObserverSet:
     def _sample(self) -> None:
         t = self.world.engine.now
         for probe in self._probes.values():
-            probe.observations.append(Observation(time=t, value=probe.fn(self.world)))
+            try:
+                value = probe.fn(self.world)
+            except Exception as exc:
+                # Raised from deep inside Engine.run, where a bare
+                # exception would read as a simulator bug: name the probe
+                # so the trace points at the user callback instead.
+                raise SimulationError(
+                    f"probe {probe.name!r} raised at t={t:.6f}: {exc}"
+                ) from exc
+            probe.observations.append(Observation(time=t, value=value))
 
     # ------------------------------------------------------------------ #
 

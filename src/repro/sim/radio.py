@@ -17,6 +17,7 @@ lossless — they are the measurement instrument, not the system under test.
 
 from __future__ import annotations
 
+from collections.abc import Callable
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -66,18 +67,29 @@ class IdealChannel:
         receiver); requires *loss_rng* when positive.
     loss_rng:
         Randomness source for loss draws.
+    fault_filter:
+        Optional injection seam: called as ``fault_filter(now, sender,
+        receivers)`` after the i.i.d. loss model and expected to return
+        the surviving receiver indices.  Installed by
+        :class:`~repro.sim.world.NetworkWorld` when a fault schedule is
+        armed (see :mod:`repro.faults`); ``None`` costs nothing.
     """
 
     propagation_delay: float = 5e-4
     hello_loss_rate: float = 0.0
     loss_rng: np.random.Generator | None = None
     stats: ChannelStats = field(default_factory=ChannelStats)
+    fault_filter: Callable[[float, int, np.ndarray], np.ndarray] | None = None
 
     def __post_init__(self) -> None:
         check_non_negative("propagation_delay", self.propagation_delay)
         check_probability("hello_loss_rate", self.hello_loss_rate)
         if self.hello_loss_rate > 0.0 and self.loss_rng is None:
-            raise ValueError("hello_loss_rate > 0 requires a loss_rng")
+            raise ValueError(
+                "hello_loss_rate > 0 requires a loss_rng; for deterministic, "
+                "replayable loss use a repro.faults.FaultSchedule with "
+                "HelloLossBurst events instead (NetworkWorld(faults=...))"
+            )
 
     def receivers(
         self,
@@ -111,16 +123,27 @@ class IdealChannel:
             hit = np.flatnonzero(d <= tx_range)
         return hit[hit != sender]
 
-    def surviving_hello_receivers(self, receivers: np.ndarray) -> np.ndarray:
-        """Apply independent per-receiver Hello loss to *receivers*.
+    def surviving_hello_receivers(
+        self,
+        receivers: np.ndarray,
+        sender: int | None = None,
+        now: float | None = None,
+    ) -> np.ndarray:
+        """Apply per-receiver Hello loss (i.i.d. model, then fault bursts).
 
-        Dropped deliveries are counted in :attr:`ChannelStats.hello_losses`.
+        Every dropped delivery — random or injected — is counted in
+        :attr:`ChannelStats.hello_losses`; the :attr:`fault_filter` seam
+        only runs when *sender* and *now* identify the transmission.
         """
-        if self.hello_loss_rate == 0.0 or receivers.size == 0:
-            return receivers
-        keep = self.loss_rng.random(receivers.size) >= self.hello_loss_rate
-        self.stats.hello_losses += int(receivers.size - keep.sum())
-        return receivers[keep]
+        if receivers.size and self.hello_loss_rate > 0.0:
+            keep = self.loss_rng.random(receivers.size) >= self.hello_loss_rate
+            self.stats.hello_losses += int(receivers.size - keep.sum())
+            receivers = receivers[keep]
+        if self.fault_filter is not None and receivers.size and sender is not None:
+            before = int(receivers.size)
+            receivers = self.fault_filter(now, sender, receivers)
+            self.stats.hello_losses += before - int(receivers.size)
+        return receivers
 
     def arrival_time(self, sent_at: float) -> float:
         """Physical reception time for a message sent at *sent_at*."""

@@ -25,6 +25,8 @@ import numpy as np
 from repro.core.manager import MobilitySensitiveTopologyControl
 from repro.core.tables import NeighborTable
 from repro.core.views import Hello
+from repro.faults.inject import FaultInjector
+from repro.faults.schedule import FaultSchedule
 from repro.geometry.grid import GraphBackend
 from repro.mobility.base import MobilityModel
 from repro.sim.clock import ClockSet
@@ -129,6 +131,11 @@ class NetworkWorld:
     seed:
         Root seed for all per-world randomness (Hello jitter, clock skew,
         reactive flood emulation).
+    faults:
+        Optional :class:`~repro.faults.schedule.FaultSchedule` to arm.
+        The events are realised deterministically from the world seed
+        (named stream ``"faults"``); when None, every injection seam is
+        a single predictable ``is None`` branch — measured zero-cost.
     """
 
     def __init__(
@@ -137,6 +144,7 @@ class NetworkWorld:
         mobility: MobilityModel,
         manager: MobilitySensitiveTopologyControl,
         seed: int = 0,
+        faults: FaultSchedule | None = None,
     ) -> None:
         if mobility.n_nodes != config.n_nodes:
             raise ConfigurationError(
@@ -157,9 +165,25 @@ class NetworkWorld:
             hello_loss_rate=config.hello_loss_rate,
             loss_rng=seeds.rng("channel-loss") if config.hello_loss_rate > 0 else None,
         )
+        self.fault_injector: FaultInjector | None = None
+        if faults is not None:
+            for event in faults:
+                node = getattr(event, "node", None)
+                if node is not None and node >= config.n_nodes:
+                    raise ConfigurationError(
+                        f"fault event {event!r} references node {node}, but the "
+                        f"scenario has only {config.n_nodes} nodes"
+                    )
+            self.fault_injector = FaultInjector(faults, seeds.rng("faults"))
+            self.channel.fault_filter = self.fault_injector.filter_hello_receivers
         self.clocks = ClockSet(
             config.n_nodes, config.max_clock_skew, seeds.rng("clock-skew")
         )
+        if self.fault_injector is not None:
+            for node_id in range(config.n_nodes):
+                shift = self.fault_injector.clock_offset_shift(node_id)
+                if shift:
+                    self.clocks.offsets[node_id] += shift
         self._jitter_rng = seeds.rng("hello-jitter")
         self._round_rng = seeds.rng("reactive-rounds")
         # Recent Hello transmissions for the optional collision model:
@@ -230,6 +254,7 @@ class NetworkWorld:
         elif self.manager.mechanism.name == "reactive":
             self.engine.schedule_at(0.0, self._run_reactive_round, 0)
         else:
+            inj = self.fault_injector
             for node in self.nodes:
                 interval = float(
                     self._jitter_rng.uniform(
@@ -238,23 +263,42 @@ class NetworkWorld:
                     )
                 )
                 first = float(self._jitter_rng.uniform(0.0, interval))
+                if inj is None:
+                    tick_interval = interval
+                else:
+                    # HelloIntervalScale seam: the timer re-samples the
+                    # injector each tick, so scaling windows open and
+                    # close without touching the timer machinery.
+                    def tick_interval(nid=node.node_id, base=interval):
+                        return base * inj.interval_scale(nid, self.engine.now)
                 PeriodicTimer(
                     self.engine,
-                    interval,
+                    tick_interval,
                     lambda _tick, nid=node.node_id: self._send_hello_async(nid),
                     first_at=first,
                 )
 
-    def _emit_hello(self, node_id: int, version: int) -> Hello:
-        """Broadcast a Hello at the normal range; deliver after the prop delay."""
+    def _emit_hello(self, node_id: int, version: int) -> Hello | None:
+        """Broadcast a Hello at the normal range; deliver after the prop delay.
+
+        Returns None (and transmits nothing) while the sender is inside a
+        :class:`~repro.faults.schedule.NodeOutage` window.
+        """
         t = self.engine.now
+        inj = self.fault_injector
+        if inj is not None and inj.node_down(node_id, t):
+            inj.stats["suppressed_sends"] += 1
+            return None
         node = self.nodes[node_id]
         all_positions, backend = self._geometry(t)
         pos = all_positions[node_id]
+        # GPS noise perturbs what the node *advertises* (and therefore its
+        # own record), never the true position the radio propagates from.
+        adv = pos if inj is None else inj.advertised_position(node_id, t, pos)
         hello = Hello(
             sender=node_id,
             version=version,
-            position=(float(pos[0]), float(pos[1])),
+            position=(float(adv[0]), float(adv[1])),
             sent_at=t,
             timestamp=self.clocks.local_time(node_id, t),
         )
@@ -264,17 +308,50 @@ class NetworkWorld:
         receivers = self.channel.surviving_hello_receivers(
             self.channel.receivers(
                 node_id, all_positions, self.config.normal_range, backend=backend
-            )
+            ),
+            sender=node_id,
+            now=t,
         )
         if self.config.hello_tx_duration > 0.0:
             receivers = self._drop_collided(t, node_id, pos, receivers, all_positions)
         arrival = self.channel.arrival_time(t)
-        for rid in receivers:
-            self.engine.schedule_at(
-                arrival, self.nodes[int(rid)].table.record_hello, hello
-            )
-            self.channel.stats.deliveries += 1
+        if inj is None:
+            for rid in receivers:
+                self.engine.schedule_at(
+                    arrival, self.nodes[int(rid)].table.record_hello, hello
+                )
+                self.channel.stats.deliveries += 1
+        else:
+            for rid in receivers:
+                rid_i = int(rid)
+                self.engine.schedule_at(
+                    arrival + inj.delivery_delay(t, node_id, rid_i),
+                    self._deliver_hello,
+                    rid_i,
+                    hello,
+                )
+                self.channel.stats.deliveries += 1
         return hello
+
+    def _deliver_hello(self, receiver: int, hello: Hello) -> None:
+        """Gated reception path used while a fault schedule is armed.
+
+        A down receiver hears nothing; a Hello that was overtaken by a
+        fresher one from the same sender (delivery-delay reordering) is
+        discarded by the standard sequence-number discipline, keeping the
+        per-sender version order the audit machinery promises.
+        """
+        inj = self.fault_injector
+        if inj is not None and inj.node_down(receiver, self.engine.now):
+            inj.stats["blocked_receptions"] += 1
+            return
+        table = self.nodes[receiver].table
+        history = table.history_of(hello.sender)
+        if history and hello.version <= history[-1].version:
+            if inj is not None:
+                inj.stats["stale_discards"] += 1
+            return
+        table.record_hello(hello)
 
     def _drop_collided(
         self,
@@ -322,16 +399,20 @@ class NetworkWorld:
     def _send_hello_async(self, node_id: int) -> None:
         node = self.nodes[node_id]
         hello = self._emit_hello(node_id, node.next_version)
+        if hello is None:  # node down: no Hello, no decision, version unused
+            return
         node.next_version += 1
         # The paper's timing (Fig. 3): decide right after sending.
         self.decide_node(node_id, current_hello=hello)
 
     def _send_hello_proactive(self, node_id: int, epoch: int) -> None:
         node = self.nodes[node_id]
-        self._emit_hello(node_id, epoch)
+        hello = self._emit_hello(node_id, epoch)
         node.next_version = epoch + 1
         next_t = self.clocks.epoch_start(node_id, epoch + 1, self.config.hello_interval)
         self.engine.schedule_at(next_t, self._send_hello_proactive, node_id, epoch + 1)
+        if hello is None:  # down: epoch numbering advances, the node sleeps
+            return
         # Decide on the last *complete* version: everyone's epoch-(e-1)
         # Hellos have arrived by now (skew + delay < one interval).
         try:
@@ -368,10 +449,13 @@ class NetworkWorld:
         node.next_version = round_index + 1
 
     def _decide_reactive(self, node_id: int, round_index: int) -> None:
+        inj = self.fault_injector
+        if inj is not None and inj.node_down(node_id, self.engine.now):
+            return
         try:
             self.decide_node(node_id, version=round_index)
-        except ViewError:  # pragma: no cover - all Hellos arrive in time
-            pass
+        except ViewError:
+            pass  # node missed the round (e.g. it was down when it began)
 
     # ------------------------------------------------------------------ #
     # decisions
@@ -410,7 +494,11 @@ class NetworkWorld:
         Recomputing all nodes (not only eventual forwarders) is equivalent
         for reachability and keeps the hot path vectorizable.
         """
+        inj = self.fault_injector
+        now = self.engine.now
         for node in self.nodes:
+            if inj is not None and inj.node_down(node.node_id, now):
+                continue  # a crashed node forwards nothing and decides nothing
             try:
                 self.decide_node(node.node_id, version=version)
                 node.packet_decisions += 1
@@ -425,6 +513,10 @@ class NetworkWorld:
     def run_until(self, t: float) -> None:
         """Advance the simulation to physical time *t*."""
         self.engine.run(until=t)
+
+    def fault_stats(self) -> dict[str, int]:
+        """Injected-fault counters (empty when no schedule is armed)."""
+        return {} if self.fault_injector is None else self.fault_injector.as_dict()
 
     def snapshot(self, t: float | None = None) -> WorldSnapshot:
         """Freeze the effective topology at time *t* (default: now).

@@ -13,6 +13,8 @@ from __future__ import annotations
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from conftest import make_hello
 from repro.analysis.experiment import ExperimentSpec, build_world, run_once
@@ -243,3 +245,55 @@ class TestWorldLevelCache:
                 assert cached.channel_stats[key] == value
         assert uncached.channel_stats["decision_cache_hits"] == 0
         assert uncached.channel_stats["decision_cache_misses"] == 0
+
+
+class TestCacheUnderHelloLoss:
+    """Property: lossy channels must not perturb cache equivalence.
+
+    Hello loss changes *when* tables mutate, which is exactly the input
+    the fingerprints must pin; if any mechanism's fingerprint missed a
+    loss-dependent input, the cached run would diverge from the uncached
+    one.  Hypothesis drives mechanism x protocol under randomized nonzero
+    ``hello_loss_rate`` and seeds, asserting bit-identical decisions.
+    """
+
+    @staticmethod
+    def _final_decisions(mechanism, protocol, loss_rate, seed, cache_enabled):
+        spec = ExperimentSpec(
+            protocol=protocol,
+            mechanism=mechanism,
+            buffer_width=10.0,
+            mean_speed=20.0,
+            config=TINY.config(hello_loss_rate=loss_rate),
+        )
+        world = build_world(spec, seed=seed)
+        world.manager.decision_cache_enabled = cache_enabled
+        states = []
+        for t in (2.0, 3.0, 4.0):
+            world.run_until(t)
+            world.redecide_all()
+            states.append(_world_decisions(world))
+        return states, world.channel.stats.as_dict()
+
+    @settings(max_examples=25, deadline=None, derandomize=True)
+    @given(
+        mechanism=st.sampled_from(
+            ["baseline", "view-sync", "proactive", "reactive", "weak"]
+        ),
+        protocol=st.sampled_from(["rng", "spt2", "mst"]),
+        loss_rate=st.floats(min_value=0.05, max_value=0.6, allow_nan=False),
+        seed=st.integers(min_value=0, max_value=2**20),
+    )
+    def test_cache_on_off_bit_identical_under_loss(
+        self, mechanism, protocol, loss_rate, seed
+    ):
+        cached, cached_stats = self._final_decisions(
+            mechanism, protocol, loss_rate, seed, cache_enabled=True
+        )
+        uncached, uncached_stats = self._final_decisions(
+            mechanism, protocol, loss_rate, seed, cache_enabled=False
+        )
+        assert cached == uncached
+        # the channel itself (losses included) must be untouched by caching
+        assert cached_stats == uncached_stats
+        assert cached_stats["hello_losses"] > 0, "loss rate must actually bite"

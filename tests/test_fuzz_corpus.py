@@ -1,0 +1,39 @@
+"""Replay the serialized fuzz corpus (tests/corpus/*.json).
+
+Every corpus file is a self-contained :class:`~repro.faults.fuzz.FuzzCase`
+that once exercised a gnarly fault combination; replaying it through every
+oracle pins the behavior forever.  Failing cases found by future fuzz
+campaigns get shrunk, serialized by ``repro fuzz --out-dir tests/corpus``
+and, once fixed, left here as regression tests.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.faults.fuzz import load_case, run_case
+
+CORPUS_DIR = Path(__file__).parent / "corpus"
+CORPUS_FILES = sorted(CORPUS_DIR.glob("*.json"))
+
+
+def test_corpus_is_populated():
+    assert len(CORPUS_FILES) >= 3, "the shipped corpus must not shrink away"
+
+
+@pytest.mark.parametrize("path", CORPUS_FILES, ids=lambda p: p.stem)
+def test_corpus_case_replays_green(path):
+    case = load_case(path)
+    result = run_case(case, differential=True, stop_at_first=False)
+    assert not result.failed, "\n".join(result.findings)
+
+
+@pytest.mark.parametrize("path", CORPUS_FILES, ids=lambda p: p.stem)
+def test_corpus_case_round_trips(path):
+    case = load_case(path)
+    from repro.faults.fuzz import FuzzCase
+
+    assert FuzzCase.from_json(case.to_json()) == case
+    assert len(case.schedule) >= 1, "corpus cases should exercise faults"

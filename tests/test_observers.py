@@ -80,3 +80,67 @@ class TestObserverSet:
         world.run_until(6.0)
         late_times = [o.time for o in obs.series("late")]
         assert late_times == [4.0, 5.0, 6.0]
+
+
+class TestObserverEdgeCases:
+    def test_raising_probe_surfaces_simulation_error_with_name(self, world):
+        obs = ObserverSet(world)
+        obs.add("healthy", lambda w: 0)
+        obs.add("fragile", lambda w: 1 / 0)
+        obs.start(first_at=2.0, interval=1.0)
+        with pytest.raises(SimulationError, match="fragile") as excinfo:
+            world.run_until(4.0)
+        # the original exception stays reachable for debugging
+        assert isinstance(excinfo.value.__cause__, ZeroDivisionError)
+
+    def test_raising_probe_reports_time(self, world):
+        obs = ObserverSet(world)
+        obs.add("boom", lambda w: (_ for _ in ()).throw(RuntimeError("x")))
+        obs.start(first_at=3.0, interval=1.0)
+        with pytest.raises(SimulationError, match="t=3"):
+            world.run_until(5.0)
+
+    def test_stop_before_start_is_a_noop(self, world):
+        obs = ObserverSet(world)
+        obs.add("x", lambda w: 0)
+        obs.stop()  # must not raise
+        obs.start(first_at=2.0, interval=1.0)  # and must not block a start
+        world.run_until(3.0)
+        assert len(obs.series("x")) == 2
+
+    def test_duplicate_probe_error_names_the_probe(self, world):
+        obs = ObserverSet(world)
+        obs.add("degree", lambda w: 0)
+        with pytest.raises(SimulationError, match="degree"):
+            obs.add("degree", lambda w: 1)
+
+    def test_hello_losses_accumulate_only_during_burst(self):
+        # Observe ChannelStats.hello_losses through a bursty blackout:
+        # the counter must be flat outside [3, 5) and strictly growing
+        # inside it.
+        from repro.faults import FaultSchedule, HelloLossBurst
+
+        cfg = ScenarioConfig(
+            n_nodes=12, area=Area(312.0, 312.0), normal_range=250.0,
+            duration=8.0, warmup=2.0, sample_rate=1.0,
+        )
+        schedule = FaultSchedule(
+            events=(HelloLossBurst(start=3.0, end=5.0),)
+        )
+        world = build_world(
+            ExperimentSpec(protocol="rng", mean_speed=5.0, config=cfg),
+            seed=1,
+            faults=schedule,
+        )
+        obs = ObserverSet(world)
+        obs.add("losses", lambda w: w.channel.stats.hello_losses)
+        obs.start(first_at=0.5, interval=0.5)
+        world.run_until(8.0)
+        series = obs.series("losses")
+        before = [o.value for o in series if o.time <= 3.0]
+        during = [o.value for o in series if 3.5 <= o.time <= 5.0]
+        after = [o.value for o in series if o.time >= 5.5]
+        assert before[-1] == 0
+        assert during[-1] > 0
+        assert after[0] == after[-1] == during[-1]
+        assert world.fault_stats()["fault_hello_drops"] == during[-1]

@@ -1,0 +1,87 @@
+"""Property-based equivalence of the dense and grid graph backends.
+
+The :class:`~repro.geometry.grid.GraphBackend` contract is that the grid
+index is a pure accelerator: every query — unit-disk adjacency, radius
+lookups, the channel's receiver discovery — must be *bit-identical* to
+the dense distance-matrix path.  Hypothesis searches point sets drawn
+from a quarter-metre lattice (exactly representable coordinates, so the
+``d <= r`` and ``d^2 <= r^2`` forms agree exactly) including the
+boundary-inclusive case where nodes sit exactly at the query radius.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.grid import GraphBackend, GridIndex
+from repro.geometry.points import distances_from
+from repro.sim.radio import IdealChannel
+
+# Quarter-metre lattice coordinates: squared distances are exact binary64
+# values, so the comparison convention (not floating-point luck) is what
+# the properties exercise.
+_COORD = st.integers(min_value=0, max_value=4000).map(lambda k: k * 0.25)
+_POINTS = st.lists(
+    st.tuples(_COORD, _COORD), min_size=2, max_size=60, unique=True
+).map(lambda rows: np.array(rows, dtype=np.float64))
+_RADIUS = st.integers(min_value=1, max_value=1600).map(lambda k: k * 0.25)
+
+
+@settings(max_examples=60, deadline=None, derandomize=True)
+@given(points=_POINTS, radius=_RADIUS)
+def test_unit_disk_grid_matches_dense(points, radius):
+    dense = GraphBackend(points, mode="dense").unit_disk(radius)
+    grid = GraphBackend(points, mode="grid").unit_disk(radius)
+    assert np.array_equal(grid, dense)
+
+
+@settings(max_examples=60, deadline=None, derandomize=True)
+@given(points=_POINTS, radius=_RADIUS, data=st.data())
+def test_neighbors_within_grid_matches_dense(points, radius, data):
+    query = points[data.draw(st.integers(0, len(points) - 1), label="query")]
+    dense = GraphBackend(points, mode="dense").neighbors_within(query, radius)
+    grid = GraphBackend(points, mode="grid").neighbors_within(query, radius)
+    assert np.array_equal(grid, dense)
+    assert np.array_equal(np.sort(grid), grid), "indices must be ascending"
+
+
+@settings(max_examples=60, deadline=None, derandomize=True)
+@given(points=_POINTS, data=st.data())
+def test_boundary_radius_is_inclusive_on_both_backends(points, data):
+    # Query with a radius equal to an *exact measured* inter-point
+    # distance: the node on the boundary must be included by both
+    # representations (d <= r, the unit-disk convention).
+    i = data.draw(st.integers(0, len(points) - 1), label="center")
+    j = data.draw(st.integers(0, len(points) - 1), label="boundary")
+    radius = float(distances_from(points[i], points)[j])
+    if radius <= 0.0:
+        return  # i == j or coincident draw: no boundary to test
+    dense = GraphBackend(points, mode="dense").neighbors_within(points[i], radius)
+    grid = GraphBackend(points, mode="grid").neighbors_within(points[i], radius)
+    assert j in dense
+    assert np.array_equal(grid, dense)
+    assert np.array_equal(
+        GridIndex(points, cell_size=radius).neighbors_within(points[i], radius),
+        dense,
+    )
+
+
+@settings(max_examples=40, deadline=None, derandomize=True)
+@given(points=_POINTS, radius=_RADIUS, data=st.data())
+def test_channel_receiver_lookup_matches_across_backends(points, radius, data):
+    # The radio's receiver discovery must not depend on which backend the
+    # world handed it (or on getting one at all).
+    channel = IdealChannel()
+    sender = data.draw(st.integers(0, len(points) - 1), label="sender")
+    bare = channel.receivers(sender, points, radius)
+    dense = channel.receivers(
+        sender, points, radius, backend=GraphBackend(points, mode="dense")
+    )
+    grid = channel.receivers(
+        sender, points, radius, backend=GraphBackend(points, mode="grid")
+    )
+    assert np.array_equal(bare, dense)
+    assert np.array_equal(bare, grid)
+    assert sender not in bare

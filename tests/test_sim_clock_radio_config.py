@@ -84,6 +84,21 @@ class TestIdealChannel:
         with pytest.raises(ConfigurationError):
             IdealChannel(propagation_delay=-0.1)
 
+    def test_loss_without_rng_points_at_fault_schedule(self):
+        # The error must teach the deterministic alternative: a
+        # FaultSchedule with HelloLossBurst events wired via NetworkWorld.
+        with pytest.raises(ValueError) as excinfo:
+            IdealChannel(hello_loss_rate=0.2)
+        message = str(excinfo.value)
+        assert "loss_rng" in message
+        assert "repro.faults.FaultSchedule" in message
+        assert "HelloLossBurst" in message
+        assert "NetworkWorld(faults=...)" in message
+
+    def test_loss_rate_validated_before_rng_check(self):
+        with pytest.raises(ConfigurationError, match="hello_loss_rate"):
+            IdealChannel(hello_loss_rate=1.5)
+
 
 class TestScenarioConfig:
     def test_paper_defaults(self):

@@ -91,6 +91,22 @@ class TestCheckProbability:
         with pytest.raises(ConfigurationError):
             check_probability("p", value)
 
+    @pytest.mark.parametrize(
+        "value",
+        [float("nan"), float("inf"), float("-inf"), None, "0.5", [0.5]],
+        ids=["nan", "inf", "-inf", "none", "string", "list"],
+    )
+    def test_rejects_non_finite_and_non_numeric(self, value):
+        # NaN must not sneak through interval comparisons, and type
+        # confusion (strings, containers, None) must fail loudly at
+        # configuration time rather than deep inside a loss draw.
+        with pytest.raises(ConfigurationError, match="p"):
+            check_probability("p", value)
+
+    def test_error_names_the_parameter_and_value(self):
+        with pytest.raises(ConfigurationError, match=r"hello_loss_rate.*1\.5"):
+            check_probability("hello_loss_rate", 1.5)
+
 
 class TestCheckIn:
     def test_accepts_member(self):
