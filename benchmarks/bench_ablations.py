@@ -171,7 +171,7 @@ def test_ablation_hello_loss_vs_history(benchmark, bench_scale, results_dir):
                         "loss_rate": loss,
                         "k": k,
                         "connectivity": result.connectivity_ratio,
-                        "hello_losses": result.channel_stats["hello_losses"],
+                        "hello_losses": result.stats.hello_losses,
                     }
                 )
         return rows
@@ -206,14 +206,14 @@ def test_ablation_mechanisms(benchmark, bench_scale, results_dir):
                 config=_cfg(bench_scale),
             )
             result = run_once(spec, seed=5400)
-            stats = result.channel_stats
+            stats = result.stats
             rows.append(
                 {
                     "mechanism": mechanism,
                     "connectivity": result.connectivity_ratio,
                     "logical_degree": result.mean_logical_degree,
-                    "hello_msgs": stats["hello_messages"],
-                    "sync_msgs": stats["sync_messages"],
+                    "hello_msgs": stats.hello_messages,
+                    "sync_msgs": stats.sync_messages,
                 }
             )
         return rows

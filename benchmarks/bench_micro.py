@@ -96,3 +96,29 @@ def test_snapshot_and_flood_speed(benchmark):
 
     ratio = benchmark(probe)
     assert 0.0 <= ratio <= 1.0
+
+
+def test_disarmed_telemetry_world_speed(benchmark):
+    """Hello-protocol throughput with the default (Null) telemetry.
+
+    Tracks the disarmed-seam overhead: this run must stay within noise of
+    the same scenario before the telemetry subsystem existed, because
+    every seam is one ``is None`` branch when no collector is armed.
+    """
+    cfg = ScenarioConfig(
+        n_nodes=100,
+        area=Area(900.0, 900.0),
+        normal_range=250.0,
+        duration=6.0,
+        warmup=2.0,
+        sample_rate=1.0,
+    )
+    spec = ExperimentSpec(protocol="rng", mean_speed=20.0, config=cfg)
+
+    def run_world():
+        world = build_world(spec, seed=1)
+        world.run_until(6.0)
+        return world.engine.events_processed
+
+    events = benchmark(run_world)
+    assert events > 0

@@ -22,11 +22,10 @@ import math
 
 import numpy as np
 
-from repro.analysis.experiment import ExperimentSpec, build_world
 from repro.analysis.report import format_table
+from repro.api import ExperimentSpec, ScenarioConfig, build_world
 from repro.mobility.base import Area
 from repro.routing import ContactProcessConfig, EpidemicRouting
-from repro.sim.config import ScenarioConfig
 from repro.sim.flood import flood
 
 CONFIG = ScenarioConfig(

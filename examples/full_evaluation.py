@@ -20,7 +20,7 @@ from repro.analysis import (
     generate_fig9,
     generate_table1,
 )
-from repro.analysis.experiment import build_world
+from repro.api import build_world
 from repro.sim.observers import ObserverSet
 
 

@@ -11,10 +11,9 @@ Run:  python examples/quickstart.py
 
 from __future__ import annotations
 
-from repro import ExperimentSpec, run_once
 from repro.analysis.report import format_table
+from repro.api import ExperimentSpec, ScenarioConfig, run_once
 from repro.mobility.base import Area
-from repro.sim.config import ScenarioConfig
 
 # A small scenario at the paper's node density (one node per 8100 m^2)
 # so the example finishes in seconds.

@@ -22,8 +22,7 @@ from repro.metrics.connectivity import largest_effective_component
 from repro.mobility import Area, RandomWaypoint, ScenarioFileMobility
 from repro.mobility.scenario_io import export_setdest
 from repro.protocols import MstProtocol
-from repro.sim.config import ScenarioConfig
-from repro.sim.world import NetworkWorld
+from repro.api import NetworkWorld, ScenarioConfig
 
 AREA = Area(500.0, 500.0)
 N, HORIZON = 25, 20.0

@@ -15,11 +15,10 @@ Run:  python examples/sensor_field_monitoring.py
 
 from __future__ import annotations
 
-from repro import ExperimentSpec, run_once
 from repro.analysis.report import format_table
+from repro.api import ExperimentSpec, ScenarioConfig, run_once
 from repro.core.buffer_zone import buffer_width, max_delay_bound
 from repro.mobility.base import Area
-from repro.sim.config import ScenarioConfig
 
 CONFIG = ScenarioConfig(
     n_nodes=60,
@@ -73,7 +72,7 @@ def main() -> None:
             "alarm_coverage": result.connectivity_ratio,
             "tx_range_m": result.mean_transmission_range,
             "degree": result.mean_logical_degree,
-            "hello_msgs": result.channel_stats["hello_messages"],
+            "hello_msgs": result.stats.hello_messages,
         })
 
     print(format_table(rows, title="Sensor-field candidate stacks"))

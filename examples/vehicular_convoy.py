@@ -18,11 +18,9 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import ExperimentSpec, run_once
-from repro.analysis.experiment import build_world
 from repro.analysis.report import format_table
+from repro.api import ExperimentSpec, ScenarioConfig, build_world, run_once
 from repro.mobility.base import Area
-from repro.sim.config import ScenarioConfig
 from repro.sim.flood import flood
 
 CONFIG = ScenarioConfig(

@@ -24,6 +24,7 @@ from repro.analysis.experiment import (
     AggregateResult,
     ExperimentSpec,
     RunResult,
+    RunStats,
     build_manager,
     build_mobility,
     build_world,
@@ -56,6 +57,7 @@ __all__ = [
     # experiment harness
     "ExperimentSpec",
     "RunResult",
+    "RunStats",
     "AggregateResult",
     "run_once",
     "run_repetitions",

@@ -4,6 +4,7 @@ from repro.analysis.experiment import (
     AggregateResult,
     ExperimentSpec,
     RunResult,
+    RunStats,
     build_manager,
     build_mobility,
     build_world,
@@ -41,6 +42,7 @@ from repro.analysis.tables import Table1Result, generate_table1
 __all__ = [
     "ExperimentSpec",
     "RunResult",
+    "RunStats",
     "AggregateResult",
     "run_once",
     "run_repetitions",

@@ -18,6 +18,7 @@ out of cores.
 from __future__ import annotations
 
 import os
+import warnings
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field, replace
 
@@ -37,10 +38,19 @@ from repro.protocols.base import make_protocol
 from repro.sim.config import ScenarioConfig
 from repro.sim.flood import flood
 from repro.sim.world import NetworkWorld
+from repro.telemetry.core import Telemetry, TelemetrySummary
+from repro.telemetry.runtime import current_telemetry
 from repro.util.randomness import SeedSequenceFactory
 from repro.util.validate import check_int_range, check_non_negative
 
-__all__ = ["ExperimentSpec", "RunResult", "AggregateResult", "run_once", "run_repetitions"]
+__all__ = [
+    "ExperimentSpec",
+    "RunStats",
+    "RunResult",
+    "AggregateResult",
+    "run_once",
+    "run_repetitions",
+]
 
 
 @dataclass(frozen=True)
@@ -125,23 +135,125 @@ def build_mobility(spec: ExperimentSpec, rng: np.random.Generator) -> MobilityMo
 
 
 def build_world(
-    spec: ExperimentSpec, seed: int, faults: "FaultSchedule | None" = None
+    spec: ExperimentSpec,
+    seed: int,
+    faults: "FaultSchedule | None" = None,
+    telemetry: "Telemetry | None" = None,
 ) -> NetworkWorld:
     """Construct the fully wired world for one repetition."""
     seeds = SeedSequenceFactory(seed)
     mobility = build_mobility(spec, seeds.rng("mobility"))
     manager = build_manager(spec)
-    return NetworkWorld(spec.config, mobility, manager, seed=seed, faults=faults)
+    return NetworkWorld(
+        spec.config, mobility, manager, seed=seed, faults=faults, telemetry=telemetry
+    )
+
+
+@dataclass(frozen=True)
+class RunStats:
+    """Typed per-run counters: channel, decision cache, faults, telemetry.
+
+    The typed replacement for the free-form ``channel_stats`` dict —
+    every counter the run produced, as a named field with a fixed type.
+    :meth:`as_dict` reproduces the legacy dict shape exactly (``fault_*``
+    keys present only when a schedule was armed, telemetry excluded), so
+    existing dict-shaped consumers keep working through the deprecated
+    :attr:`RunResult.channel_stats` view.
+
+    Attributes
+    ----------
+    hello_messages .. collisions:
+        The channel's :class:`~repro.sim.radio.ChannelStats` counters.
+    decision_cache_hits / decision_cache_misses / decision_cache_uncacheable:
+        The manager's view-fingerprint decision-cache counters
+        (:meth:`~repro.core.manager.MobilitySensitiveTopologyControl.cache_info`).
+    fault_*:
+        Injected-disturbance counters; all zero unless *faults_armed*.
+    faults_armed:
+        Whether a :class:`~repro.faults.FaultSchedule` was in force.
+    telemetry:
+        Frozen :class:`~repro.telemetry.TelemetrySummary` when the run
+        was traced, else None.
+    """
+
+    hello_messages: int = 0
+    data_transmissions: int = 0
+    sync_messages: int = 0
+    deliveries: int = 0
+    hello_losses: int = 0
+    collisions: int = 0
+    decision_cache_hits: int = 0
+    decision_cache_misses: int = 0
+    decision_cache_uncacheable: int = 0
+    fault_hello_drops: int = 0
+    fault_suppressed_sends: int = 0
+    fault_blocked_receptions: int = 0
+    fault_stale_discards: int = 0
+    fault_delayed_deliveries: int = 0
+    fault_noisy_positions: int = 0
+    faults_armed: bool = False
+    telemetry: TelemetrySummary | None = None
+
+    @classmethod
+    def from_world(
+        cls, world: NetworkWorld, telemetry: "Telemetry | None" = None
+    ) -> "RunStats":
+        """Collect every counter from a finished world."""
+        return cls(
+            **world.channel.stats.as_dict(),
+            **world.manager.cache_info(),
+            **world.fault_stats(),
+            faults_armed=world.fault_injector is not None,
+            telemetry=telemetry.summary() if telemetry is not None else None,
+        )
+
+    def as_dict(self) -> dict[str, int]:
+        """Legacy ``channel_stats`` dict shape (bit-compatible).
+
+        ``fault_*`` keys appear only when a schedule was armed, exactly
+        as the pre-typed dict behaved; the telemetry summary is not a
+        counter and is excluded.
+        """
+        out = {
+            "hello_messages": self.hello_messages,
+            "data_transmissions": self.data_transmissions,
+            "sync_messages": self.sync_messages,
+            "deliveries": self.deliveries,
+            "hello_losses": self.hello_losses,
+            "collisions": self.collisions,
+            "decision_cache_hits": self.decision_cache_hits,
+            "decision_cache_misses": self.decision_cache_misses,
+            "decision_cache_uncacheable": self.decision_cache_uncacheable,
+        }
+        if self.faults_armed:
+            out.update(
+                fault_hello_drops=self.fault_hello_drops,
+                fault_suppressed_sends=self.fault_suppressed_sends,
+                fault_blocked_receptions=self.fault_blocked_receptions,
+                fault_stale_discards=self.fault_stale_discards,
+                fault_delayed_deliveries=self.fault_delayed_deliveries,
+                fault_noisy_positions=self.fault_noisy_positions,
+            )
+        return out
+
+    def cache_info(self) -> dict[str, int]:
+        """Decision-cache counters alone, ``cache_info()``-shaped."""
+        return {
+            "decision_cache_hits": self.decision_cache_hits,
+            "decision_cache_misses": self.decision_cache_misses,
+            "decision_cache_uncacheable": self.decision_cache_uncacheable,
+        }
 
 
 @dataclass(frozen=True)
 class RunResult:
     """Per-sample series of one simulation run.
 
-    ``channel_stats`` carries the channel's message counters plus the
-    manager's decision-cache counters (``decision_cache_hits`` /
-    ``decision_cache_misses`` / ``decision_cache_uncacheable``), so the
-    cache's effectiveness is observable per run.
+    ``stats`` is the typed :class:`RunStats` record — channel message
+    counters, the manager's decision-cache counters, fault-injection
+    counters, and (when the run was traced) the telemetry summary.  The
+    pre-1.1 free-form dict is still reachable through the deprecated
+    :attr:`channel_stats` property.
     """
 
     spec: ExperimentSpec
@@ -152,7 +264,18 @@ class RunResult:
     mean_logical_degrees: np.ndarray
     mean_physical_degrees: np.ndarray
     strict_connected: np.ndarray
-    channel_stats: dict
+    stats: RunStats
+
+    @property
+    def channel_stats(self) -> dict:
+        """Deprecated dict view of :attr:`stats` (use the typed fields)."""
+        warnings.warn(
+            "RunResult.channel_stats is deprecated; use RunResult.stats "
+            "(typed RunStats) — .as_dict() reproduces this dict exactly",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.stats.as_dict()
 
     @property
     def connectivity_ratio(self) -> float:
@@ -176,25 +299,46 @@ class RunResult:
 
 
 def run_once(
-    spec: ExperimentSpec, seed: int = 0, faults: "FaultSchedule | None" = None
+    spec: ExperimentSpec,
+    seed: int = 0,
+    faults: "FaultSchedule | None" = None,
+    telemetry: "Telemetry | None" = None,
 ) -> RunResult:
     """Execute one repetition of *spec* and collect all per-sample metrics.
 
-    When a :class:`~repro.faults.FaultSchedule` is supplied its ``fault_``
-    counters are merged into ``channel_stats`` alongside the channel's own.
+    When a :class:`~repro.faults.FaultSchedule` is supplied its ``fault_*``
+    counters land in ``result.stats`` alongside the channel's own.  Pass a
+    :class:`~repro.telemetry.Telemetry` collector (or arm one ambiently
+    with :func:`repro.telemetry.use_telemetry`) to trace the run; its
+    frozen summary is attached as ``result.stats.telemetry``.
     """
-    world = build_world(spec, seed, faults=faults)
+    if telemetry is None:
+        telemetry = current_telemetry()
+    if telemetry is not None and not telemetry.enabled:
+        telemetry = None
+    world = build_world(spec, seed, faults=faults, telemetry=telemetry)
     cfg = spec.config
     seeds = SeedSequenceFactory(seed)
     source_rng = seeds.rng("flood-sources")
     sample_times = np.arange(
         cfg.warmup, cfg.duration + 1e-9, 1.0 / cfg.sample_rate
     )
+    if telemetry is not None:
+        telemetry.event(
+            "run_start", t=0.0, seed=seed, label=spec.label,
+            n_nodes=cfg.n_nodes, duration=cfg.duration,
+        )
     delivery, act_rng, ext_rng, ldeg, pdeg, strict = [], [], [], [], [], []
     for t in sample_times:
         world.run_until(float(t))
         source = int(source_rng.integers(cfg.n_nodes))
         result = flood(world, source)
+        if telemetry is not None:
+            telemetry.count("floods")
+            telemetry.event(
+                "flood", t=float(t), node=source,
+                delivery_ratio=result.delivery_ratio,
+            )
         delivery.append(result.delivery_ratio)
         snap = world.snapshot()
         topo = sample_topology(snap)
@@ -203,6 +347,11 @@ def run_once(
         ldeg.append(topo.mean_logical_degree)
         pdeg.append(topo.mean_physical_degree)
         strict.append(strictly_connected(snap, world.manager.physical_neighbor_mode))
+    if telemetry is not None:
+        telemetry.event(
+            "run_end", t=float(cfg.duration), seed=seed,
+            samples=len(sample_times),
+        )
     return RunResult(
         spec=spec,
         seed=seed,
@@ -212,11 +361,7 @@ def run_once(
         mean_logical_degrees=np.asarray(ldeg),
         mean_physical_degrees=np.asarray(pdeg),
         strict_connected=np.asarray(strict, dtype=bool),
-        channel_stats={
-            **world.channel.stats.as_dict(),
-            **world.manager.cache_info(),
-            **world.fault_stats(),
-        },
+        stats=RunStats.from_world(world, telemetry=telemetry),
     )
 
 

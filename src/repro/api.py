@@ -1,0 +1,100 @@
+"""Stable high-level API: one import for the common library workflows.
+
+``repro.api`` is the supported front door for scripting against the
+package.  It re-exports the handful of names that cover the three
+standard workflows — declare and run experiments, trace runs to disk,
+and observe runs with telemetry — and adds :func:`simulate`, a one-call
+convenience wrapper that builds the world, runs it, and returns the
+typed :class:`RunStats` alongside the per-sample series.
+
+Everything here is importable from its home module too; this facade only
+promises that *these* spellings stay stable across minor versions:
+
+>>> from repro.api import ExperimentSpec, simulate
+>>> from repro.sim import ScenarioConfig
+>>> result = simulate(ExperimentSpec(
+...     config=ScenarioConfig(n_nodes=20, duration=6.0, sample_rate=1.0)))
+>>> isinstance(result.stats.hello_messages, int)
+True
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiment import (
+    AggregateResult,
+    ExperimentSpec,
+    RunResult,
+    RunStats,
+    build_manager,
+    build_mobility,
+    build_world,
+    run_once,
+    run_repetitions,
+)
+from repro.faults.schedule import FaultSchedule
+from repro.sim.config import ScenarioConfig
+from repro.sim.trace import SimulationTrace, TraceRecorder
+from repro.sim.world import NetworkWorld
+from repro.telemetry import (
+    MetricsRegistry,
+    NullTelemetry,
+    Telemetry,
+    TelemetrySummary,
+    use_telemetry,
+)
+
+__all__ = [
+    # experiments
+    "ExperimentSpec",
+    "ScenarioConfig",
+    "RunStats",
+    "RunResult",
+    "AggregateResult",
+    "simulate",
+    "run_once",
+    "run_repetitions",
+    "build_manager",
+    "build_mobility",
+    "build_world",
+    "NetworkWorld",
+    # faults
+    "FaultSchedule",
+    # tracing
+    "TraceRecorder",
+    "SimulationTrace",
+    # telemetry
+    "Telemetry",
+    "NullTelemetry",
+    "TelemetrySummary",
+    "MetricsRegistry",
+    "use_telemetry",
+]
+
+
+def simulate(
+    spec: ExperimentSpec,
+    seed: int = 0,
+    faults: FaultSchedule | None = None,
+    telemetry: Telemetry | None = None,
+) -> RunResult:
+    """Run one simulation of *spec* end to end and return its results.
+
+    A readable alias of :func:`run_once` for scripting: builds the fully
+    wired world (mobility, radio, topology control, optional faults and
+    telemetry), advances it through every sampling instant, and returns
+    the :class:`RunResult` whose ``stats`` field is the typed
+    :class:`RunStats` record.
+
+    Parameters
+    ----------
+    spec:
+        The experiment configuration to realise.
+    seed:
+        Root seed; equal ``(spec, seed, faults)`` replays bit-identically.
+    faults:
+        Optional :class:`~repro.faults.FaultSchedule` to arm.
+    telemetry:
+        Optional :class:`~repro.telemetry.Telemetry` collector; its
+        frozen summary lands in ``result.stats.telemetry``.
+    """
+    return run_once(spec, seed=seed, faults=faults, telemetry=telemetry)

@@ -77,6 +77,18 @@ def _add_workers_flag(p: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_telemetry_flag(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--telemetry",
+        metavar="PATH",
+        default=None,
+        help="trace every run: write a repro-telemetry/1 JSONL stream to "
+        "PATH, print the metrics/spans summary table, and write per-phase "
+        "timings to PATH's .phases.json sibling (forces --workers 1; the "
+        "collector is process-local)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The repro-experiment argument parser."""
     parser = argparse.ArgumentParser(
@@ -95,6 +107,7 @@ def build_parser() -> argparse.ArgumentParser:
             help="suppress the ASCII chart rendering",
         )
         _add_workers_flag(p)
+        _add_telemetry_flag(p)
 
     p = sub.add_parser("report", help="run the full campaign and write EXPERIMENTS.md")
     p.add_argument("--scale", choices=sorted(_SCALES), default="quick")
@@ -102,6 +115,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--output", default="EXPERIMENTS.md")
     p.add_argument("--html", help="also write a standalone HTML report here")
     _add_workers_flag(p)
+    _add_telemetry_flag(p)
 
     p = sub.add_parser("unicast", help="GFG/GPSR unicast over maintained topologies")
     p.add_argument("--scale", choices=sorted(_SCALES), default="quick")
@@ -161,7 +175,45 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--repetitions", type=int, default=5)
     p.add_argument("--seed", type=int, default=2026)
     _add_workers_flag(p)
+    _add_telemetry_flag(p)
     return parser
+
+
+def _with_telemetry(args: argparse.Namespace, fn) -> int:
+    """Run *fn* with an ambient collector armed when ``--telemetry`` asks.
+
+    The collector reaches every :func:`~repro.analysis.experiment.run_once`
+    through the :func:`~repro.telemetry.use_telemetry` context variable, so
+    figure generators and campaigns need no parameter threading.  It is
+    process-local, so repetition fan-out is forced to one worker.
+    """
+    path = getattr(args, "telemetry", None)
+    if not path:
+        return fn()
+    from repro.telemetry import (
+        Telemetry,
+        summary_table,
+        use_telemetry,
+        write_jsonl,
+        write_phase_timings,
+    )
+
+    if getattr(args, "workers", None) not in (None, 1):
+        print("[telemetry] forcing --workers 1 (the collector is process-local)")
+    if hasattr(args, "workers"):
+        args.workers = 1
+    telemetry = Telemetry()
+    with use_telemetry(telemetry):
+        code = fn()
+    meta = {"command": args.command, "seed": getattr(args, "seed", None)}
+    records = write_jsonl(path, telemetry, meta=meta)
+    print()
+    print(summary_table(telemetry, title=f"telemetry — {args.command}"))
+    phases_path = f"{path}.phases.json"
+    write_phase_timings(phases_path, telemetry, meta=meta)
+    print(f"\nwrote {records} telemetry records to {path}")
+    print(f"wrote phase timings to {phases_path}")
+    return code
 
 
 def _run_figures(args: argparse.Namespace) -> int:
@@ -339,18 +391,18 @@ def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
     if args.command == "run":
-        return _run_single(args)
+        return _with_telemetry(args, lambda: _run_single(args))
     if args.command == "fuzz":
         return _run_fuzz(args)
     if args.command == "report":
-        return _run_report(args)
+        return _with_telemetry(args, lambda: _run_report(args))
     if args.command == "unicast":
         return _run_unicast(args)
     if args.command == "lifetime":
         return _run_lifetime(args)
     if args.command == "equivalence":
         return _run_equivalence(args)
-    return _run_figures(args)
+    return _with_telemetry(args, lambda: _run_figures(args))
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -122,6 +122,9 @@ class MobilitySensitiveTopologyControl:
         self.cache_hits = 0
         self.cache_misses = 0
         self.cache_uncacheable = 0
+        # Armed telemetry or None (attach_telemetry); one None check on
+        # the decide() path when disarmed — the fault-seam pattern.
+        self._telemetry = None
         if (
             self.mechanism.name == "weak"
             and not protocol.supports_conservative
@@ -156,6 +159,7 @@ class MobilitySensitiveTopologyControl:
         is returned with a refreshed ``decided_at`` — bit-identical to a
         recomputation, without building the cost graph.
         """
+        tel = self._telemetry
         fingerprint: tuple | None = None
         if self.decision_cache_enabled:
             inputs = self.mechanism.decision_fingerprint(
@@ -168,6 +172,9 @@ class MobilitySensitiveTopologyControl:
                 cached = self._decision_cache.get(table.owner)
                 if cached is not None and cached[0] == fingerprint:
                     self.cache_hits += 1
+                    if tel is not None:
+                        tel.count("decision_cache", outcome="hit")
+                        tel.event("decision_cache_hit", t=now, node=table.owner)
                     decision = cached[1]
                     if decision.decided_at == now:
                         return decision
@@ -185,13 +192,38 @@ class MobilitySensitiveTopologyControl:
         if fingerprint is not None:
             self.cache_misses += 1
             self._decision_cache[table.owner] = (fingerprint, decision)
+        if tel is not None:
+            if fingerprint is not None:
+                outcome = "miss"
+            elif self.decision_cache_enabled:
+                outcome = "uncacheable"
+            else:
+                outcome = "disabled"
+            tel.count("decision_cache", outcome=outcome)
+            tel.event("decision_cache_miss", t=now, node=table.owner, outcome=outcome)
         return decision
+
+    # ------------------------------------------------------------------ #
+    # telemetry
+
+    def attach_telemetry(self, telemetry) -> None:
+        """Install (or clear, with None) a telemetry collector.
+
+        Armed, :meth:`decide` mirrors the cache counters into the
+        ``decision_cache{outcome=...}`` series and appends
+        ``decision_cache_hit`` / ``decision_cache_miss`` events; disarmed
+        (None or a :class:`~repro.telemetry.NullTelemetry`), the decide
+        path pays one ``None`` check.
+        """
+        if telemetry is not None and not getattr(telemetry, "enabled", True):
+            telemetry = None
+        self._telemetry = telemetry
 
     # ------------------------------------------------------------------ #
     # decision-cache maintenance
 
     def cache_info(self) -> dict[str, int]:
-        """Decision-cache counters, ``channel_stats``-style (for reports)."""
+        """Decision-cache counters, ``RunStats``-field-named (for reports)."""
         return {
             "decision_cache_hits": self.cache_hits,
             "decision_cache_misses": self.cache_misses,

@@ -9,9 +9,9 @@ index, and every query is deterministic given the world's named RNG
 streams.
 
 The injector also keeps the fault-accounting counters that
-:func:`repro.analysis.experiment.run_once` merges into
-``RunResult.channel_stats`` (prefixed ``fault_``), so a run's injected
-disturbance is observable next to the channel's own counters.
+:func:`repro.analysis.experiment.run_once` carries as ``fault_*`` fields
+on ``RunResult.stats``, so a run's injected disturbance is observable
+next to the channel's own counters.
 """
 
 from __future__ import annotations
@@ -43,6 +43,11 @@ class FaultInjector:
         stochastic draws — partial loss bursts and position noise.  Runs
         with equal ``(seed, schedule)`` replay bit-identically because
         draws happen in event-engine order, which is itself deterministic.
+    telemetry:
+        Armed telemetry collector or None.  When armed, every counted
+        disturbance also lands in the structured event log as a ``fault``
+        event whose ``action`` field names the seam that fired; disarmed,
+        each seam pays one ``None`` check (the established pattern).
     """
 
     __slots__ = (
@@ -55,11 +60,20 @@ class FaultInjector:
         "_delays",
         "_noise",
         "stats",
+        "_telemetry",
     )
 
-    def __init__(self, schedule: FaultSchedule, rng: np.random.Generator) -> None:
+    def __init__(
+        self,
+        schedule: FaultSchedule,
+        rng: np.random.Generator,
+        telemetry=None,
+    ) -> None:
         self.schedule = schedule
         self._rng = rng
+        if telemetry is not None and not getattr(telemetry, "enabled", True):
+            telemetry = None
+        self._telemetry = telemetry
         self._loss = [e for e in schedule if isinstance(e, HelloLossBurst)]
         self._outages = [e for e in schedule if isinstance(e, NodeOutage)]
         self._skews = [e for e in schedule if isinstance(e, ClockSkew)]
@@ -76,6 +90,22 @@ class FaultInjector:
             "delayed_deliveries": 0,
             "noisy_positions": 0,
         }
+
+    # ------------------------------------------------------------------ #
+    # accounting seam
+
+    def note(self, action: str, t: float, node: int | None = None, count: int = 1, **data) -> None:
+        """Count one disturbance under *action*; trace it when armed.
+
+        This is the single accounting path for every injector counter —
+        the world's outage seams call it too — so the ``fault_*`` stats
+        and the telemetry ``fault`` events can never disagree.
+        """
+        self.stats[action] += count
+        tel = self._telemetry
+        if tel is not None:
+            tel.count("fault_events", count, action=action)
+            tel.event("fault", t=t, node=node, action=action, count=count, **data)
 
     # ------------------------------------------------------------------ #
     # outage queries
@@ -131,7 +161,7 @@ class FaultInjector:
                 keep &= ~drop
         dropped = int(receivers.size - keep.sum())
         if dropped:
-            self.stats["hello_drops"] += dropped
+            self.note("hello_drops", now, node=sender, count=dropped)
         return receivers[keep]
 
     def delivery_delay(self, now: float, sender: int, receiver: int) -> float:
@@ -141,7 +171,7 @@ class FaultInjector:
             if event.active(now) and event.matches(sender, receiver):
                 extra += event.delay
         if extra > 0.0:
-            self.stats["delayed_deliveries"] += 1
+            self.note("delayed_deliveries", now, node=receiver, sender=sender)
         return extra
 
     # ------------------------------------------------------------------ #
@@ -162,7 +192,7 @@ class FaultInjector:
                 angle = self._rng.uniform(0.0, 2.0 * np.pi)
                 radius = event.amplitude * np.sqrt(self._rng.uniform())
                 out = out + radius * np.array([np.cos(angle), np.sin(angle)])
-                self.stats["noisy_positions"] += 1
+                self.note("noisy_positions", t, node=node)
         return out
 
     def position_noise_bound(self) -> float:

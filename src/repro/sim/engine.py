@@ -97,6 +97,9 @@ class Engine:
         # timer churn never accumulate dead entries.
         self._tombstones = 0
         self._event_hook: Callable[[float], Any] | None = None
+        # Armed telemetry or None; the seam costs one None check per
+        # run()/step() call, never per event (see set_telemetry).
+        self._telemetry: Any | None = None
 
     @property
     def now(self) -> float:
@@ -123,6 +126,20 @@ class Engine:
         ``None`` check per event.
         """
         self._event_hook = hook
+
+    def set_telemetry(self, telemetry: Any | None) -> None:
+        """Install (or clear, with None) a telemetry collector.
+
+        When armed, each :meth:`run` segment is timed under the
+        ``engine_run`` span and the processed/pending event counts are
+        folded into the ``engine_events`` counter and the
+        ``engine_pending_events`` gauge.  Disarmed (None, or a
+        :class:`~repro.telemetry.NullTelemetry`), the only cost is one
+        ``None`` check per ``run`` call — nothing per event.
+        """
+        if telemetry is not None and not getattr(telemetry, "enabled", True):
+            telemetry = None
+        self._telemetry = telemetry
 
     def _note_cancelled(self) -> None:
         """Account for one newly tombstoned entry; compact if they dominate."""
@@ -166,6 +183,20 @@ class Engine:
             raise ScheduleError(f"cannot run backwards: until={until} < now={self._now}")
         if self._running:
             raise ScheduleError("engine is already running (re-entrant run() call)")
+        tel = self._telemetry
+        if tel is None:
+            self._run_segment(until)
+            return
+        with tel.span("engine_run"):
+            before = self._events_processed
+            try:
+                self._run_segment(until)
+            finally:
+                tel.count("engine_events", self._events_processed - before)
+                tel.gauge("engine_pending_events", self.pending_events)
+
+    def _run_segment(self, until: float) -> None:
+        """The event loop proper (validated arguments; internal)."""
         self._running = True
         try:
             while self._queue and self._queue[0].time <= until:

@@ -17,8 +17,9 @@ lossless — they are the measurement instrument, not the system under test.
 
 from __future__ import annotations
 
+import warnings
 from collections.abc import Callable
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -52,7 +53,6 @@ class ChannelStats:
         }
 
 
-@dataclass
 class IdealChannel:
     """Collision-free unit-disk broadcast channel.
 
@@ -64,32 +64,74 @@ class IdealChannel:
         the flight time is physically negligible).
     hello_loss_rate:
         Probability an individual Hello delivery is lost (independent per
-        receiver); requires *loss_rng* when positive.
-    loss_rng:
-        Randomness source for loss draws.
+        receiver); requires *rng* when positive.
+    rng:
+        Randomness source for loss draws.  The pre-1.1 keyword spelling
+        ``loss_rng`` is still accepted but deprecated (every
+        generator-typed argument in the package is now spelled ``rng``).
     fault_filter:
         Optional injection seam: called as ``fault_filter(now, sender,
         receivers)`` after the i.i.d. loss model and expected to return
         the surviving receiver indices.  Installed by
         :class:`~repro.sim.world.NetworkWorld` when a fault schedule is
         armed (see :mod:`repro.faults`); ``None`` costs nothing.
+    telemetry:
+        Armed telemetry collector or None (the
+        :class:`~repro.sim.world.NetworkWorld` installs this the same way
+        it installs *fault_filter*); drops are counted under the
+        ``hello_dropped`` series when armed, at zero cost otherwise.
     """
 
-    propagation_delay: float = 5e-4
-    hello_loss_rate: float = 0.0
-    loss_rng: np.random.Generator | None = None
-    stats: ChannelStats = field(default_factory=ChannelStats)
-    fault_filter: Callable[[float, int, np.ndarray], np.ndarray] | None = None
+    _SENTINEL = object()
 
-    def __post_init__(self) -> None:
+    def __init__(
+        self,
+        propagation_delay: float = 5e-4,
+        hello_loss_rate: float = 0.0,
+        rng: np.random.Generator | None = None,
+        stats: ChannelStats | None = None,
+        fault_filter: Callable[[float, int, np.ndarray], np.ndarray] | None = None,
+        loss_rng: object = _SENTINEL,
+    ) -> None:
+        if loss_rng is not IdealChannel._SENTINEL:
+            if rng is not None:
+                raise TypeError("pass either rng or the deprecated loss_rng, not both")
+            warnings.warn(
+                "IdealChannel(loss_rng=...) is deprecated; use rng=...",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            rng = loss_rng  # type: ignore[assignment]
+        self.propagation_delay = propagation_delay
+        self.hello_loss_rate = hello_loss_rate
+        self.rng = rng
+        self.stats = stats if stats is not None else ChannelStats()
+        self.fault_filter = fault_filter
+        self.telemetry = None
         check_non_negative("propagation_delay", self.propagation_delay)
         check_probability("hello_loss_rate", self.hello_loss_rate)
-        if self.hello_loss_rate > 0.0 and self.loss_rng is None:
+        if self.hello_loss_rate > 0.0 and self.rng is None:
             raise ValueError(
-                "hello_loss_rate > 0 requires a loss_rng; for deterministic, "
+                "hello_loss_rate > 0 requires an rng; for deterministic, "
                 "replayable loss use a repro.faults.FaultSchedule with "
                 "HelloLossBurst events instead (NetworkWorld(faults=...))"
             )
+
+    @property
+    def loss_rng(self) -> np.random.Generator | None:
+        """Deprecated alias of :attr:`rng` (read-only)."""
+        warnings.warn(
+            "IdealChannel.loss_rng is deprecated; use .rng",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.rng
+
+    def __repr__(self) -> str:
+        return (
+            f"IdealChannel(propagation_delay={self.propagation_delay!r}, "
+            f"hello_loss_rate={self.hello_loss_rate!r}, stats={self.stats!r})"
+        )
 
     def receivers(
         self,
@@ -135,14 +177,27 @@ class IdealChannel:
         :attr:`ChannelStats.hello_losses`; the :attr:`fault_filter` seam
         only runs when *sender* and *now* identify the transmission.
         """
+        tel = self.telemetry
         if receivers.size and self.hello_loss_rate > 0.0:
-            keep = self.loss_rng.random(receivers.size) >= self.hello_loss_rate
-            self.stats.hello_losses += int(receivers.size - keep.sum())
+            keep = self.rng.random(receivers.size) >= self.hello_loss_rate
+            lost = int(receivers.size - keep.sum())
+            self.stats.hello_losses += lost
+            if tel is not None and lost:
+                tel.count("hello_dropped", lost, reason="loss")
+                tel.event(
+                    "hello_dropped", t=now or 0.0, node=sender, count=lost, reason="loss"
+                )
             receivers = receivers[keep]
         if self.fault_filter is not None and receivers.size and sender is not None:
             before = int(receivers.size)
             receivers = self.fault_filter(now, sender, receivers)
-            self.stats.hello_losses += before - int(receivers.size)
+            lost = before - int(receivers.size)
+            self.stats.hello_losses += lost
+            if tel is not None and lost:
+                tel.count("hello_dropped", lost, reason="fault")
+                tel.event(
+                    "hello_dropped", t=now or 0.0, node=sender, count=lost, reason="fault"
+                )
         return receivers
 
     def arrival_time(self, sent_at: float) -> float:

@@ -148,10 +148,30 @@ class TraceRecorder:
         return len(self._times)
 
     def finish(self) -> SimulationTrace:
-        """Freeze the recording into an immutable trace."""
+        """Freeze the recording into an immutable trace.
+
+        When the world was built with an armed telemetry collector, its
+        frozen summary rides along as ``meta["telemetry"]``; an armed
+        fault schedule is embedded as ``meta["fault_schedule"]`` (the
+        :meth:`~repro.faults.FaultSchedule.as_dict` form), so a saved
+        trace records both the disturbance that was injected and what
+        the instrumented run measured.  Both values survive the ``.npz``
+        ``repr``/``literal_eval`` metadata round-trip.
+        """
         self._finished = True
-        n = self.world.config.n_nodes
+        world = self.world
+        n = world.config.n_nodes
         k = len(self._times)
+        meta = {
+            "label": self.label or world.manager.describe(),
+            "n_nodes": n,
+            "normal_range": world.config.normal_range,
+            "duration": world.config.duration,
+        }
+        if world.telemetry.enabled:
+            meta["telemetry"] = world.telemetry.summary().as_dict()
+        if world.fault_injector is not None:
+            meta["fault_schedule"] = world.fault_injector.schedule.as_dict()
         return SimulationTrace(
             times=np.asarray(self._times),
             positions=(
@@ -161,10 +181,5 @@ class TraceRecorder:
             actual_ranges=(np.stack(self._actual) if k else np.zeros((0, n))),
             extended_ranges=(np.stack(self._extended) if k else np.zeros((0, n))),
             delivery_ratios=np.asarray(self._delivery),
-            meta={
-                "label": self.label or self.world.manager.describe(),
-                "n_nodes": n,
-                "normal_range": self.world.config.normal_range,
-                "duration": self.world.config.duration,
-            },
+            meta=meta,
         )

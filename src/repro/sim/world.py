@@ -34,6 +34,7 @@ from repro.sim.config import ScenarioConfig
 from repro.sim.engine import Engine, PeriodicTimer
 from repro.sim.node import SimNode
 from repro.sim.radio import IdealChannel
+from repro.telemetry.core import NULL_TELEMETRY, Telemetry
 from repro.util.errors import ConfigurationError, ViewError
 from repro.util.randomness import SeedSequenceFactory
 
@@ -136,6 +137,14 @@ class NetworkWorld:
         The events are realised deterministically from the world seed
         (named stream ``"faults"``); when None, every injection seam is
         a single predictable ``is None`` branch — measured zero-cost.
+    telemetry:
+        Optional :class:`~repro.telemetry.Telemetry` collector.  When
+        armed, the world traces Hello traffic, decisions, range changes
+        and per-phase timings (``hello_emit`` / ``decide`` / ``redecide``
+        / ``snapshot`` / ``engine_run`` spans); the disarmed default
+        (:data:`~repro.telemetry.NULL_TELEMETRY`) keeps every seam a
+        single ``is None`` branch, the same zero-cost pattern as the
+        fault seams.
     """
 
     def __init__(
@@ -145,6 +154,7 @@ class NetworkWorld:
         manager: MobilitySensitiveTopologyControl,
         seed: int = 0,
         faults: FaultSchedule | None = None,
+        telemetry: Telemetry | None = None,
     ) -> None:
         if mobility.n_nodes != config.n_nodes:
             raise ConfigurationError(
@@ -159,12 +169,20 @@ class NetworkWorld:
         self.mobility = mobility
         self.manager = manager
         self.engine = Engine()
+        #: the collector in force (never None; NullTelemetry when disarmed)
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        # Armed handle or None: every hot-path seam guards on this single
+        # reference, so a disarmed world pays one predictable branch.
+        self._tel: Telemetry | None = self.telemetry if self.telemetry.enabled else None
+        self.engine.set_telemetry(self._tel)
+        self.manager.attach_telemetry(self._tel)
         seeds = SeedSequenceFactory(seed)
         self.channel = IdealChannel(
             propagation_delay=config.propagation_delay,
             hello_loss_rate=config.hello_loss_rate,
-            loss_rng=seeds.rng("channel-loss") if config.hello_loss_rate > 0 else None,
+            rng=seeds.rng("channel-loss") if config.hello_loss_rate > 0 else None,
         )
+        self.channel.telemetry = self._tel
         self.fault_injector: FaultInjector | None = None
         if faults is not None:
             for event in faults:
@@ -174,7 +192,9 @@ class NetworkWorld:
                         f"fault event {event!r} references node {node}, but the "
                         f"scenario has only {config.n_nodes} nodes"
                     )
-            self.fault_injector = FaultInjector(faults, seeds.rng("faults"))
+            self.fault_injector = FaultInjector(
+                faults, seeds.rng("faults"), telemetry=self._tel
+            )
             self.channel.fault_filter = self.fault_injector.filter_hello_receivers
         self.clocks = ClockSet(
             config.n_nodes, config.max_clock_skew, seeds.rng("clock-skew")
@@ -284,10 +304,19 @@ class NetworkWorld:
         Returns None (and transmits nothing) while the sender is inside a
         :class:`~repro.faults.schedule.NodeOutage` window.
         """
+        tel = self._tel
+        if tel is None:
+            return self._emit_hello_impl(node_id, version, None)
+        with tel.span("hello_emit"):
+            return self._emit_hello_impl(node_id, version, tel)
+
+    def _emit_hello_impl(
+        self, node_id: int, version: int, tel: Telemetry | None
+    ) -> Hello | None:
         t = self.engine.now
         inj = self.fault_injector
         if inj is not None and inj.node_down(node_id, t):
-            inj.stats["suppressed_sends"] += 1
+            inj.note("suppressed_sends", t, node=node_id)
             return None
         node = self.nodes[node_id]
         all_positions, backend = self._geometry(t)
@@ -314,13 +343,28 @@ class NetworkWorld:
         )
         if self.config.hello_tx_duration > 0.0:
             receivers = self._drop_collided(t, node_id, pos, receivers, all_positions)
+        if tel is not None:
+            tel.count("hello_sent")
+            tel.event(
+                "hello_sent", t=t, node=node_id, version=version,
+                receivers=int(receivers.size),
+            )
         arrival = self.channel.arrival_time(t)
         if inj is None:
-            for rid in receivers:
-                self.engine.schedule_at(
-                    arrival, self.nodes[int(rid)].table.record_hello, hello
-                )
-                self.channel.stats.deliveries += 1
+            if tel is None:
+                for rid in receivers:
+                    self.engine.schedule_at(
+                        arrival, self.nodes[int(rid)].table.record_hello, hello
+                    )
+                    self.channel.stats.deliveries += 1
+            else:
+                # Armed path: route receptions through the traced recorder
+                # (same table call, plus a hello_received event).
+                for rid in receivers:
+                    self.engine.schedule_at(
+                        arrival, self._record_hello_traced, int(rid), hello
+                    )
+                    self.channel.stats.deliveries += 1
         else:
             for rid in receivers:
                 rid_i = int(rid)
@@ -333,6 +377,17 @@ class NetworkWorld:
                 self.channel.stats.deliveries += 1
         return hello
 
+    def _record_hello_traced(self, receiver: int, hello: Hello) -> None:
+        """Reception path while telemetry is armed (and no faults are)."""
+        self.nodes[receiver].table.record_hello(hello)
+        tel = self._tel
+        if tel is not None:
+            tel.count("hello_received")
+            tel.event(
+                "hello_received", t=self.engine.now, node=receiver,
+                sender=hello.sender, version=hello.version,
+            )
+
     def _deliver_hello(self, receiver: int, hello: Hello) -> None:
         """Gated reception path used while a fault schedule is armed.
 
@@ -342,16 +397,24 @@ class NetworkWorld:
         per-sender version order the audit machinery promises.
         """
         inj = self.fault_injector
-        if inj is not None and inj.node_down(receiver, self.engine.now):
-            inj.stats["blocked_receptions"] += 1
+        now = self.engine.now
+        if inj is not None and inj.node_down(receiver, now):
+            inj.note("blocked_receptions", now, node=receiver, sender=hello.sender)
             return
         table = self.nodes[receiver].table
         history = table.history_of(hello.sender)
         if history and hello.version <= history[-1].version:
             if inj is not None:
-                inj.stats["stale_discards"] += 1
+                inj.note("stale_discards", now, node=receiver, sender=hello.sender)
             return
         table.record_hello(hello)
+        tel = self._tel
+        if tel is not None:
+            tel.count("hello_received")
+            tel.event(
+                "hello_received", t=now, node=receiver,
+                sender=hello.sender, version=hello.version,
+            )
 
     def _drop_collided(
         self,
@@ -387,7 +450,15 @@ class NetworkWorld:
                 np.hypot(diff[..., 0], diff[..., 1]) <= self.config.normal_range
             )
             collided = in_range.any(axis=0) | np.isin(receivers, on_air_ids)
-            self.channel.stats.collisions += int(collided.sum())
+            n_collided = int(collided.sum())
+            self.channel.stats.collisions += n_collided
+            tel = self._tel
+            if tel is not None and n_collided:
+                tel.count("hello_dropped", n_collided, reason="collision")
+                tel.event(
+                    "hello_dropped", t=t, node=sender_id,
+                    count=n_collided, reason="collision",
+                )
             surviving = receivers[~collided]
         else:
             surviving = receivers
@@ -480,9 +551,25 @@ class NetworkWorld:
                 sent_at=t,
                 timestamp=self.clocks.local_time(node_id, t),
             )
-        node.decision = self.manager.decide(
-            node.table, t, current_hello, version=version
-        )
+        tel = self._tel
+        if tel is None:
+            node.decision = self.manager.decide(
+                node.table, t, current_hello, version=version
+            )
+            return
+        previous = node.decision
+        with tel.span("decide"):
+            node.decision = self.manager.decide(
+                node.table, t, current_hello, version=version
+            )
+        new = node.decision
+        if previous is None or previous.extended_range != new.extended_range:
+            tel.count("range_changes")
+            tel.event(
+                "range_change", t=t, node=node_id,
+                old=None if previous is None else previous.extended_range,
+                new=new.extended_range,
+            )
 
     def redecide_all(self, version: int | None = None) -> None:
         """Re-decide every node *now* — packet-time recomputation.
@@ -494,6 +581,14 @@ class NetworkWorld:
         Recomputing all nodes (not only eventual forwarders) is equivalent
         for reachability and keeps the hot path vectorizable.
         """
+        tel = self._tel
+        if tel is None:
+            self._redecide_all_impl(version)
+        else:
+            with tel.span("redecide"):
+                self._redecide_all_impl(version)
+
+    def _redecide_all_impl(self, version: int | None) -> None:
         inj = self.fault_injector
         now = self.engine.now
         for node in self.nodes:
@@ -529,6 +624,15 @@ class NetworkWorld:
             raise ConfigurationError(
                 f"cannot snapshot the future: t={t} > now={self.engine.now}"
             )
+        tel = self._tel
+        if tel is None:
+            return self._snapshot_impl(now)
+        with tel.span("snapshot"):
+            snap = self._snapshot_impl(now)
+        tel.count("snapshots")
+        return snap
+
+    def _snapshot_impl(self, now: float) -> WorldSnapshot:
         n = self.config.n_nodes
         positions, backend = self._geometry(now)
         dist = backend.distances()

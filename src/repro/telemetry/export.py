@@ -1,0 +1,162 @@
+"""Telemetry exporters: JSONL event streams, summary tables, phase timings.
+
+Three output shapes, one source of truth (a :class:`~repro.telemetry.Telemetry`):
+
+- :func:`write_jsonl` — the full machine-readable record (schema
+  ``repro-telemetry/1``): one header line, then every metric series, every
+  span aggregate, every retained event, and a trailing summary line.
+  Validated by :func:`repro.telemetry.schema.validate_jsonl`.
+- :func:`summary_table` — a compact ASCII digest for terminals (the
+  ``--telemetry`` flag prints it after the JSONL is written).
+- :func:`write_phase_timings` — per-phase span breakdown in the same
+  single-JSON-artifact style as ``BENCH_geometry.json`` /
+  ``BENCH_decide.json``, for tracking where run time goes across PRs.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, TextIO
+
+from repro.telemetry.core import Telemetry
+from repro.telemetry.registry import Counter, Gauge, Histogram
+
+__all__ = ["SCHEMA", "PHASES_SCHEMA", "write_jsonl", "summary_table", "write_phase_timings"]
+
+#: Schema identifier stamped into every JSONL header line.
+SCHEMA = "repro-telemetry/1"
+
+#: Schema identifier of the phase-timing artifact.
+PHASES_SCHEMA = "repro-telemetry-phases/1"
+
+
+def _metric_records(telemetry: Telemetry) -> list[dict[str, Any]]:
+    """One ``record: metric`` dict per registry series."""
+    out: list[dict[str, Any]] = []
+    for name, labels, inst in telemetry.registry.rows():
+        if isinstance(inst, Histogram):
+            kind, value = "histogram", inst.as_dict()
+        elif isinstance(inst, Gauge):
+            kind, value = "gauge", inst.value
+        elif isinstance(inst, Counter):
+            kind, value = "counter", inst.value
+        else:  # pragma: no cover - registry only stores the three kinds
+            continue
+        record: dict[str, Any] = {"record": "metric", "kind": kind, "name": name, "value": value}
+        if labels:
+            record["labels"] = labels
+        out.append(record)
+    return out
+
+
+def _write_stream(fh: TextIO, telemetry: Telemetry, meta: dict[str, Any] | None) -> int:
+    """Write one complete JSONL stream; returns the number of lines."""
+    lines = 0
+
+    def emit(record: dict[str, Any]) -> None:
+        nonlocal lines
+        fh.write(json.dumps(record, sort_keys=True) + "\n")
+        lines += 1
+
+    emit({"record": "header", "schema": SCHEMA, "meta": dict(meta or {})})
+    for record in _metric_records(telemetry):
+        emit(record)
+    for name, stats in sorted(telemetry.spans.items()):
+        emit({"record": "span", "name": name, **stats.as_dict()})
+    for event in telemetry.events:
+        emit({"record": "event", **event.as_dict()})
+    emit(
+        {
+            "record": "summary",
+            "events_recorded": telemetry.events.recorded,
+            "events_dropped": telemetry.events.dropped,
+            "event_counts": telemetry.events.kind_counts(),
+        }
+    )
+    return lines
+
+
+def write_jsonl(
+    path,
+    telemetry: Telemetry,
+    meta: dict[str, Any] | None = None,
+    append: bool = False,
+) -> int:
+    """Write *telemetry* as a ``repro-telemetry/1`` JSONL stream to *path*.
+
+    Returns the number of lines written.  With ``append=True`` a new
+    header-to-summary block is appended after any existing stream (one
+    file can then hold several runs; each block revalidates on its own).
+    """
+    with open(path, "a" if append else "w", encoding="utf-8") as fh:
+        return _write_stream(fh, telemetry, meta)
+
+
+def _format_rows(rows: list[tuple[str, ...]], header: tuple[str, ...]) -> str:
+    """Minimal fixed-width ASCII table (no analysis-layer dependency)."""
+    table = [header, *rows]
+    widths = [max(len(row[i]) for row in table) for i in range(len(header))]
+    out = []
+    for j, row in enumerate(table):
+        out.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)).rstrip())
+        if j == 0:
+            out.append("  ".join("-" * widths[i] for i in range(len(header))))
+    return "\n".join(out)
+
+
+def summary_table(telemetry: Telemetry, title: str = "telemetry summary") -> str:
+    """Human-readable digest: counters, spans, and event tallies."""
+    sections = [title, "=" * len(title)]
+    counter_rows = [
+        (key, f"{value:g}") for key, value in sorted(telemetry.registry.counters_dict().items())
+    ]
+    if counter_rows:
+        sections.append("")
+        sections.append(_format_rows(counter_rows, ("counter", "value")))
+    span_rows = []
+    for name, stats in sorted(telemetry.spans.items()):
+        d = stats.as_dict()
+        span_rows.append(
+            (
+                name,
+                str(d["count"]),
+                f"{d['total_s'] * 1e3:.2f}",
+                f"{d['self_s'] * 1e3:.2f}",
+                f"{d['mean_s'] * 1e6:.1f}",
+            )
+        )
+    if span_rows:
+        sections.append("")
+        sections.append(
+            _format_rows(span_rows, ("span", "count", "total ms", "self ms", "mean us"))
+        )
+    event_rows = [
+        (kind, str(count)) for kind, count in sorted(telemetry.events.kind_counts().items())
+    ]
+    if event_rows:
+        sections.append("")
+        sections.append(_format_rows(event_rows, ("event kind", "count")))
+        sections.append(
+            f"\nevents retained: {len(telemetry.events)} / recorded "
+            f"{telemetry.events.recorded} (dropped {telemetry.events.dropped})"
+        )
+    if len(sections) == 2:
+        sections.append("\n(no telemetry recorded)")
+    return "\n".join(sections)
+
+
+def write_phase_timings(path, telemetry: Telemetry, meta: dict[str, Any] | None = None) -> dict:
+    """Write the per-phase span breakdown as a ``BENCH_*``-style artifact.
+
+    Returns the written document (handy for tests and callers that also
+    want to print it).
+    """
+    doc = {
+        "schema": PHASES_SCHEMA,
+        "meta": dict(meta or {}),
+        "phases": {name: stats.as_dict() for name, stats in sorted(telemetry.spans.items())},
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return doc

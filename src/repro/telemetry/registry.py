@@ -1,0 +1,182 @@
+"""Metrics registry: labeled counters, gauges, and histograms.
+
+The registry is the numeric half of the telemetry subsystem (the event
+log in :mod:`repro.telemetry.events` is the narrative half).  Instruments
+are created on first use and keyed by ``(name, sorted labels)``, the same
+labeled-series model Prometheus and ns-3's FlowMonitor attributes use, so
+one run can hold e.g. ``hello_dropped{reason=loss}`` next to
+``hello_dropped{reason=fault}`` without pre-registration.
+
+All instruments are plain Python objects with O(1) updates — cheap enough
+to live on the simulator's hot paths when telemetry is armed, and never
+touched at all when it is not (see :class:`repro.telemetry.NullTelemetry`).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+
+def _label_key(labels: dict[str, object]) -> tuple[tuple[str, str], ...]:
+    """Canonical (sorted, stringified) form of a label set."""
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+@dataclass
+class Counter:
+    """Monotonically increasing count (messages sent, cache hits, ...)."""
+
+    value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add *amount* (must be >= 0) to the counter."""
+        if amount < 0:
+            raise ValueError(f"counters only go up; got increment {amount!r}")
+        self.value += amount
+
+
+@dataclass
+class Gauge:
+    """Point-in-time value that can move both ways (queue depth, range)."""
+
+    value: float = 0.0
+
+    def set(self, value: float) -> None:
+        """Record the current value."""
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Shift the gauge by *amount* (may be negative)."""
+        self.value += amount
+
+
+@dataclass
+class Histogram:
+    """Streaming distribution summary (count / total / min / max / sumsq).
+
+    Keeps O(1) state rather than samples: enough for mean and standard
+    deviation in summaries without unbounded memory on long runs.
+    """
+
+    count: int = 0
+    total: float = 0.0
+    min: float = math.inf
+    max: float = -math.inf
+    sumsq: float = field(default=0.0, repr=False)
+
+    def observe(self, value: float) -> None:
+        """Record one sample."""
+        value = float(value)
+        self.count += 1
+        self.total += value
+        self.sumsq += value * value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        """Sample mean (NaN before the first observation)."""
+        return self.total / self.count if self.count else math.nan
+
+    @property
+    def std(self) -> float:
+        """Population standard deviation (NaN before the first observation)."""
+        if not self.count:
+            return math.nan
+        var = self.sumsq / self.count - self.mean**2
+        return math.sqrt(max(var, 0.0))
+
+    def as_dict(self) -> dict[str, float]:
+        """Plain-dict summary (JSON/export friendly)."""
+        if not self.count:
+            return {"count": 0, "total": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0}
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create store of labeled metric series.
+
+    Examples
+    --------
+    >>> reg = MetricsRegistry()
+    >>> reg.counter("hello_sent").inc()
+    >>> reg.counter("hello_dropped", reason="loss").inc(3)
+    >>> reg.counter("hello_sent").value
+    1.0
+    >>> [name for name, _, _ in reg.rows()]
+    ['hello_dropped', 'hello_sent']
+    """
+
+    __slots__ = ("_counters", "_gauges", "_histograms")
+
+    def __init__(self) -> None:
+        self._counters: dict[tuple, Counter] = {}
+        self._gauges: dict[tuple, Gauge] = {}
+        self._histograms: dict[tuple, Histogram] = {}
+
+    # ------------------------------------------------------------------ #
+    # instrument accessors (get-or-create)
+
+    def counter(self, name: str, **labels: object) -> Counter:
+        """The counter series *name* with the given labels."""
+        key = (name, _label_key(labels))
+        inst = self._counters.get(key)
+        if inst is None:
+            inst = self._counters[key] = Counter()
+        return inst
+
+    def gauge(self, name: str, **labels: object) -> Gauge:
+        """The gauge series *name* with the given labels."""
+        key = (name, _label_key(labels))
+        inst = self._gauges.get(key)
+        if inst is None:
+            inst = self._gauges[key] = Gauge()
+        return inst
+
+    def histogram(self, name: str, **labels: object) -> Histogram:
+        """The histogram series *name* with the given labels."""
+        key = (name, _label_key(labels))
+        inst = self._histograms.get(key)
+        if inst is None:
+            inst = self._histograms[key] = Histogram()
+        return inst
+
+    # ------------------------------------------------------------------ #
+    # introspection / export
+
+    def __len__(self) -> int:
+        return len(self._counters) + len(self._gauges) + len(self._histograms)
+
+    def rows(self) -> list[tuple[str, dict[str, str], object]]:
+        """Every series as ``(name, labels, instrument)``, sorted by name.
+
+        Counters first, then gauges, then histograms; within each kind the
+        order is ``(name, labels)`` so exports are stable and diffable.
+        """
+        out: list[tuple[str, dict[str, str], object]] = []
+        for store in (self._counters, self._gauges, self._histograms):
+            for (name, labels) in sorted(store):
+                out.append((name, dict(labels), store[(name, labels)]))
+        return out
+
+    def counters_dict(self) -> dict[str, float]:
+        """Flat ``{"name{k=v,...}": value}`` view of every counter."""
+        out: dict[str, float] = {}
+        for (name, labels), counter in sorted(self._counters.items()):
+            if labels:
+                tag = ",".join(f"{k}={v}" for k, v in labels)
+                out[f"{name}{{{tag}}}"] = counter.value
+            else:
+                out[name] = counter.value
+        return out

@@ -1,0 +1,51 @@
+"""Ambient telemetry: one armed collector for a whole command.
+
+The CLI's ``--telemetry`` flag has to reach :func:`repro.api.simulate` /
+:func:`repro.analysis.experiment.run_once` calls buried many layers down
+(figure generators, campaign sweeps) without threading a parameter through
+every signature.  :func:`use_telemetry` installs a collector in a
+context variable; :func:`current_telemetry` is consulted by ``run_once``
+whenever no explicit telemetry argument was given.
+
+The ambient collector is process-local: repetitions fanned out over
+worker processes do not see it, which is why the CLI forces sequential
+execution while ``--telemetry`` is armed.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Iterator
+
+from repro.telemetry.core import Telemetry
+
+__all__ = ["current_telemetry", "use_telemetry"]
+
+_CURRENT: ContextVar[Telemetry | None] = ContextVar("repro_telemetry", default=None)
+
+
+def current_telemetry() -> Telemetry | None:
+    """The ambient armed collector, or None when none is installed."""
+    return _CURRENT.get()
+
+
+@contextmanager
+def use_telemetry(telemetry: Telemetry) -> Iterator[Telemetry]:
+    """Install *telemetry* as the ambient collector for the with-block.
+
+    Examples
+    --------
+    >>> from repro.telemetry import Telemetry
+    >>> tel = Telemetry()
+    >>> with use_telemetry(tel) as t:
+    ...     current_telemetry() is tel
+    True
+    >>> current_telemetry() is None
+    True
+    """
+    token = _CURRENT.set(telemetry)
+    try:
+        yield telemetry
+    finally:
+        _CURRENT.reset(token)

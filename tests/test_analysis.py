@@ -119,7 +119,7 @@ class TestRunOnce:
     def test_channel_stats_propagated(self):
         spec = ExperimentSpec(mean_speed=5.0, config=TINY)
         result = run_once(spec, seed=1)
-        assert result.channel_stats["hello_messages"] > 0
+        assert result.stats.hello_messages > 0
 
 
 class TestRunRepetitions:

@@ -73,3 +73,51 @@ class TestMain:
         assert csv_path.exists()
         header = csv_path.read_text().splitlines()[0]
         assert "artifact" in header
+
+
+class TestTelemetryFlag:
+    def test_run_with_telemetry_writes_valid_jsonl_and_phases(self, capsys, tmp_path):
+        from repro.telemetry import validate_jsonl
+
+        path = tmp_path / "out.jsonl"
+        code = main(
+            [
+                "run", "--protocol", "rng", "--speed", "5", "--nodes", "12",
+                "--duration", "5", "--sample-rate", "1", "--repetitions", "1",
+                "--telemetry", str(path),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert validate_jsonl(path) == []
+        assert "telemetry — run" in out
+        assert "hello_sent" in out
+        phases = tmp_path / "out.jsonl.phases.json"
+        assert phases.exists()
+        import json
+
+        doc = json.loads(phases.read_text())
+        assert "engine_run" in doc["phases"]
+
+    def test_telemetry_forces_sequential_workers(self, capsys, tmp_path):
+        path = tmp_path / "out.jsonl"
+        code = main(
+            [
+                "run", "--protocol", "rng", "--speed", "5", "--nodes", "12",
+                "--duration", "5", "--sample-rate", "1", "--repetitions", "2",
+                "--workers", "4", "--telemetry", str(path),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "forcing --workers 1" in out
+        assert path.exists()
+
+    def test_figures_accept_telemetry(self, capsys, tmp_path):
+        from repro.telemetry import validate_jsonl
+
+        path = tmp_path / "fig.jsonl"
+        code = main(["table1", "--scale", "smoke", "--telemetry", str(path)])
+        assert code == 0
+        assert validate_jsonl(path) == []
+        assert "telemetry — table1" in capsys.readouterr().out

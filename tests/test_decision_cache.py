@@ -240,11 +240,11 @@ class TestWorldLevelCache:
             cached.mean_physical_degrees, uncached.mean_physical_degrees
         )
         assert np.array_equal(cached.strict_connected, uncached.strict_connected)
-        for key, value in uncached.channel_stats.items():
+        for key, value in uncached.stats.as_dict().items():
             if not key.startswith("decision_cache_"):
-                assert cached.channel_stats[key] == value
-        assert uncached.channel_stats["decision_cache_hits"] == 0
-        assert uncached.channel_stats["decision_cache_misses"] == 0
+                assert cached.stats.as_dict()[key] == value
+        assert uncached.stats.decision_cache_hits == 0
+        assert uncached.stats.decision_cache_misses == 0
 
 
 class TestCacheUnderHelloLoss:

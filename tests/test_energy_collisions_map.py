@@ -84,14 +84,14 @@ class TestCollisionMac:
     def test_no_collisions_when_disabled(self):
         spec = ExperimentSpec(protocol="rng", mean_speed=5.0, config=self._cfg(0.0))
         result = run_once(spec, seed=4)
-        assert result.channel_stats["collisions"] == 0
+        assert result.stats.collisions == 0
 
     def test_collisions_recorded_with_wide_window(self):
         # An exaggerated 50 ms airtime forces overlaps among 25 nodes at
         # ~1 Hz each.
         spec = ExperimentSpec(protocol="rng", mean_speed=5.0, config=self._cfg(0.05))
         result = run_once(spec, seed=4)
-        assert result.channel_stats["collisions"] > 0
+        assert result.stats.collisions > 0
 
     def test_collisions_degrade_or_preserve_connectivity(self):
         base = run_once(

@@ -43,7 +43,7 @@ class TestHelloLoss:
             IdealChannel(hello_loss_rate=0.5)
 
     def test_loss_rate_statistics(self):
-        ch = IdealChannel(hello_loss_rate=0.3, loss_rng=np.random.default_rng(0))
+        ch = IdealChannel(hello_loss_rate=0.3, rng=np.random.default_rng(0))
         total = kept = 0
         for _ in range(200):
             receivers = np.arange(20)
@@ -54,7 +54,7 @@ class TestHelloLoss:
 
     def test_invalid_rate_rejected(self):
         with pytest.raises(Exception):
-            IdealChannel(hello_loss_rate=1.5, loss_rng=np.random.default_rng(0))
+            IdealChannel(hello_loss_rate=1.5, rng=np.random.default_rng(0))
 
     def test_world_with_loss_still_connects(self):
         from repro.analysis.experiment import ExperimentSpec, run_once
@@ -69,7 +69,7 @@ class TestHelloLoss:
             mean_speed=10.0, config=cfg,
         )
         result = run_once(spec, seed=3)
-        assert result.channel_stats["hello_losses"] > 0
+        assert result.stats.hello_losses > 0
         assert result.connectivity_ratio > 0.5
 
     def test_more_history_tolerates_loss_better_or_equal(self):

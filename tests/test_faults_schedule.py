@@ -262,16 +262,18 @@ class TestWorldIntegration:
             "fault_delayed_deliveries",
             "fault_noisy_positions",
         ):
-            assert key in result.channel_stats
+            assert key in result.stats.as_dict()
+        assert result.stats.faults_armed
         clean = run_once(tiny_spec(), seed=7)
-        assert not any(k.startswith("fault_") for k in clean.channel_stats)
+        assert not clean.stats.faults_armed
+        assert not any(k.startswith("fault_") for k in clean.stats.as_dict())
 
     def test_same_seed_and_schedule_replays_bit_identically(self):
         first = run_once(tiny_spec(), seed=7, faults=ALL_KINDS)
         second = run_once(tiny_spec(), seed=7, faults=ALL_KINDS)
         assert np.array_equal(first.delivery_ratios, second.delivery_ratios)
         assert np.array_equal(first.mean_actual_ranges, second.mean_actual_ranges)
-        assert first.channel_stats == second.channel_stats
+        assert first.stats == second.stats
 
     def test_interval_scale_changes_hello_cadence(self):
         slow = FaultSchedule(

@@ -90,7 +90,7 @@ class TestIdealChannel:
         with pytest.raises(ValueError) as excinfo:
             IdealChannel(hello_loss_rate=0.2)
         message = str(excinfo.value)
-        assert "loss_rng" in message
+        assert "requires an rng" in message
         assert "repro.faults.FaultSchedule" in message
         assert "HelloLossBurst" in message
         assert "NetworkWorld(faults=...)" in message
@@ -98,6 +98,24 @@ class TestIdealChannel:
     def test_loss_rate_validated_before_rng_check(self):
         with pytest.raises(ConfigurationError, match="hello_loss_rate"):
             IdealChannel(hello_loss_rate=1.5)
+
+    def test_loss_rng_kwarg_deprecated_but_equivalent(self):
+        gen = np.random.default_rng(0)
+        with pytest.warns(DeprecationWarning, match="use rng="):
+            legacy = IdealChannel(hello_loss_rate=0.2, loss_rng=gen)
+        assert legacy.rng is gen
+
+    def test_loss_rng_property_deprecated(self):
+        gen = np.random.default_rng(0)
+        ch = IdealChannel(hello_loss_rate=0.2, rng=gen)
+        with pytest.warns(DeprecationWarning, match="loss_rng is deprecated"):
+            assert ch.loss_rng is gen
+
+    def test_rng_and_loss_rng_together_rejected(self):
+        with pytest.raises(TypeError, match="not both"):
+            IdealChannel(
+                rng=np.random.default_rng(0), loss_rng=np.random.default_rng(1)
+            )
 
 
 class TestScenarioConfig:

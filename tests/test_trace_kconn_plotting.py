@@ -133,6 +133,44 @@ class TestTraceRecorder:
         trace = TraceRecorder(small_world).finish()
         assert trace.n_samples == 0 and trace.n_nodes == 0
 
+    def test_plain_world_meta_has_no_observability_keys(self, small_world):
+        trace = TraceRecorder(small_world).finish()
+        assert "telemetry" not in trace.meta
+        assert "fault_schedule" not in trace.meta
+
+    def test_telemetry_and_faults_meta_roundtrip(self, tmp_path):
+        from repro.analysis.experiment import ExperimentSpec, build_world
+        from repro.faults.schedule import FaultSchedule, NodeOutage
+        from repro.mobility.base import Area
+        from repro.sim.config import ScenarioConfig
+        from repro.telemetry import Telemetry
+
+        cfg = ScenarioConfig(
+            n_nodes=10, area=Area(300.0, 300.0), normal_range=150.0,
+            duration=6.0, warmup=2.0, sample_rate=1.0,
+        )
+        spec = ExperimentSpec(protocol="rng", mean_speed=10.0, config=cfg)
+        schedule = FaultSchedule(
+            events=(NodeOutage(node=3, start=2.5, end=4.0),), note="unit"
+        )
+        telemetry = Telemetry()
+        world = build_world(spec, seed=2, faults=schedule, telemetry=telemetry)
+        rec = TraceRecorder(world)
+        world.run_until(3.0)
+        rec.record()
+        trace = rec.finish()
+        path = tmp_path / "traced.npz"
+        trace.save(path)
+        loaded = SimulationTrace.load(path)
+        # The telemetry summary survives the repr/literal_eval meta trip
+        # exactly as frozen at finish() time (recording happens before).
+        assert loaded.meta["telemetry"] == trace.meta["telemetry"]
+        assert loaded.meta["telemetry"]["counters"]["hello_sent"] > 0
+        assert "spans" in loaded.meta["telemetry"]
+        # The embedded schedule rebuilds into an equal FaultSchedule.
+        rebuilt = FaultSchedule.from_dict(loaded.meta["fault_schedule"])
+        assert rebuilt == schedule
+
 
 # --------------------------------------------------------------------- #
 # ASCII plotting

@@ -169,8 +169,30 @@ class TestSeedSequenceFactory:
         early = f2.rng("second").random(3)
         assert np.array_equal(late, early)
 
-    def test_root_seed_property(self):
-        assert SeedSequenceFactory(42).root_seed == 42
+    def test_seed_property(self):
+        assert SeedSequenceFactory(42).seed == 42
+
+    def test_root_seed_property_deprecated_but_working(self):
+        factory = SeedSequenceFactory(42)
+        with pytest.warns(DeprecationWarning, match="root_seed is deprecated"):
+            assert factory.root_seed == 42
+
+    def test_root_seed_kwarg_deprecated_but_equivalent(self):
+        with pytest.warns(DeprecationWarning, match="use seed="):
+            legacy = SeedSequenceFactory(root_seed=42)
+        assert legacy.seed == 42
+        assert (
+            legacy.rng("placement").random()
+            == SeedSequenceFactory(42).rng("placement").random()
+        )
+
+    def test_seed_and_root_seed_together_rejected(self):
+        with pytest.raises(TypeError, match="not both"):
+            SeedSequenceFactory(1, root_seed=2)
+
+    def test_seed_required(self):
+        with pytest.raises(TypeError, match="seed"):
+            SeedSequenceFactory()
 
 
 class TestChildRng:

@@ -67,7 +67,7 @@ class TestMechanismLossInterplay:
             mean_speed=10.0, config=cfg,
         )
         result = run_once(spec, seed=5)
-        assert result.channel_stats["hello_losses"] > 0
+        assert result.stats.hello_losses > 0
         assert 0.0 <= result.connectivity_ratio <= 1.0
 
     def test_proactive_tolerates_loss(self):
