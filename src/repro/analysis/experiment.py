@@ -17,6 +17,7 @@ out of cores.
 
 from __future__ import annotations
 
+import json
 import os
 import warnings
 from concurrent.futures import ProcessPoolExecutor
@@ -31,15 +32,17 @@ from repro.faults.schedule import FaultSchedule
 from repro.metrics.connectivity import strictly_connected
 from repro.metrics.stats import Estimate, mean_ci
 from repro.metrics.topology import sample_topology
-from repro.mobility.base import MobilityModel
+from repro.mobility.base import Area, MobilityModel
 from repro.mobility.static import StaticPlacement
 from repro.mobility.waypoint import RandomWaypoint
+from repro.orchestrator.context import current_orchestrator
 from repro.protocols.base import make_protocol
 from repro.sim.config import ScenarioConfig
 from repro.sim.flood import flood
 from repro.sim.world import NetworkWorld
 from repro.telemetry.core import Telemetry, TelemetrySummary
 from repro.telemetry.runtime import current_telemetry
+from repro.util.errors import WorkUnitError
 from repro.util.randomness import SeedSequenceFactory
 from repro.util.validate import check_int_range, check_non_negative
 
@@ -50,6 +53,8 @@ __all__ = [
     "AggregateResult",
     "run_once",
     "run_repetitions",
+    "run_repetitions_many",
+    "aggregate_runs",
 ]
 
 
@@ -109,6 +114,79 @@ class ExperimentSpec:
     def with_(self, **changes) -> "ExperimentSpec":
         """A copy with the given fields replaced (sweep helper)."""
         return replace(self, **changes)
+
+    def as_dict(self) -> dict:
+        """Plain-JSON form with every field, numerics coerced to canon.
+
+        Floats are coerced to ``float`` and flags to ``bool`` so two specs
+        that are semantically equal (e.g. ``buffer_width=10`` vs ``10.0``)
+        serialize identically — work-unit IDs hash this form.
+        """
+        cfg = self.config
+        return {
+            "protocol": self.protocol,
+            "protocol_kwargs": dict(self.protocol_kwargs),
+            "mechanism": self.mechanism,
+            "mechanism_kwargs": dict(self.mechanism_kwargs),
+            "buffer_width": float(self.buffer_width),
+            "physical_neighbor_mode": bool(self.physical_neighbor_mode),
+            "mean_speed": float(self.mean_speed),
+            "label": self.label,
+            "config": {
+                "n_nodes": int(cfg.n_nodes),
+                "area": [float(cfg.area.width), float(cfg.area.height)],
+                "normal_range": float(cfg.normal_range),
+                "duration": float(cfg.duration),
+                "hello_interval": float(cfg.hello_interval),
+                "hello_jitter": float(cfg.hello_jitter),
+                "hello_expiry": float(cfg.hello_expiry),
+                "history_depth": int(cfg.history_depth),
+                "sample_rate": float(cfg.sample_rate),
+                "warmup": float(cfg.warmup),
+                "propagation_delay": float(cfg.propagation_delay),
+                "max_clock_skew": float(cfg.max_clock_skew),
+                "reactive_flood_delay": float(cfg.reactive_flood_delay),
+                "hello_loss_rate": float(cfg.hello_loss_rate),
+                "hello_tx_duration": float(cfg.hello_tx_duration),
+            },
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "ExperimentSpec":
+        """Rebuild a spec from :meth:`as_dict` output.
+
+        Missing config keys fall back to :class:`ScenarioConfig` defaults,
+        so documents written before a field existed stay loadable.
+        """
+        cfg_data = dict(data.get("config", {}))
+        area = cfg_data.pop("area", None)
+        if area is not None:
+            cfg_data["area"] = Area(float(area[0]), float(area[1]))
+        return ExperimentSpec(
+            protocol=str(data.get("protocol", "rng")),
+            protocol_kwargs=dict(data.get("protocol_kwargs", {})),
+            mechanism=str(data.get("mechanism", "baseline")),
+            mechanism_kwargs=dict(data.get("mechanism_kwargs", {})),
+            buffer_width=float(data.get("buffer_width", 0.0)),
+            physical_neighbor_mode=bool(data.get("physical_neighbor_mode", False)),
+            mean_speed=float(data.get("mean_speed", 10.0)),
+            label=str(data.get("label", "")),
+            config=ScenarioConfig(**cfg_data),
+        )
+
+    def to_json(self) -> str:
+        """Canonical JSON text: sorted keys, compact separators.
+
+        The canonical form is the hashing substrate for orchestrator work
+        units (:func:`repro.orchestrator.units.unit_id`), so it must be
+        stable: equal specs produce byte-equal JSON.
+        """
+        return json.dumps(self.as_dict(), sort_keys=True, separators=(",", ":"))
+
+    @staticmethod
+    def from_json(text: str) -> "ExperimentSpec":
+        """Parse :meth:`to_json` output back into a spec."""
+        return ExperimentSpec.from_dict(json.loads(text))
 
 
 def build_manager(spec: ExperimentSpec) -> MobilitySensitiveTopologyControl:
@@ -395,18 +473,123 @@ class AggregateResult:
         }
 
 
-def _run_once_star(args: tuple[ExperimentSpec, int]) -> RunResult:
-    """Top-level helper so ProcessPoolExecutor can pickle the call."""
-    spec, seed = args
-    return run_once(spec, seed=seed)
+def _run_once_star(args: tuple[ExperimentSpec, int, bool]) -> RunResult:
+    """Top-level helper so ProcessPoolExecutor can pickle the call.
+
+    Failures are wrapped in :class:`~repro.util.errors.WorkUnitError`
+    naming the failing ``(spec, seed)`` unit, so the parent sees which
+    repetition died instead of a bare pickled traceback.  When
+    *collect_telemetry* is set, the run is traced with a process-local
+    collector and the frozen summary rides back on ``result.stats`` for
+    the parent to merge (see :meth:`repro.telemetry.Telemetry.absorb`).
+    """
+    spec, seed, collect_telemetry = args
+    telemetry = Telemetry() if collect_telemetry else None
+    try:
+        return run_once(spec, seed=seed, telemetry=telemetry)
+    except WorkUnitError:
+        raise
+    except Exception as exc:
+        raise WorkUnitError(
+            spec.describe(), seed, f"{type(exc).__name__}: {exc}"
+        ) from exc
 
 
 def default_workers() -> int:
     """Worker count from ``REPRO_WORKERS`` (default 1 = sequential)."""
+    raw = os.environ.get("REPRO_WORKERS", "1")
     try:
-        return max(1, int(os.environ.get("REPRO_WORKERS", "1")))
+        return max(1, int(raw))
     except ValueError:
+        warnings.warn(
+            f"ignoring invalid REPRO_WORKERS={raw!r} (not an integer); "
+            "falling back to 1 worker",
+            RuntimeWarning,
+            stacklevel=2,
+        )
         return 1
+
+
+def aggregate_runs(
+    spec: ExperimentSpec, runs: list[RunResult], n_repetitions: int | None = None
+) -> AggregateResult:
+    """Fold per-seed :class:`RunResult` rows into one :class:`AggregateResult`.
+
+    *runs* must be in seed order for bit-stable confidence intervals.
+    ``n_repetitions`` defaults to ``len(runs)`` (it can be fewer than
+    requested when the orchestrator quarantined failing units).
+    """
+    if not runs:
+        raise ValueError(f"no completed runs to aggregate for {spec.describe()!r}")
+    return AggregateResult(
+        spec=spec,
+        n_repetitions=len(runs) if n_repetitions is None else n_repetitions,
+        connectivity=mean_ci([r.connectivity_ratio for r in runs]),
+        transmission_range=mean_ci([r.mean_transmission_range for r in runs]),
+        logical_degree=mean_ci([r.mean_logical_degree for r in runs]),
+        physical_degree=mean_ci([r.mean_physical_degree for r in runs]),
+        strict_connectivity=mean_ci([float(r.strict_connected.mean()) for r in runs]),
+    )
+
+
+def run_repetitions_many(
+    specs: list[ExperimentSpec],
+    repetitions: int = 5,
+    base_seed: int = 1000,
+    workers: int | None = None,
+) -> list[AggregateResult]:
+    """Run *repetitions* seeds of every spec and aggregate each.
+
+    The whole batch — every ``(spec, seed)`` pair — is fanned out at
+    once, so a multi-point sweep keeps all workers busy instead of
+    barriering between sweep points.  Seeds are ``base_seed + i`` per
+    spec, exactly as :func:`run_repetitions` assigns them, so results are
+    bit-identical to per-spec calls at any worker count.
+
+    When an :class:`~repro.orchestrator.OrchestrationContext` is ambient
+    (see :func:`repro.orchestrator.use_orchestrator`), the batch routes
+    through its checkpointed work-unit pipeline instead: completed units
+    are loaded from the :class:`~repro.orchestrator.RunStore`, failures
+    are retried and quarantined per unit, and fresh results are persisted
+    incrementally.
+
+    When an ambient telemetry collector is armed and the batch runs in
+    worker processes, each worker traces its own runs and the parent
+    merges the per-unit summaries into the collector — telemetry no
+    longer forces single-worker execution.
+    """
+    check_int_range("repetitions", repetitions, 1)
+    orchestrator = current_orchestrator()
+    if orchestrator is not None:
+        runs_per_spec = orchestrator.run_spec_batch(specs, repetitions, base_seed)
+        return [
+            aggregate_runs(spec, runs)
+            for spec, runs in zip(specs, runs_per_spec)
+        ]
+    workers = default_workers() if workers is None else max(1, int(workers))
+    telemetry = current_telemetry()
+    if telemetry is not None and not telemetry.enabled:
+        telemetry = None
+    parallel = workers > 1 and len(specs) * repetitions > 1
+    collect = telemetry is not None and parallel
+    jobs = [
+        (spec, base_seed + i, collect)
+        for spec in specs
+        for i in range(repetitions)
+    ]
+    if not parallel:
+        runs = [run_once(s, seed=seed) for s, seed, _ in jobs]
+    else:
+        with ProcessPoolExecutor(max_workers=min(workers, len(jobs))) as pool:
+            runs = list(pool.map(_run_once_star, jobs))
+        if collect:
+            for run in runs:
+                if run.stats.telemetry is not None:
+                    telemetry.absorb(run.stats.telemetry)
+    return [
+        aggregate_runs(spec, runs[k * repetitions : (k + 1) * repetitions])
+        for k, spec in enumerate(specs)
+    ]
 
 
 def run_repetitions(
@@ -424,21 +607,11 @@ def run_repetitions(
         ``REPRO_WORKERS`` environment variable (1 = in-process).  Results
         are identical regardless of worker count — seeds, not schedulers,
         define each run.
+
+    See :func:`run_repetitions_many` for batching several specs into one
+    fan-out and for how ambient orchestration / telemetry contexts are
+    honoured.
     """
-    check_int_range("repetitions", repetitions, 1)
-    workers = default_workers() if workers is None else max(1, int(workers))
-    jobs = [(spec, base_seed + i) for i in range(repetitions)]
-    if workers == 1 or repetitions == 1:
-        runs = [run_once(s, seed=seed) for s, seed in jobs]
-    else:
-        with ProcessPoolExecutor(max_workers=min(workers, repetitions)) as pool:
-            runs = list(pool.map(_run_once_star, jobs))
-    return AggregateResult(
-        spec=spec,
-        n_repetitions=repetitions,
-        connectivity=mean_ci([r.connectivity_ratio for r in runs]),
-        transmission_range=mean_ci([r.mean_transmission_range for r in runs]),
-        logical_degree=mean_ci([r.mean_logical_degree for r in runs]),
-        physical_degree=mean_ci([r.mean_physical_degree for r in runs]),
-        strict_connectivity=mean_ci([float(r.strict_connected.mean()) for r in runs]),
-    )
+    return run_repetitions_many(
+        [spec], repetitions=repetitions, base_seed=base_seed, workers=workers
+    )[0]

@@ -17,7 +17,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.analysis.experiment import AggregateResult, ExperimentSpec, run_repetitions
+from repro.analysis.experiment import (
+    AggregateResult,
+    ExperimentSpec,
+    run_repetitions_many,
+)
 from repro.analysis.paper_reference import (
     BASELINE_PROTOCOLS,
     MODERATE_SPEED,
@@ -116,10 +120,14 @@ def _speed_sweep(
     label: str | None = None,
     workers: int | None = None,
 ) -> FigureSeries:
-    """Run one protocol/config over the scale's speed grid."""
-    points = []
-    for speed in scale.speeds:
-        spec = ExperimentSpec(
+    """Run one protocol/config over the scale's speed grid.
+
+    The whole grid goes through :func:`run_repetitions_many` as one batch,
+    so every (speed, seed) unit fans out together — no per-point barrier —
+    and an armed orchestrator checkpoints each unit as it lands.
+    """
+    specs = [
+        ExperimentSpec(
             protocol=protocol,
             mechanism=mechanism,
             buffer_width=buffer_width,
@@ -127,13 +135,18 @@ def _speed_sweep(
             mean_speed=speed,
             config=scale.config(),
         )
-        agg = run_repetitions(
-            spec,
-            repetitions=scale.repetitions,
-            base_seed=base_seed,
-            workers=workers,
-        )
-        points.append(FigurePoint(x=speed, result=agg))
+        for speed in scale.speeds
+    ]
+    aggs = run_repetitions_many(
+        specs,
+        repetitions=scale.repetitions,
+        base_seed=base_seed,
+        workers=workers,
+    )
+    points = [
+        FigurePoint(x=speed, result=agg)
+        for speed, agg in zip(scale.speeds, aggs)
+    ]
     return FigureSeries(
         label=label or protocol, x_name="speed_mps", points=tuple(points)
     )
@@ -246,22 +259,26 @@ def generate_fig8(
     series_range = []
     series_pdeg = []
     for protocol in BASELINE_PROTOCOLS:
-        pts = []
-        for width in widths:
-            spec = ExperimentSpec(
+        specs = [
+            ExperimentSpec(
                 protocol=protocol,
                 mechanism="baseline",
                 buffer_width=width,
                 mean_speed=speed,
                 config=scale.config(),
             )
-            agg = run_repetitions(
-                spec,
-                repetitions=scale.repetitions,
-                base_seed=base_seed,
-                workers=workers,
-            )
-            pts.append(FigurePoint(x=width, result=agg))
+            for width in widths
+        ]
+        aggs = run_repetitions_many(
+            specs,
+            repetitions=scale.repetitions,
+            base_seed=base_seed,
+            workers=workers,
+        )
+        pts = [
+            FigurePoint(x=width, result=agg)
+            for width, agg in zip(widths, aggs)
+        ]
         series_range.append(
             FigureSeries(label=protocol, x_name="buffer_m", points=tuple(pts))
         )

@@ -11,7 +11,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.analysis.experiment import AggregateResult, ExperimentSpec, run_repetitions
+from repro.analysis.experiment import (
+    AggregateResult,
+    ExperimentSpec,
+    run_repetitions_many,
+)
 from repro.analysis.paper_reference import TABLE1_PAPER
 from repro.analysis.report import format_table
 from repro.analysis.scales import QUICK, Scale
@@ -86,19 +90,21 @@ def generate_table1(
     point.
     """
     protocols = list(_ORDER) if include_reference else [n for n in _ORDER if n != "none"]
-    results: dict[str, AggregateResult] = {}
-    for name in protocols:
-        spec = ExperimentSpec(
+    specs = [
+        ExperimentSpec(
             protocol=name,
             mechanism="baseline",
             buffer_width=0.0,
             mean_speed=speed,
             config=scale.config(),
         )
-        results[name] = run_repetitions(
-            spec,
-            repetitions=scale.repetitions,
-            base_seed=base_seed,
-            workers=workers,
-        )
+        for name in protocols
+    ]
+    aggs = run_repetitions_many(
+        specs,
+        repetitions=scale.repetitions,
+        base_seed=base_seed,
+        workers=workers,
+    )
+    results: dict[str, AggregateResult] = dict(zip(protocols, aggs))
     return Table1Result(scale=scale, results=results)

@@ -84,8 +84,47 @@ def _add_telemetry_flag(p: argparse.ArgumentParser) -> None:
         default=None,
         help="trace every run: write a repro-telemetry/1 JSONL stream to "
         "PATH, print the metrics/spans summary table, and write per-phase "
-        "timings to PATH's .phases.json sibling (forces --workers 1; the "
-        "collector is process-local)",
+        "timings to PATH's .phases.json sibling (works at any --workers "
+        "count; at >1 workers the per-event stream holds parent-side "
+        "events only, while counters/spans/event totals merge exactly)",
+    )
+
+
+def _add_store_flags(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--store",
+        metavar="PATH",
+        default=None,
+        help="checkpoint every work unit into this SQLite run store "
+        "(created if missing); inspect it with `repro runs`",
+    )
+    p.add_argument(
+        "--resume",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="skip units already completed in --store (default: on); "
+        "--no-resume re-executes everything, idempotently overwriting",
+    )
+    p.add_argument(
+        "--retries",
+        type=int,
+        default=1,
+        help="extra attempts per failing unit before quarantining it "
+        "(default: 1)",
+    )
+    p.add_argument(
+        "--unit-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-unit wall-clock bound, enforced inside worker processes",
+    )
+    p.add_argument(
+        "--max-units",
+        type=int,
+        default=None,
+        help="execute at most this many fresh units, then stop with exit "
+        "code 3 (completed work is checkpointed; rerun to continue)",
     )
 
 
@@ -108,6 +147,7 @@ def build_parser() -> argparse.ArgumentParser:
         )
         _add_workers_flag(p)
         _add_telemetry_flag(p)
+        _add_store_flags(p)
 
     p = sub.add_parser("report", help="run the full campaign and write EXPERIMENTS.md")
     p.add_argument("--scale", choices=sorted(_SCALES), default="quick")
@@ -116,6 +156,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--html", help="also write a standalone HTML report here")
     _add_workers_flag(p)
     _add_telemetry_flag(p)
+    _add_store_flags(p)
 
     p = sub.add_parser("unicast", help="GFG/GPSR unicast over maintained topologies")
     p.add_argument("--scale", choices=sorted(_SCALES), default="quick")
@@ -158,6 +199,36 @@ def build_parser() -> argparse.ArgumentParser:
         "--out-dir", default=None,
         help="write shrunk failing cases as JSON repros into this directory",
     )
+    p.add_argument(
+        "--store", metavar="PATH", default=None,
+        help="persist case verdicts as kind=fuzz units in this run store",
+    )
+    p.add_argument(
+        "--resume", action=argparse.BooleanOptionalAction, default=True,
+        help="replay already-executed cases from --store instead of "
+        "re-simulating them (default: on)",
+    )
+
+    p = sub.add_parser("runs", help="inspect and export a run store")
+    runs_sub = p.add_subparsers(dest="runs_command", required=True)
+    p_list = runs_sub.add_parser("list", help="list stored work units")
+    p_list.add_argument("--store", required=True, metavar="PATH")
+    p_list.add_argument(
+        "--status", choices=["pending", "done", "quarantined"], default=None,
+        help="only units in this state",
+    )
+    p_list.add_argument(
+        "--kind", default=None, help="only units of this kind (run | fuzz)"
+    )
+    p_show = runs_sub.add_parser("show", help="show one unit in full")
+    p_show.add_argument("--store", required=True, metavar="PATH")
+    p_show.add_argument("unit_id", help="unit ID (or unique prefix >= 6 chars)")
+    p_export = runs_sub.add_parser(
+        "export", help="export the store as JSONL and/or CSV"
+    )
+    p_export.add_argument("--store", required=True, metavar="PATH")
+    p_export.add_argument("--jsonl", metavar="PATH", default=None)
+    p_export.add_argument("--csv", metavar="PATH", default=None)
 
     p = sub.add_parser("run", help="run one custom configuration")
     p.add_argument("--protocol", choices=available_protocols(), default="rng")
@@ -176,6 +247,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=2026)
     _add_workers_flag(p)
     _add_telemetry_flag(p)
+    _add_store_flags(p)
     return parser
 
 
@@ -184,8 +256,11 @@ def _with_telemetry(args: argparse.Namespace, fn) -> int:
 
     The collector reaches every :func:`~repro.analysis.experiment.run_once`
     through the :func:`~repro.telemetry.use_telemetry` context variable, so
-    figure generators and campaigns need no parameter threading.  It is
-    process-local, so repetition fan-out is forced to one worker.
+    figure generators and campaigns need no parameter threading.  At more
+    than one worker, each repetition is traced by a process-local collector
+    whose frozen summary is absorbed back into this one (see
+    :meth:`repro.telemetry.Telemetry.absorb`) — counters, spans, and event
+    totals merge exactly; only the per-event stream is parent-side.
     """
     path = getattr(args, "telemetry", None)
     if not path:
@@ -199,9 +274,10 @@ def _with_telemetry(args: argparse.Namespace, fn) -> int:
     )
 
     if getattr(args, "workers", None) not in (None, 1):
-        print("[telemetry] forcing --workers 1 (the collector is process-local)")
-    if hasattr(args, "workers"):
-        args.workers = 1
+        print(
+            "[telemetry] multi-worker run: per-event JSONL records cover "
+            "parent-side events only; counters/spans/event totals are exact"
+        )
     telemetry = Telemetry()
     with use_telemetry(telemetry):
         code = fn()
@@ -214,6 +290,105 @@ def _with_telemetry(args: argparse.Namespace, fn) -> int:
     print(f"\nwrote {records} telemetry records to {path}")
     print(f"wrote phase timings to {phases_path}")
     return code
+
+
+def _with_orchestrator(args: argparse.Namespace, fn) -> int:
+    """Run *fn* under an armed :class:`OrchestrationContext` when asked.
+
+    Armed by any of ``--store``, ``--max-units``, ``--unit-timeout``, or a
+    non-default ``--retries``; otherwise *fn* runs on the plain in-memory
+    fan-out path.  Sweeps reach the context ambiently through
+    :func:`repro.orchestrator.use_orchestrator`, so figure generators and
+    campaigns need no parameter threading.  Exit code 3 means the unit
+    budget was exhausted (work so far is checkpointed; rerun to continue).
+    """
+    store_path = getattr(args, "store", None)
+    armed = (
+        store_path is not None
+        or getattr(args, "max_units", None) is not None
+        or getattr(args, "unit_timeout", None) is not None
+        or getattr(args, "retries", 1) != 1
+    )
+    if not armed:
+        return fn()
+    from repro.analysis.experiment import default_workers
+    from repro.orchestrator import OrchestrationContext, RunStore
+    from repro.orchestrator.runner import CampaignInterrupted
+
+    workers = getattr(args, "workers", None)
+    if workers is None:
+        workers = default_workers()
+    store = RunStore(store_path) if store_path else None
+    context = OrchestrationContext(
+        store=store,
+        workers=max(1, workers),
+        retries=getattr(args, "retries", 1),
+        unit_timeout=getattr(args, "unit_timeout", None),
+        resume=getattr(args, "resume", True),
+        max_units=getattr(args, "max_units", None),
+    )
+    try:
+        with context:
+            code = fn()
+        print(f"\n[orchestrator] {context.summary_line()}")
+        for quarantined in context.quarantined:
+            print(f"[orchestrator] quarantined: {quarantined}")
+        return code
+    except CampaignInterrupted as exc:
+        print(f"\n[orchestrator] interrupted: {exc}")
+        print(f"[orchestrator] {context.summary_line()}")
+        return 3
+    finally:
+        if store is not None:
+            store.close()
+
+
+def _run_runs(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.analysis.report import format_table
+    from repro.orchestrator import RunStore
+
+    with RunStore(args.store) as store:
+        if args.runs_command == "list":
+            rows = [
+                {
+                    "unit": row.unit_id[:12],
+                    "kind": row.kind,
+                    "label": row.label,
+                    "seed": row.seed,
+                    "status": row.status,
+                    "attempts": row.attempts,
+                    "updated": row.updated_at,
+                }
+                for row in store.units(status=args.status, kind=args.kind)
+            ]
+            if rows:
+                print(format_table(rows, title=f"run store — {args.store}"))
+            tally = store.counts()
+            print(
+                "\n" + ", ".join(f"{n} {s}" for s, n in tally.items())
+                + f" ({sum(tally.values())} total)"
+            )
+            return 0
+        if args.runs_command == "show":
+            row = store.get(args.unit_id)
+            if row is None:
+                print(f"no unit matches {args.unit_id!r} in {args.store}")
+                return 1
+            print(_json.dumps(row.as_dict(), indent=2, sort_keys=True))
+            return 0
+        # export
+        if not args.jsonl and not args.csv:
+            print("runs export: pass --jsonl PATH and/or --csv PATH")
+            return 2
+        if args.jsonl:
+            lines = store.export_jsonl(args.jsonl)
+            print(f"wrote {lines} JSONL records to {args.jsonl}")
+        if args.csv:
+            rows_written = store.export_csv(args.csv)
+            print(f"wrote {rows_written} CSV rows to {args.csv}")
+        return 0
 
 
 def _run_figures(args: argparse.Namespace) -> int:
@@ -365,16 +540,31 @@ def _run_fuzz(args: argparse.Namespace) -> int:
         mark = "FAIL" if result.failed else "ok"
         print(f"[{i + 1:>3}/{args.runs}] {mark:<4} {case.describe()}")
 
-    report = fuzz(
-        runs=args.runs,
-        seed=args.seed,
-        deep=args.deep,
-        differential=args.differential,
-        mechanisms=mechanisms,
-        shrink=args.shrink,
-        out_dir=args.out_dir,
-        progress=progress,
-    )
+    store = None
+    if args.store:
+        from repro.orchestrator import RunStore
+
+        store = RunStore(args.store)
+    try:
+        report = fuzz(
+            runs=args.runs,
+            seed=args.seed,
+            deep=args.deep,
+            differential=args.differential,
+            mechanisms=mechanisms,
+            shrink=args.shrink,
+            out_dir=args.out_dir,
+            progress=progress,
+            store=store,
+            resume=args.resume,
+        )
+    finally:
+        if store is not None:
+            tally = store.counts()
+            print(
+                "[store] " + ", ".join(f"{n} {s}" for s, n in tally.items())
+            )
+            store.close()
     elapsed = time.perf_counter() - t0
     print(f"\n{report.runs} cases, {len(report.failures)} failing, {elapsed:.1f}s")
     for result in report.failures:
@@ -391,18 +581,26 @@ def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
     if args.command == "run":
-        return _with_telemetry(args, lambda: _run_single(args))
+        return _with_telemetry(
+            args, lambda: _with_orchestrator(args, lambda: _run_single(args))
+        )
     if args.command == "fuzz":
         return _run_fuzz(args)
+    if args.command == "runs":
+        return _run_runs(args)
     if args.command == "report":
-        return _with_telemetry(args, lambda: _run_report(args))
+        return _with_telemetry(
+            args, lambda: _with_orchestrator(args, lambda: _run_report(args))
+        )
     if args.command == "unicast":
         return _run_unicast(args)
     if args.command == "lifetime":
         return _run_lifetime(args)
     if args.command == "equivalence":
         return _run_equivalence(args)
-    return _with_telemetry(args, lambda: _run_figures(args))
+    return _with_telemetry(
+        args, lambda: _with_orchestrator(args, lambda: _run_figures(args))
+    )
 
 
 if __name__ == "__main__":  # pragma: no cover

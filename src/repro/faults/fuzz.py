@@ -27,6 +27,10 @@ import json
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass, replace
 from pathlib import Path
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.orchestrator.store import RunStore
 
 import numpy as np
 
@@ -114,50 +118,6 @@ class BrokenViewSync(ViewSynchronization):
 # case description + JSON form
 
 
-def _spec_as_dict(spec: ExperimentSpec) -> dict:
-    cfg = spec.config
-    return {
-        "protocol": spec.protocol,
-        "protocol_kwargs": dict(spec.protocol_kwargs),
-        "mechanism": spec.mechanism,
-        "mechanism_kwargs": dict(spec.mechanism_kwargs),
-        "buffer_width": spec.buffer_width,
-        "physical_neighbor_mode": spec.physical_neighbor_mode,
-        "mean_speed": spec.mean_speed,
-        "config": {
-            "n_nodes": cfg.n_nodes,
-            "area": [cfg.area.width, cfg.area.height],
-            "normal_range": cfg.normal_range,
-            "duration": cfg.duration,
-            "hello_interval": cfg.hello_interval,
-            "hello_jitter": cfg.hello_jitter,
-            "hello_expiry": cfg.hello_expiry,
-            "history_depth": cfg.history_depth,
-            "sample_rate": cfg.sample_rate,
-            "warmup": cfg.warmup,
-            "propagation_delay": cfg.propagation_delay,
-            "max_clock_skew": cfg.max_clock_skew,
-            "reactive_flood_delay": cfg.reactive_flood_delay,
-        },
-    }
-
-
-def _spec_from_dict(data: dict) -> ExperimentSpec:
-    cfg_data = dict(data["config"])
-    width, height = cfg_data.pop("area")
-    config = ScenarioConfig(area=Area(float(width), float(height)), **cfg_data)
-    return ExperimentSpec(
-        protocol=data["protocol"],
-        protocol_kwargs=dict(data.get("protocol_kwargs", {})),
-        mechanism=data["mechanism"],
-        mechanism_kwargs=dict(data.get("mechanism_kwargs", {})),
-        buffer_width=float(data["buffer_width"]),
-        physical_neighbor_mode=bool(data.get("physical_neighbor_mode", False)),
-        mean_speed=float(data["mean_speed"]),
-        config=config,
-    )
-
-
 @dataclass(frozen=True)
 class FuzzCase:
     """One self-contained fuzz input: scenario, schedule, seed.
@@ -186,7 +146,7 @@ class FuzzCase:
             "note": self.note,
             "seed": self.seed,
             "theorem5": self.theorem5,
-            "spec": _spec_as_dict(self.spec),
+            "spec": self.spec.as_dict(),
             "schedule": self.schedule.as_dict(),
         }
 
@@ -199,7 +159,7 @@ class FuzzCase:
                 f"unsupported fuzz-case format {fmt!r} (expected {_CASE_FORMAT!r})"
             )
         return FuzzCase(
-            spec=_spec_from_dict(data["spec"]),
+            spec=ExperimentSpec.from_dict(data["spec"]),
             schedule=FaultSchedule.from_dict(data["schedule"]),
             seed=int(data["seed"]),
             theorem5=bool(data.get("theorem5", False)),
@@ -209,6 +169,10 @@ class FuzzCase:
     def to_json(self) -> str:
         """JSON text (stable field order, human-diffable)."""
         return json.dumps(self.as_dict(), indent=2, sort_keys=True)
+
+    def canonical_json(self) -> str:
+        """Compact canonical JSON — the orchestrator unit-hash substrate."""
+        return json.dumps(self.as_dict(), sort_keys=True, separators=(",", ":"))
 
     @staticmethod
     def from_json(text: str) -> "FuzzCase":
@@ -540,6 +504,8 @@ def fuzz(
     shrink: bool = True,
     out_dir: str | Path | None = None,
     progress: Callable[[int, FuzzCase, CaseResult], None] | None = None,
+    store: "RunStore | None" = None,
+    resume: bool = True,
 ) -> FuzzReport:
     """Run a deterministic fuzz campaign; shrink and serialize failures.
 
@@ -547,6 +513,13 @@ def fuzz(
     same arguments replays the identical campaign.  Failures are shrunk
     (unless *shrink* is False) and, when *out_dir* is given, written as
     JSON repros ready to drop into ``tests/corpus/``.
+
+    With a *store*, every case outcome is persisted as a ``kind="fuzz"``
+    work unit (content-hashed over the case's canonical JSON), so a
+    killed campaign resumes from the checkpoint: already-executed cases
+    are replayed from their stored verdicts (findings included) instead
+    of re-simulated.  Resumed failures are not re-shrunk or re-saved —
+    shrinking happened in the session that first executed them.
     """
     factory = SeedSequenceFactory(seed)
     failures: list[CaseResult] = []
@@ -554,6 +527,31 @@ def fuzz(
     for i in range(runs):
         rng = factory.rng(f"fuzz-case-{i}")
         case = random_case(rng, index=i, mechanisms=mechanisms, protocols=protocols)
+        unit = None
+        if store is not None:
+            from repro.orchestrator.units import WorkUnit, content_unit_id
+
+            case_json = case.canonical_json()
+            unit = WorkUnit(
+                spec=case.spec,
+                seed=case.seed,
+                spec_json=case_json,
+                unit_id=content_unit_id("fuzz", case_json, case.seed),
+            )
+            store.register([unit], kind="fuzz")
+            if resume:
+                payload = store.completed([unit.unit_id]).get(unit.unit_id)
+                if payload is not None:
+                    result = CaseResult(
+                        case=case,
+                        findings=tuple(payload.get("findings", ())),
+                        fault_stats=dict(payload.get("fault_stats", {})),
+                    )
+                    if result.failed:
+                        failures.append(result)
+                    if progress is not None:
+                        progress(i, case, result)
+                    continue
         result = run_case(case, deep=deep, differential=differential)
         if result.failed:
             if shrink and len(case.schedule):
@@ -567,6 +565,16 @@ def fuzz(
                 saved.append(
                     save_case(result.case, path, findings=result.findings)
                 )
+        if store is not None:
+            store.record_result(
+                unit,
+                {
+                    "failed": result.failed,
+                    "findings": list(result.findings),
+                    "fault_stats": result.fault_stats,
+                },
+                kind="fuzz",
+            )
         if progress is not None:
             progress(i, case, result)
     return FuzzReport(runs=runs, seed=seed, failures=failures, saved=saved)

@@ -1,0 +1,43 @@
+"""Ambient orchestration context: how sweeps find the active orchestrator.
+
+The experiment layer (:func:`repro.analysis.experiment.run_repetitions_many`)
+asks :func:`current_orchestrator` whether a checkpointed
+:class:`~repro.orchestrator.runner.OrchestrationContext` is in force and, if
+so, routes its work units through it — figure generators and campaigns need
+no parameter threading, exactly the :func:`repro.telemetry.use_telemetry`
+pattern.
+
+This module holds only the context variable so that
+:mod:`repro.analysis.experiment` can import it without dragging in the rest
+of the orchestrator (which itself imports the experiment layer).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import TYPE_CHECKING, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.orchestrator.runner import OrchestrationContext
+
+__all__ = ["current_orchestrator", "use_orchestrator"]
+
+_ACTIVE: ContextVar["OrchestrationContext | None"] = ContextVar(
+    "repro_orchestrator", default=None
+)
+
+
+def current_orchestrator() -> "OrchestrationContext | None":
+    """The ambient orchestration context, or None when sweeps run plain."""
+    return _ACTIVE.get()
+
+
+@contextmanager
+def use_orchestrator(context: "OrchestrationContext") -> Iterator["OrchestrationContext"]:
+    """Arm *context* for every sweep executed inside the ``with`` block."""
+    token = _ACTIVE.set(context)
+    try:
+        yield context
+    finally:
+        _ACTIVE.reset(token)

@@ -1,0 +1,231 @@
+"""Fault-contained worker pool: per-unit timeout, retry, quarantine.
+
+The pool executes opaque payloads through a top-level *worker function*
+(pickled into ``ProcessPoolExecutor`` children) and contains every failure
+to the unit that caused it:
+
+- an exception in a worker is retried with linear backoff up to
+  ``retries`` extra attempts, then **quarantined** — reported through a
+  callback naming the unit, never aborting the rest of the batch;
+- a unit exceeding ``unit_timeout`` raises
+  :class:`~repro.util.errors.UnitTimeoutError` *inside the child* (SIGALRM
+  via ``signal.setitimer``), so the pool itself survives hangs;
+- a hard worker death (segfault, ``os._exit``) breaks the executor —
+  the pool rebuilds it, re-accounts every in-flight unit as one failed
+  attempt, and carries on.
+
+``workers == 1`` runs inline in the parent process (deterministic, easy
+to debug, no pickling); the timeout is then not enforced, since there is
+no child to bound.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from collections.abc import Callable
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+
+__all__ = [
+    "QuarantinedUnit",
+    "WorkerPool",
+    "install_unit_timeout",
+    "clear_unit_timeout",
+]
+
+
+@dataclass(frozen=True)
+class QuarantinedUnit:
+    """One unit that exhausted its retry budget, with its final error."""
+
+    unit_id: str
+    label: str
+    seed: int
+    attempts: int
+    error: str
+
+    def __str__(self) -> str:
+        return (
+            f"{self.label} (seed {self.seed}, unit {self.unit_id[:12]}): "
+            f"{self.error} [after {self.attempts} attempt(s)]"
+        )
+
+
+def install_unit_timeout(timeout: float | None) -> None:
+    """Arm a SIGALRM-based wall-clock bound in the *current* process.
+
+    Called by worker functions at the top of each unit.  No-op when
+    *timeout* is falsy or the platform lacks ``SIGALRM`` (the pool then
+    degrades to unbounded units rather than failing).
+    """
+    if not timeout:
+        return
+    import signal
+
+    if not hasattr(signal, "SIGALRM"):  # pragma: no cover - non-POSIX
+        return
+
+    def _on_timeout(signum: int, frame: object) -> None:
+        from repro.util.errors import UnitTimeoutError
+
+        raise UnitTimeoutError(
+            "<unit>", -1, f"exceeded per-unit timeout of {timeout:g}s"
+        )
+
+    signal.signal(signal.SIGALRM, _on_timeout)
+    signal.setitimer(signal.ITIMER_REAL, float(timeout))
+
+
+def clear_unit_timeout() -> None:
+    """Disarm a previously installed per-unit timer (worker epilogue)."""
+    import signal
+
+    if hasattr(signal, "SIGALRM"):
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+
+
+class WorkerPool:
+    """Execute payloads fault-contained; see module docstring.
+
+    Parameters
+    ----------
+    worker_fn:
+        Top-level picklable callable ``payload -> result``.
+    workers:
+        Process count; 1 executes inline in the parent.
+    retries:
+        Extra attempts after the first failure before quarantining.
+    backoff:
+        Sleep before retry *k* is ``backoff * k`` seconds (linear).
+    """
+
+    def __init__(
+        self,
+        worker_fn: Callable[[dict], dict],
+        workers: int = 1,
+        retries: int = 1,
+        backoff: float = 0.05,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
+        self.worker_fn = worker_fn
+        self.workers = int(workers)
+        self.retries = int(retries)
+        self.backoff = float(backoff)
+
+    # ------------------------------------------------------------------ #
+
+    def run(
+        self,
+        payloads: dict[str, dict],
+        on_result: Callable[[str, dict, int], None],
+        on_failure: Callable[[str, str, int], None],
+    ) -> None:
+        """Execute every payload, reporting per-unit outcomes via callbacks.
+
+        ``on_result(unit_id, result, attempts)`` fires as each unit
+        completes (incremental checkpointing hangs off this); a unit that
+        exhausts its retry budget fires ``on_failure(unit_id, error,
+        attempts)`` instead.  The call returns only when every unit has
+        reached one of the two outcomes — a failing unit never aborts its
+        batch.
+        """
+        if not payloads:
+            return
+        if self.workers == 1:
+            self._run_inline(payloads, on_result, on_failure)
+        else:
+            self._run_pooled(payloads, on_result, on_failure)
+
+    # ------------------------------------------------------------------ #
+
+    def _run_inline(self, payloads, on_result, on_failure) -> None:
+        for uid, payload in payloads.items():
+            attempts = 0
+            while True:
+                attempts += 1
+                try:
+                    result = self.worker_fn(payload)
+                except Exception as exc:
+                    if attempts <= self.retries:
+                        time.sleep(self.backoff * attempts)
+                        continue
+                    on_failure(uid, str(exc), attempts)
+                    break
+                else:
+                    on_result(uid, result, attempts)
+                    break
+
+    def _new_executor(self) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(max_workers=self.workers)
+
+    def _run_pooled(self, payloads, on_result, on_failure) -> None:
+        queue: deque[str] = deque(payloads)
+        attempts: dict[str, int] = {uid: 0 for uid in payloads}
+        retry_at: dict[str, float] = {}
+        executor = self._new_executor()
+        futures: dict[object, str] = {}
+        try:
+            while queue or futures:
+                now = time.monotonic()
+                # Submit everything currently runnable (not in backoff).
+                deferred: list[str] = []
+                while queue:
+                    uid = queue.popleft()
+                    if retry_at.get(uid, 0.0) > now:
+                        deferred.append(uid)
+                        continue
+                    attempts[uid] += 1
+                    futures[executor.submit(self.worker_fn, payloads[uid])] = uid
+                queue.extend(deferred)
+                if not futures:
+                    # Everything runnable is in backoff; wait the shortest.
+                    time.sleep(
+                        max(0.0, min(retry_at[uid] for uid in queue) - now)
+                    )
+                    continue
+                done, _ = wait(futures, return_when=FIRST_COMPLETED)
+                broken = False
+                for future in done:
+                    uid = futures.pop(future)
+                    try:
+                        result = future.result()
+                    except BrokenProcessPool:
+                        broken = True
+                        self._account_failure(
+                            uid, "worker process died (pool broken)",
+                            attempts, retry_at, queue, on_failure,
+                        )
+                    except Exception as exc:
+                        self._account_failure(
+                            uid, str(exc), attempts, retry_at, queue, on_failure
+                        )
+                    else:
+                        on_result(uid, result, attempts[uid])
+                if broken:
+                    # A dead worker poisons the whole executor: every
+                    # in-flight unit fails with BrokenProcessPool.  Charge
+                    # each one attempt, rebuild, and resume.
+                    for future, uid in list(futures.items()):
+                        self._account_failure(
+                            uid, "worker process died (pool broken)",
+                            attempts, retry_at, queue, on_failure,
+                        )
+                    futures.clear()
+                    executor.shutdown(wait=False, cancel_futures=True)
+                    executor = self._new_executor()
+        finally:
+            executor.shutdown(wait=False, cancel_futures=True)
+
+    def _account_failure(
+        self, uid, error, attempts, retry_at, queue, on_failure
+    ) -> None:
+        if attempts[uid] <= self.retries:
+            retry_at[uid] = time.monotonic() + self.backoff * attempts[uid]
+            queue.append(uid)
+        else:
+            on_failure(uid, error, attempts[uid])

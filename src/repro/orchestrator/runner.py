@@ -1,0 +1,280 @@
+"""Campaign orchestration: checkpointed, resumable, fault-contained sweeps.
+
+An :class:`OrchestrationContext` is the durable replacement for the old
+in-memory ``ProcessPoolExecutor.map`` sweep loop.  Arm one with
+:func:`~repro.orchestrator.context.use_orchestrator` and every sweep that
+reaches :func:`repro.analysis.experiment.run_repetitions_many` decomposes
+into content-hashed :class:`~repro.orchestrator.units.WorkUnit` objects and
+flows through this pipeline:
+
+1. **Resume** — units whose ID is already ``done`` in the
+   :class:`~repro.orchestrator.store.RunStore` are loaded, not re-run.
+2. **Execute** — the rest fan out over the
+   :class:`~repro.orchestrator.pool.WorkerPool` (per-unit timeout, bounded
+   retry, quarantine); each completed unit is upserted into the store
+   *immediately*, so a kill at any instant loses at most the in-flight
+   units.
+3. **Merge** — results are returned in seed order; per-unit telemetry
+   summaries are absorbed into the ambient collector when one is armed,
+   which is what lifts the old ``--telemetry ⇒ --workers 1`` restriction.
+
+Aggregates are bit-identical to a cold, store-less run at any worker
+count: unit results always pass through the exact JSON round trip of
+:mod:`repro.orchestrator.results`, and seeds — not schedulers — define
+every simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.experiment import ExperimentSpec, RunResult, run_once
+from repro.orchestrator.context import current_orchestrator, use_orchestrator
+from repro.orchestrator.pool import (
+    QuarantinedUnit,
+    WorkerPool,
+    clear_unit_timeout,
+    install_unit_timeout,
+)
+from repro.orchestrator.results import result_from_dict, result_to_dict
+from repro.orchestrator.store import RunStore
+from repro.orchestrator.units import WorkUnit
+from repro.telemetry.core import Telemetry, TelemetrySummary
+from repro.telemetry.runtime import current_telemetry
+from repro.util.errors import OrchestrationError, WorkUnitError
+
+__all__ = [
+    "CampaignInterrupted",
+    "OrchestrationContext",
+    "execute_unit",
+]
+
+
+class CampaignInterrupted(OrchestrationError):
+    """The unit budget (``max_units``) ran out mid-campaign.
+
+    Everything executed so far is already persisted; rerun with resume to
+    continue from the checkpoint.
+    """
+
+
+def execute_unit(payload: dict) -> dict:
+    """Worker entry point: run one unit, return its result document.
+
+    *payload* is ``{"spec_json", "seed", "timeout", "telemetry"}``.  Runs
+    under a SIGALRM wall-clock bound when a timeout is set, traces the run
+    with a process-local collector when asked, and wraps any failure in a
+    :class:`~repro.util.errors.WorkUnitError` naming the (spec, seed)
+    unit.  Top-level and payload-picklable by construction so it crosses
+    the ``ProcessPoolExecutor`` boundary.
+    """
+    spec = ExperimentSpec.from_json(payload["spec_json"])
+    seed = int(payload["seed"])
+    telemetry = Telemetry() if payload.get("telemetry") else None
+    install_unit_timeout(payload.get("timeout"))
+    try:
+        result = run_once(spec, seed=seed, telemetry=telemetry)
+    except WorkUnitError:
+        raise
+    except Exception as exc:
+        raise WorkUnitError(
+            spec.describe(), seed, f"{type(exc).__name__}: {exc}"
+        ) from exc
+    finally:
+        clear_unit_timeout()
+    return result_to_dict(result)
+
+
+@dataclass
+class OrchestrationContext:
+    """One durable campaign: a store, a pool policy, and its live tallies.
+
+    Parameters
+    ----------
+    store:
+        Checkpoint database; None runs the same fault-contained pipeline
+        without persistence (retry/quarantine still apply).
+    workers:
+        Process fan-out (1 = inline).
+    retries:
+        Extra attempts per unit before quarantine.
+    unit_timeout:
+        Per-unit wall-clock bound in seconds (enforced in worker
+        processes; inline execution is unbounded).
+    resume:
+        Skip units already ``done`` in the store.  Off, every unit
+        re-executes (and idempotently overwrites its row).
+    max_units:
+        Execute at most this many *fresh* units, then raise
+        :class:`CampaignInterrupted` (budgeted runs; the interrupted-
+        resume tests and CI smoke use it to kill campaigns mid-sweep).
+    backoff:
+        Linear retry backoff factor, seconds.
+
+    Attributes
+    ----------
+    executed_units:
+        Fresh executions this context performed (excludes resumed units).
+    resumed_units:
+        Units served straight from the store.
+    quarantined:
+        Every unit that exhausted its retries, with its final error.
+    """
+
+    store: RunStore | None = None
+    workers: int = 1
+    retries: int = 1
+    unit_timeout: float | None = None
+    resume: bool = True
+    max_units: int | None = None
+    backoff: float = 0.05
+    executed_units: int = 0
+    resumed_units: int = 0
+    quarantined: list[QuarantinedUnit] = field(default_factory=list)
+
+    def __enter__(self) -> "OrchestrationContext":
+        self._token_ctx = use_orchestrator(self)
+        return self._token_ctx.__enter__()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._token_ctx.__exit__(*exc_info)
+
+    # ------------------------------------------------------------------ #
+
+    def run_spec_batch(
+        self,
+        specs: list[ExperimentSpec],
+        repetitions: int,
+        base_seed: int,
+    ) -> list[list[RunResult]]:
+        """Run every (spec, seed) unit of a sweep batch; group per spec.
+
+        Returns one seed-ordered result list per spec, with quarantined
+        units omitted.  A spec whose *every* repetition was quarantined
+        raises :class:`~repro.util.errors.OrchestrationError` naming it.
+        """
+        batches = [
+            [WorkUnit(spec=spec, seed=base_seed + i, spec_json=spec_json)
+             for i in range(repetitions)]
+            for spec, spec_json in ((s, s.to_json()) for s in specs)
+        ]
+        results = self.run_units([u for batch in batches for u in batch])
+        out: list[list[RunResult]] = []
+        for spec, batch in zip(specs, batches):
+            runs = [results[u.unit_id] for u in batch if u.unit_id in results]
+            if not runs:
+                failed = "; ".join(
+                    str(q) for q in self.quarantined
+                    if any(q.unit_id == u.unit_id for u in batch)
+                )
+                raise OrchestrationError(
+                    f"every repetition of {spec.describe()!r} was quarantined: "
+                    f"{failed or 'no units completed'}"
+                )
+            out.append(runs)
+        return out
+
+    def run_units(self, units: list[WorkUnit]) -> dict[str, RunResult]:
+        """Execute (or resume) work units; return results keyed by unit ID.
+
+        Duplicate IDs within the batch execute once.  Fresh results are
+        upserted into the store as they complete; quarantined units are
+        recorded and *omitted* from the returned mapping.
+        """
+        unique: dict[str, WorkUnit] = {}
+        for unit in units:
+            unique.setdefault(unit.unit_id, unit)
+        if self.store is not None:
+            self.store.register(list(unique.values()))
+
+        telemetry = current_telemetry()
+        if telemetry is not None and not telemetry.enabled:
+            telemetry = None
+
+        results: dict[str, RunResult] = {}
+        if self.store is not None and self.resume:
+            for uid, payload in self.store.completed(list(unique)).items():
+                unit = unique[uid]
+                results[uid] = result_from_dict(unit.spec, unit.seed, payload)
+                self.resumed_units += 1
+                self._absorb(telemetry, results[uid])
+
+        to_run = [unit for uid, unit in unique.items() if uid not in results]
+        interrupted = False
+        if self.max_units is not None:
+            budget = self.max_units - self.executed_units
+            if len(to_run) > budget:
+                to_run = to_run[: max(0, budget)]
+                interrupted = True
+
+        if to_run:
+            payloads = {
+                unit.unit_id: {
+                    "spec_json": unit.spec_json,
+                    "seed": unit.seed,
+                    "timeout": self.unit_timeout,
+                    "telemetry": telemetry is not None,
+                }
+                for unit in to_run
+            }
+            by_id = {unit.unit_id: unit for unit in to_run}
+
+            def on_result(uid: str, document: dict, attempts: int) -> None:
+                unit = by_id[uid]
+                if self.store is not None:
+                    self.store.record_result(unit, document, attempts=attempts)
+                results[uid] = result_from_dict(unit.spec, unit.seed, document)
+                self.executed_units += 1
+                self._absorb(telemetry, results[uid])
+
+            def on_failure(uid: str, error: str, attempts: int) -> None:
+                unit = by_id[uid]
+                if self.store is not None:
+                    self.store.record_quarantine(unit, error, attempts=attempts)
+                self.quarantined.append(
+                    QuarantinedUnit(
+                        unit_id=uid,
+                        label=unit.spec.describe(),
+                        seed=unit.seed,
+                        attempts=attempts,
+                        error=error,
+                    )
+                )
+
+            pool = WorkerPool(
+                execute_unit,
+                workers=self.workers,
+                retries=self.retries,
+                backoff=self.backoff,
+            )
+            pool.run(payloads, on_result, on_failure)
+
+        if interrupted:
+            raise CampaignInterrupted(
+                f"unit budget exhausted after {self.executed_units} fresh "
+                f"unit(s); completed work is checkpointed — rerun with "
+                f"--resume to continue"
+            )
+        return results
+
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def _absorb(telemetry: Telemetry | None, result: RunResult) -> None:
+        summary = result.stats.telemetry
+        if telemetry is not None and isinstance(summary, TelemetrySummary):
+            telemetry.absorb(summary)
+
+    def summary_line(self) -> str:
+        """One-line progress digest for CLI epilogues."""
+        parts = [
+            f"{self.executed_units} executed",
+            f"{self.resumed_units} resumed",
+            f"{len(self.quarantined)} quarantined",
+        ]
+        if self.store is not None:
+            tally = self.store.counts()
+            parts.append(
+                "store: " + ", ".join(f"{n} {s}" for s, n in tally.items())
+            )
+        return "; ".join(parts)

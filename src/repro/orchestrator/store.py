@@ -1,0 +1,376 @@
+"""The RunStore: durable, resumable persistence for campaign work units.
+
+A :class:`RunStore` is one SQLite database in WAL mode holding every work
+unit a campaign has seen: its content-hash ID, canonical spec JSON, seed,
+status, attempt count, and (once executed) the result document.  Writes
+are idempotent upserts keyed by unit ID, so re-running any slice of a
+campaign — after a crash, a kill, or on purpose — converges on the same
+rows.  Schema versioning is enforced on open: a store written by an
+incompatible code revision refuses to resume rather than silently mixing
+result generations.
+
+Unit lifecycle::
+
+    pending ──execute──▶ done
+        │ └──retry×N──▶ quarantined (error recorded, sweep continues)
+        └──(resume)───▶ skipped entirely when already done
+
+Exports: :meth:`RunStore.export_jsonl` (one self-contained JSON document
+per unit) and :meth:`RunStore.export_csv` (flat scalar summary per unit),
+both consumed by ``repro runs export``.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from dataclasses import dataclass
+from pathlib import Path
+import sqlite3
+
+from repro.orchestrator.units import SCHEMA_VERSION, WorkUnit
+from repro.util.errors import ConfigurationError
+
+__all__ = ["STORE_SCHEMA_VERSION", "UnitRow", "RunStore"]
+
+#: Version of the SQLite layout itself (tables/columns), independent of the
+#: unit-content schema in :data:`repro.orchestrator.units.SCHEMA_VERSION`.
+STORE_SCHEMA_VERSION = 1
+
+#: Unit states a row may be in.
+_STATUSES = ("pending", "done", "quarantined")
+
+
+@dataclass(frozen=True)
+class UnitRow:
+    """One stored work unit, as read back from the database."""
+
+    unit_id: str
+    kind: str
+    label: str
+    seed: int
+    status: str
+    attempts: int
+    spec_json: str
+    result_json: str | None
+    error: str | None
+    created_at: str
+    updated_at: str
+
+    def as_dict(self, include_payloads: bool = True) -> dict:
+        """JSON-ready form (the ``runs export --format jsonl`` document)."""
+        out = {
+            "unit_id": self.unit_id,
+            "kind": self.kind,
+            "label": self.label,
+            "seed": self.seed,
+            "status": self.status,
+            "attempts": self.attempts,
+            "error": self.error,
+            "created_at": self.created_at,
+            "updated_at": self.updated_at,
+        }
+        if include_payloads:
+            out["spec"] = json.loads(self.spec_json)
+            out["result"] = (
+                json.loads(self.result_json) if self.result_json else None
+            )
+        return out
+
+
+class RunStore:
+    """SQLite-WAL persistence of campaign work units (see module docs)."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        if self.path.parent and not self.path.parent.exists():
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._conn = sqlite3.connect(str(self.path))
+        self._conn.execute("PRAGMA journal_mode=WAL")
+        self._conn.execute("PRAGMA synchronous=NORMAL")
+        self._create()
+        self._check_schema()
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+
+    def _create(self) -> None:
+        with self._conn:
+            self._conn.execute(
+                """
+                CREATE TABLE IF NOT EXISTS meta (
+                    key TEXT PRIMARY KEY,
+                    value TEXT NOT NULL
+                )
+                """
+            )
+            self._conn.execute(
+                """
+                CREATE TABLE IF NOT EXISTS units (
+                    unit_id TEXT PRIMARY KEY,
+                    kind TEXT NOT NULL,
+                    label TEXT NOT NULL,
+                    seed INTEGER NOT NULL,
+                    status TEXT NOT NULL,
+                    attempts INTEGER NOT NULL DEFAULT 0,
+                    spec_json TEXT NOT NULL,
+                    result_json TEXT,
+                    error TEXT,
+                    created_at TEXT NOT NULL DEFAULT (datetime('now')),
+                    updated_at TEXT NOT NULL DEFAULT (datetime('now'))
+                )
+                """
+            )
+            self._conn.execute(
+                "CREATE INDEX IF NOT EXISTS idx_units_status ON units (status)"
+            )
+            self._conn.execute(
+                "INSERT OR IGNORE INTO meta (key, value) VALUES (?, ?)",
+                ("store_schema_version", str(STORE_SCHEMA_VERSION)),
+            )
+            self._conn.execute(
+                "INSERT OR IGNORE INTO meta (key, value) VALUES (?, ?)",
+                ("unit_schema_version", SCHEMA_VERSION),
+            )
+
+    def _check_schema(self) -> None:
+        stored = dict(
+            self._conn.execute("SELECT key, value FROM meta").fetchall()
+        )
+        store_version = stored.get("store_schema_version")
+        unit_version = stored.get("unit_schema_version")
+        if store_version != str(STORE_SCHEMA_VERSION):
+            raise ConfigurationError(
+                f"run store {self.path} has store schema {store_version!r}; "
+                f"this code writes {STORE_SCHEMA_VERSION!r} — use a fresh store"
+            )
+        if unit_version != SCHEMA_VERSION:
+            raise ConfigurationError(
+                f"run store {self.path} holds units of schema {unit_version!r}; "
+                f"this code produces {SCHEMA_VERSION!r} — its results are not "
+                "comparable, use a fresh store"
+            )
+
+    def close(self) -> None:
+        """Flush and close the underlying connection."""
+        self._conn.close()
+
+    def __enter__(self) -> "RunStore":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # writes (all idempotent upserts keyed by unit ID)
+
+    def register(self, units: list[WorkUnit], kind: str = "run") -> None:
+        """Ensure a pending row exists for every unit (no-op when present)."""
+        with self._conn:
+            self._conn.executemany(
+                """
+                INSERT OR IGNORE INTO units
+                    (unit_id, kind, label, seed, status, spec_json)
+                VALUES (?, ?, ?, ?, 'pending', ?)
+                """,
+                [
+                    (u.unit_id, kind, u.label, u.seed, u.spec_json)
+                    for u in units
+                ],
+            )
+
+    def _upsert(
+        self,
+        unit_id: str,
+        kind: str,
+        label: str,
+        seed: int,
+        spec_json: str,
+        status: str,
+        attempts: int,
+        result_json: str | None,
+        error: str | None,
+    ) -> None:
+        with self._conn:
+            self._conn.execute(
+                """
+                INSERT INTO units
+                    (unit_id, kind, label, seed, status, attempts,
+                     spec_json, result_json, error)
+                VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)
+                ON CONFLICT(unit_id) DO UPDATE SET
+                    status = excluded.status,
+                    attempts = excluded.attempts,
+                    result_json = excluded.result_json,
+                    error = excluded.error,
+                    updated_at = datetime('now')
+                """,
+                (unit_id, kind, label, seed, status, attempts,
+                 spec_json, result_json, error),
+            )
+
+    def record_result(
+        self,
+        unit: WorkUnit,
+        payload: dict,
+        attempts: int = 1,
+        kind: str = "run",
+    ) -> None:
+        """Mark a unit done with its result document (idempotent)."""
+        self._upsert(
+            unit.unit_id, kind, unit.label, unit.seed, unit.spec_json,
+            "done", attempts,
+            json.dumps(payload, sort_keys=True, separators=(",", ":")),
+            None,
+        )
+
+    def record_quarantine(
+        self,
+        unit: WorkUnit,
+        error: str,
+        attempts: int,
+        kind: str = "run",
+    ) -> None:
+        """Mark a unit quarantined with its final error (idempotent)."""
+        self._upsert(
+            unit.unit_id, kind, unit.label, unit.seed, unit.spec_json,
+            "quarantined", attempts, None, error,
+        )
+
+    # ------------------------------------------------------------------ #
+    # reads
+
+    def completed(self, unit_ids: list[str]) -> dict[str, dict]:
+        """Result payloads of the given IDs that are already ``done``."""
+        out: dict[str, dict] = {}
+        # SQLite caps bound parameters; chunk generously below the limit.
+        for i in range(0, len(unit_ids), 500):
+            chunk = unit_ids[i : i + 500]
+            marks = ",".join("?" * len(chunk))
+            rows = self._conn.execute(
+                f"SELECT unit_id, result_json FROM units "
+                f"WHERE status = 'done' AND unit_id IN ({marks})",
+                chunk,
+            ).fetchall()
+            for uid, result_json in rows:
+                out[uid] = json.loads(result_json)
+        return out
+
+    def get(self, unit_id: str) -> UnitRow | None:
+        """One unit by exact ID, or by unique ID prefix (>= 6 chars)."""
+        row = self._conn.execute(
+            "SELECT unit_id, kind, label, seed, status, attempts, spec_json,"
+            " result_json, error, created_at, updated_at"
+            " FROM units WHERE unit_id = ?",
+            (unit_id,),
+        ).fetchone()
+        if row is None and len(unit_id) >= 6:
+            rows = self._conn.execute(
+                "SELECT unit_id, kind, label, seed, status, attempts, spec_json,"
+                " result_json, error, created_at, updated_at"
+                " FROM units WHERE unit_id LIKE ? LIMIT 2",
+                (unit_id + "%",),
+            ).fetchall()
+            if len(rows) == 1:
+                row = rows[0]
+        return UnitRow(*row) if row is not None else None
+
+    def units(
+        self, status: str | None = None, kind: str | None = None
+    ) -> list[UnitRow]:
+        """Every stored unit (optionally filtered), in insertion order."""
+        query = (
+            "SELECT unit_id, kind, label, seed, status, attempts, spec_json,"
+            " result_json, error, created_at, updated_at FROM units"
+        )
+        clauses, params = [], []
+        if status is not None:
+            clauses.append("status = ?")
+            params.append(status)
+        if kind is not None:
+            clauses.append("kind = ?")
+            params.append(kind)
+        if clauses:
+            query += " WHERE " + " AND ".join(clauses)
+        query += " ORDER BY rowid"
+        return [
+            UnitRow(*row) for row in self._conn.execute(query, params).fetchall()
+        ]
+
+    def counts(self) -> dict[str, int]:
+        """Unit tally per status (statuses with zero units included)."""
+        out = {status: 0 for status in _STATUSES}
+        for status, n in self._conn.execute(
+            "SELECT status, COUNT(*) FROM units GROUP BY status"
+        ).fetchall():
+            out[status] = n
+        return out
+
+    # ------------------------------------------------------------------ #
+    # exports
+
+    def export_jsonl(self, path: str | Path) -> int:
+        """Write one JSON document per unit; returns the line count."""
+        rows = self.units()
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(
+                json.dumps(
+                    {
+                        "record": "header",
+                        "schema": "repro-runstore/1",
+                        "store_schema_version": STORE_SCHEMA_VERSION,
+                        "unit_schema_version": SCHEMA_VERSION,
+                        "units": len(rows),
+                    },
+                    sort_keys=True,
+                )
+                + "\n"
+            )
+            for row in rows:
+                fh.write(json.dumps(row.as_dict(), sort_keys=True) + "\n")
+        return len(rows) + 1
+
+    def export_csv(self, path: str | Path) -> int:
+        """Write a flat per-unit scalar summary; returns the row count.
+
+        Series payloads are reduced to their per-run means (the scalars
+        campaign aggregates are built from), keeping the CSV joinable
+        against figures without re-parsing JSON.
+        """
+        rows = self.units()
+        columns = [
+            "unit_id", "kind", "label", "seed", "status", "attempts", "error",
+            "connectivity", "tx_range", "logical_degree", "physical_degree",
+            "strict",
+        ]
+        with open(path, "w", encoding="utf-8", newline="") as fh:
+            writer = csv.DictWriter(fh, fieldnames=columns)
+            writer.writeheader()
+            for row in rows:
+                record = {
+                    "unit_id": row.unit_id,
+                    "kind": row.kind,
+                    "label": row.label,
+                    "seed": row.seed,
+                    "status": row.status,
+                    "attempts": row.attempts,
+                    "error": row.error or "",
+                }
+                if row.result_json and row.kind == "run":
+                    series = json.loads(row.result_json).get("series", {})
+
+                    def mean(name: str) -> float | str:
+                        values = series.get(name)
+                        if not values:
+                            return ""
+                        return sum(values) / len(values)
+
+                    record.update(
+                        connectivity=mean("delivery_ratios"),
+                        tx_range=mean("mean_extended_ranges"),
+                        logical_degree=mean("mean_logical_degrees"),
+                        physical_degree=mean("mean_physical_degrees"),
+                        strict=mean("strict_connected"),
+                    )
+                writer.writerow(record)
+        return len(rows)

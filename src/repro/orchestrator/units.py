@@ -1,0 +1,83 @@
+"""Work units: the deterministic identity layer of campaign orchestration.
+
+A campaign decomposes into **work units** — one simulated repetition each.
+A unit's identity is a pure content hash of
+
+- the canonical :meth:`~repro.analysis.experiment.ExperimentSpec.to_json`
+  form of its spec (sorted keys, compact separators, coerced numerics),
+- its seed, and
+- the code-schema version (:data:`SCHEMA_VERSION`, bumped whenever a code
+  change makes previously stored results incomparable),
+
+so the same (spec, seed) always maps to the same unit ID on any host, at
+any worker count, in any submission order — which is what makes resuming
+from a :class:`~repro.orchestrator.store.RunStore` sound: a completed ID
+*is* the proof that this exact simulation already ran.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+
+from repro.analysis.experiment import ExperimentSpec
+
+__all__ = ["SCHEMA_VERSION", "WorkUnit", "unit_id", "content_unit_id"]
+
+#: Code-schema version folded into every unit hash.  Bump when simulation
+#: semantics change such that stored results no longer equal a fresh run.
+SCHEMA_VERSION = "repro-unit/1"
+
+
+def content_unit_id(kind: str, canonical_json: str, seed: int) -> str:
+    """SHA-256 content hash of ``(kind, canonical payload JSON, seed)``.
+
+    *kind* namespaces unit families sharing one store (``"run"`` for
+    experiment repetitions, ``"fuzz"`` for fuzz cases).
+    """
+    digest = hashlib.sha256(
+        json.dumps(
+            {
+                "schema": SCHEMA_VERSION,
+                "kind": kind,
+                "payload": canonical_json,
+                "seed": int(seed),
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        ).encode("utf-8")
+    )
+    return digest.hexdigest()
+
+
+def unit_id(spec: ExperimentSpec, seed: int) -> str:
+    """The content hash identifying one experiment repetition."""
+    return content_unit_id("run", spec.to_json(), seed)
+
+
+@dataclass(frozen=True)
+class WorkUnit:
+    """One schedulable repetition: a spec, a seed, and their content hash.
+
+    ``spec_json`` is precomputed once per spec so batching a thousand
+    seeds of the same spec does not re-serialize it a thousand times.
+    """
+
+    spec: ExperimentSpec
+    seed: int
+    spec_json: str = ""
+    unit_id: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        if not self.spec_json:
+            object.__setattr__(self, "spec_json", self.spec.to_json())
+        if not self.unit_id:
+            object.__setattr__(
+                self, "unit_id", content_unit_id("run", self.spec_json, self.seed)
+            )
+
+    @property
+    def label(self) -> str:
+        """Human-readable unit name (spec label + seed)."""
+        return f"{self.spec.describe()} seed={self.seed}"

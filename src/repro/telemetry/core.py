@@ -63,6 +63,24 @@ class SpanStats:
         }
 
 
+def _parse_series_key(key: str) -> tuple[str, dict[str, str]]:
+    """Split a summary series key ``name{k=v,...}`` back into name + labels.
+
+    Inverse of the key format :meth:`Telemetry.summary` emits.  Label
+    values in the shipped taxonomy are plain identifiers (``reason=loss``,
+    ``outcome=hit``), so the split on ``,`` / ``=`` is unambiguous.
+    """
+    if "{" not in key:
+        return key, {}
+    name, _, tag = key.partition("{")
+    labels: dict[str, str] = {}
+    for pair in tag[:-1].split(","):
+        if pair:
+            label, _, value = pair.partition("=")
+            labels[label] = value
+    return name, labels
+
+
 class _Span:
     """Context manager for one span instance (internal)."""
 
@@ -119,6 +137,38 @@ class TelemetrySummary:
             "events_recorded": self.events_recorded,
             "events_dropped": self.events_dropped,
         }
+
+    @staticmethod
+    def from_dict(data: dict) -> "TelemetrySummary":
+        """Rebuild the exact summary :meth:`as_dict` flattened.
+
+        The inverse the orchestrator's result store relies on: summaries
+        survive a JSON round trip bit for bit.
+        """
+        return TelemetrySummary(
+            counters=tuple(sorted(data.get("counters", {}).items())),
+            gauges=tuple(sorted(data.get("gauges", {}).items())),
+            histograms=tuple(
+                sorted(
+                    (name, tuple(sorted(stats.items())))
+                    for name, stats in data.get("histograms", {}).items()
+                )
+            ),
+            spans=tuple(
+                sorted(
+                    (name, tuple(sorted(stats.items())))
+                    for name, stats in data.get("spans", {}).items()
+                )
+            ),
+            event_counts=tuple(
+                sorted(
+                    (kind, int(n))
+                    for kind, n in data.get("event_counts", {}).items()
+                )
+            ),
+            events_recorded=int(data.get("events_recorded", 0)),
+            events_dropped=int(data.get("events_dropped", 0)),
+        )
 
 
 class Telemetry:
@@ -179,6 +229,53 @@ class Telemetry:
         """Timing context for phase *name* (nests; monotonic clock)."""
         return _Span(self, name)
 
+    def absorb(self, summary: TelemetrySummary) -> None:
+        """Merge a worker's frozen summary into this live collector.
+
+        The multi-process merge seam: repetition fan-out traces each run
+        with a process-local collector and ships back its
+        :class:`TelemetrySummary`; absorbing them in the parent makes
+        ``--telemetry`` work at any worker count.  Counters, span
+        aggregates, and per-kind event totals merge exactly; gauges take
+        the absorbed value (last writer wins); histogram merges keep
+        count/total/min/max/mean exact but fold the worker's spread at its
+        mean, so a merged ``std`` is a lower bound.  Individual worker
+        events are not shipped (summaries are bounded); they appear in
+        ``events_dropped`` rather than the retained ring buffer.
+        """
+        for key, value in summary.counters:
+            name, labels = _parse_series_key(key)
+            self.registry.counter(name, **labels).inc(value)
+        for key, value in summary.gauges:
+            name, labels = _parse_series_key(key)
+            self.registry.gauge(name, **labels).set(value)
+        for key, stats in summary.histograms:
+            values = dict(stats)
+            if not values.get("count"):
+                continue
+            name, labels = _parse_series_key(key)
+            hist = self.registry.histogram(name, **labels)
+            hist.count += int(values["count"])
+            hist.total += values["total"]
+            hist.sumsq += values["count"] * values["mean"] ** 2
+            hist.min = min(hist.min, values["min"])
+            hist.max = max(hist.max, values["max"])
+        for name, stats in summary.spans:
+            values = dict(stats)
+            if not values.get("count"):
+                continue
+            agg = self.spans.get(name)
+            if agg is None:
+                agg = self.spans[name] = SpanStats()
+            agg.count += int(values["count"])
+            agg.total_s += values["total_s"]
+            agg.self_s += values["self_s"]
+            agg.min_s = min(agg.min_s, values["min_s"])
+            agg.max_s = max(agg.max_s, values["max_s"])
+        self.events.absorb_counts(
+            dict(summary.event_counts), summary.events_recorded
+        )
+
     # ------------------------------------------------------------------ #
     # reading
 
@@ -230,6 +327,9 @@ class NullTelemetry(Telemetry):
         """No-op."""
 
     def event(self, kind: str, t: float, node: int | None = None, **data: object) -> None:
+        """No-op."""
+
+    def absorb(self, summary: TelemetrySummary) -> None:
         """No-op."""
 
     def span(self, name: str) -> "_NullSpan":

@@ -109,3 +109,16 @@ class EventLog:
     def kind_counts(self) -> dict[str, int]:
         """Exact per-kind event totals (including evicted events)."""
         return dict(sorted(self._tally.items()))
+
+    def absorb_counts(self, counts: dict[str, int], recorded: int) -> None:
+        """Fold another log's per-kind tallies into this one.
+
+        The merge seam for multi-process telemetry: worker collectors ship
+        frozen summaries, not event objects, so absorbed events count as
+        recorded-but-not-retained (``dropped``) here — kind totals stay
+        exact while the retained ring buffer holds only local events.
+        """
+        for kind, n in counts.items():
+            self._tally[kind] += int(n)
+        self.recorded += int(recorded)
+        self.dropped += int(recorded)

@@ -14,6 +14,9 @@ __all__ = [
     "ScheduleError",
     "ProtocolError",
     "ViewError",
+    "WorkUnitError",
+    "UnitTimeoutError",
+    "OrchestrationError",
 ]
 
 
@@ -39,3 +42,30 @@ class ProtocolError(ReproError, RuntimeError):
 
 class ViewError(ReproError, RuntimeError):
     """A local view was queried for information it does not hold."""
+
+
+class WorkUnitError(ReproError, RuntimeError):
+    """One (spec, seed) work unit failed in a worker.
+
+    Raised instead of a bare pickled worker traceback so the error names
+    the failing unit.  Constructed with ``(label, seed, message)`` and
+    kept pickle-round-trippable (multiprocessing re-raises it in the
+    parent via ``__init__(*args)``).
+    """
+
+    def __init__(self, label: str, seed: int, message: str) -> None:
+        super().__init__(label, seed, message)
+        self.label = label
+        self.seed = seed
+        self.message = message
+
+    def __str__(self) -> str:
+        return f"work unit {self.label!r} (seed {self.seed}) failed: {self.message}"
+
+
+class UnitTimeoutError(WorkUnitError):
+    """A work unit exceeded its per-unit wall-clock budget."""
+
+
+class OrchestrationError(ReproError, RuntimeError):
+    """A campaign could not produce results (e.g. every unit quarantined)."""

@@ -99,18 +99,20 @@ class TestTelemetryFlag:
         doc = json.loads(phases.read_text())
         assert "engine_run" in doc["phases"]
 
-    def test_telemetry_forces_sequential_workers(self, capsys, tmp_path):
+    def test_telemetry_multi_worker_merges(self, capsys, tmp_path):
         path = tmp_path / "out.jsonl"
         code = main(
             [
                 "run", "--protocol", "rng", "--speed", "5", "--nodes", "12",
                 "--duration", "5", "--sample-rate", "1", "--repetitions", "2",
-                "--workers", "4", "--telemetry", str(path),
+                "--workers", "2", "--telemetry", str(path),
             ]
         )
         out = capsys.readouterr().out
         assert code == 0
-        assert "forcing --workers 1" in out
+        assert "forcing --workers 1" not in out
+        assert "parent-side events only" in out
+        assert "hello_sent" in out  # worker counters merged into the summary
         assert path.exists()
 
     def test_figures_accept_telemetry(self, capsys, tmp_path):

@@ -54,7 +54,13 @@ class TestDefaultWorkers:
 
     def test_garbage_env_falls_back(self, monkeypatch):
         monkeypatch.setenv("REPRO_WORKERS", "many")
-        assert default_workers() == 1
+        with pytest.warns(RuntimeWarning, match="REPRO_WORKERS='many'"):
+            assert default_workers() == 1
+
+    def test_valid_env_does_not_warn(self, monkeypatch, recwarn):
+        monkeypatch.setenv("REPRO_WORKERS", "2")
+        assert default_workers() == 2
+        assert not [w for w in recwarn if w.category is RuntimeWarning]
 
     def test_nonpositive_clamped(self, monkeypatch):
         monkeypatch.setenv("REPRO_WORKERS", "0")
@@ -70,3 +76,18 @@ class TestDefaultWorkers:
         )
         clone = pickle.loads(pickle.dumps(spec))
         assert clone.protocol_kwargs == {"k": 7}
+
+
+class TestWorkerFailureNaming:
+    def test_parallel_failure_names_spec_and_seed(self):
+        from repro.util.errors import WorkUnitError
+
+        bad = ExperimentSpec(
+            protocol="yao", protocol_kwargs={"k": -1},
+            mean_speed=10.0, config=TINY,
+        )
+        with pytest.raises(WorkUnitError) as excinfo:
+            run_repetitions(bad, repetitions=2, base_seed=50, workers=2)
+        assert excinfo.value.label == bad.describe()
+        assert excinfo.value.seed in (50, 51)
+        assert "seed" in str(excinfo.value)
