@@ -7,7 +7,10 @@ view-fingerprint cache (see ``docs/PERFORMANCE.md``):
   synchronization, cache on vs cache off — packet-time recomputation with
   an unchanged view must collapse to cache hits;
 - the batched :func:`~repro.core.framework.rng_removable_batch` kernel vs
-  one :func:`~repro.core.framework.rng_removable` scan per link.
+  one :func:`~repro.core.framework.rng_removable` scan per link;
+- the sparse-first snapshot -> decide -> flood pipeline at
+  n in {2000, 5000, 10000} (paper density, proactive mechanism), where
+  snapshots are CSR-backed and no ``(n, n)`` matrix is ever built.
 
 Outputs are asserted bit-identical between the compared variants before
 any timing, and ``BENCH_decide.json`` (median ns/op plus speedups) is
@@ -157,12 +160,70 @@ def bench_rng_kernel(m: int, seed: int = 11) -> dict:
     }
 
 
+SCALE_SIZES = (2000, 5000, 10000)
+
+
+def bench_scale_pipeline(n: int, seed: int = 7, warm_t: float = 3.0) -> dict:
+    """Warm snapshot -> decide -> flood costs at large n, sparse-first.
+
+    The world runs the proactive mechanism at the paper's density; above
+    the sparse switch every snapshot is CSR-backed, so the whole pipeline
+    is O(n * degree) per probe and the dense ``(n, n)`` path is never
+    touched.
+    """
+    from repro.sim.flood import flood
+    from repro.sim.world import SPARSE_SWITCH
+
+    scale = Scale(
+        name="bench-scale",
+        n_nodes=n,
+        area_side=_side(n),
+        duration=warm_t + 2.0,
+        sample_rate=1.0,
+        repetitions=1,
+    )
+    spec = ExperimentSpec(
+        protocol="rng",
+        mechanism="proactive",
+        mean_speed=20.0,
+        config=scale.config(),
+    )
+    t0 = time.perf_counter()
+    world = build_world(spec, seed)
+    world.run_until(warm_t)
+    warm_s = time.perf_counter() - t0
+    snap = world.snapshot()
+    if n >= SPARSE_SWITCH and snap.prefers_dense:
+        raise AssertionError(f"snapshot at n={n} should be sparse-first")
+    snapshot_ns = _median_ns(world.snapshot, budget_s=1.0)
+    world.redecide_all()  # prime the decision cache
+    redecide_ns = _median_ns(world.redecide_all, budget_s=1.0)
+    flood_ns = _median_ns(lambda: flood(world, 0), budget_s=2.0, min_reps=3)
+    stats = world.neighbor_stats()
+    print(
+        f"scale_pipeline n={n:<6} warmup={warm_s:6.1f} s   "
+        f"snapshot={snapshot_ns / 1e6:8.2f} ms   "
+        f"redecide={redecide_ns / 1e6:8.2f} ms   "
+        f"flood={flood_ns / 1e6:8.2f} ms"
+    )
+    return {
+        "n": n,
+        "warmup_s": round(warm_s, 2),
+        "snapshot_ns": round(snapshot_ns),
+        "redecide_cached_ns": round(redecide_ns),
+        "flood_ns": round(flood_ns),
+        **{f"neighbor_{k}": v for k, v in stats.items()},
+    }
+
+
 def run_benchmark(smoke: bool = False) -> dict:
     redecide_sizes = (25,) if smoke else (50, 100)
     kernel_sizes = (16,) if smoke else (25, 50, 100)
+    scale_sizes = () if smoke else SCALE_SIZES
     results = {
         "redecide_all": {str(n): bench_redecide(n) for n in redecide_sizes},
         "rng_kernel": {str(m): bench_rng_kernel(m) for m in kernel_sizes},
+        "scale_pipeline": {str(n): bench_scale_pipeline(n) for n in scale_sizes},
     }
     return {
         "meta": {
@@ -172,6 +233,7 @@ def run_benchmark(smoke: bool = False) -> dict:
             "smoke": smoke,
             "redecide_sizes": list(redecide_sizes),
             "kernel_sizes": list(kernel_sizes),
+            "scale_sizes": list(scale_sizes),
         },
         "results": results,
     }

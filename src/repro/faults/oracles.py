@@ -194,12 +194,13 @@ def theorem5_oracle(world: NetworkWorld) -> list[OracleFinding]:
         ):
             continue
         for v in decision.logical_neighbors:
-            gap = snap.dist[u, v] - (snap.extended_ranges[u] + slack)
+            d_uv = snap.pair_distance(u, v)
+            gap = d_uv - (snap.extended_ranges[u] + slack)
             if gap > 0.0:
                 findings.append(
                     OracleFinding(
                         "theorem5", now,
-                        f"logical link {u}->{v} is {snap.dist[u, v]:.1f} m "
+                        f"logical link {u}->{v} is {d_uv:.1f} m "
                         f"long but {u}'s extended range is only "
                         f"{snap.extended_ranges[u]:.1f} m "
                         f"(uncovered by {gap:.1f} m)",

@@ -1,7 +1,15 @@
 """Computational-geometry substrate: point kernels and proximity graphs."""
 
 from repro.geometry.cones import cone_index, covers_with_alpha, max_angular_gap
+from repro.geometry.csr import (
+    CSRGraph,
+    csr_bfs,
+    csr_connected_components,
+    csr_is_connected,
+    csr_largest_component_fraction,
+)
 from repro.geometry.grid import DENSE_THRESHOLD, GraphBackend, GridIndex
+from repro.geometry.sparse import IncrementalNeighborhoods, neighborhood_csr
 from repro.geometry.graphs import (
     connected_components,
     delaunay_graph,
@@ -48,4 +56,11 @@ __all__ = [
     "GridIndex",
     "GraphBackend",
     "DENSE_THRESHOLD",
+    "CSRGraph",
+    "csr_bfs",
+    "csr_connected_components",
+    "csr_is_connected",
+    "csr_largest_component_fraction",
+    "neighborhood_csr",
+    "IncrementalNeighborhoods",
 ]

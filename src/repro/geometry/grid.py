@@ -131,6 +131,62 @@ class GridIndex:
         np.fill_diagonal(out, False)
         return out
 
+    def neighbor_pairs(self, radius: float, only: np.ndarray | None = None):
+        """Unit-disk adjacency at *radius* as a :class:`CSRGraph` with edge
+        lengths — the never-densified counterpart of :meth:`unit_disk`.
+
+        Distances use the same split-axis ``sqrt(dx*dx + dy*dy)`` IEEE
+        sequence and the same boundary-inclusive ``d <= radius`` predicate
+        as :func:`repro.geometry.points.pairwise_distances`, so the result
+        is bit-identical to ``CSRGraph.from_dense(dense_adj, dense_dist)``.
+
+        *only* optionally restricts the *rows* (edge sources) to a boolean
+        node mask — the primitive behind dirty-region incremental rebuilds,
+        where unaffected rows are spliced from the previous generation.
+        """
+        from repro.geometry.csr import CSRGraph
+
+        n = self.n_points
+        if n == 0 or radius < 0:
+            return CSRGraph.empty(n)
+        span = max(1, int(np.ceil(radius / self.cell_size)))
+        x, y = self.points[:, 0], self.points[:, 1]
+        rows_parts: list[np.ndarray] = []
+        cols_parts: list[np.ndarray] = []
+        data_parts: list[np.ndarray] = []
+        for (cx, cy), members in self._buckets.items():
+            if only is not None:
+                members = members[only[members]]
+                if members.size == 0:
+                    continue
+            cand = np.sort(self.candidates_near_cell(cx, cy, span))
+            dx = x[members][:, np.newaxis] - x[cand][np.newaxis, :]
+            dy = y[members][:, np.newaxis] - y[cand][np.newaxis, :]
+            dx *= dx
+            dy *= dy
+            dx += dy
+            d = np.sqrt(dx, out=dx)
+            close = (d <= radius) & (members[:, np.newaxis] != cand[np.newaxis, :])
+            keep = close.ravel()
+            rows_parts.append(np.repeat(members, cand.size)[keep])
+            cols_parts.append(np.tile(cand, members.size)[keep])
+            data_parts.append(d.ravel()[keep])
+        if not rows_parts:
+            return CSRGraph.empty(n)
+        # cand is ascending within each bucket block, and every row lives in
+        # exactly one bucket, so a stable sort by row yields ascending
+        # columns per row.
+        return CSRGraph.from_edges(
+            np.concatenate(rows_parts),
+            np.concatenate(cols_parts),
+            n,
+            data=np.concatenate(data_parts),
+        )
+
+    def cell_of(self, node: int) -> tuple[int, int]:
+        """Hash-cell coordinates of an indexed point (diagnostics)."""
+        return (int(self._cells[node, 0]), int(self._cells[node, 1]))
+
 
 class GraphBackend:
     """Dense/grid dispatch facade for neighbor discovery on one point set.
@@ -177,10 +233,16 @@ class GraphBackend:
         n = self.points.shape[0]
         if n < self.dense_threshold or self._dist is not None or radius <= 0:
             return False
+        if not np.isfinite(radius):
+            return False
         if self._bbox_area is None:
             span = self.points.max(axis=0) - self.points.min(axis=0)
             self._bbox_area = float(span[0] * span[1])
         return self._bbox_area > GRID_AREA_FACTOR * radius * radius
+
+    def use_grid(self, radius: float) -> bool:
+        """Public form of the per-query representation choice."""
+        return self._use_grid(radius)
 
     @property
     def n_points(self) -> int:
@@ -213,3 +275,14 @@ class GraphBackend:
         if self.n_points == 0 or radius <= 0 or not self._use_grid(radius):
             return np.flatnonzero(distances_from(point, self.points) <= radius)
         return self._index_for(radius).neighbors_within(point, radius)
+
+    def neighbor_csr(self, radius: float):
+        """Unit-disk adjacency at *radius* as an edge-weighted CSR graph.
+
+        The sparse counterpart of :meth:`unit_disk`: same dense/grid
+        dispatch, but the grid path never materializes an ``(n, n)``
+        matrix.  See :func:`repro.geometry.sparse.neighborhood_csr`.
+        """
+        from repro.geometry.sparse import neighborhood_csr
+
+        return neighborhood_csr(self.points, radius, backend=self)

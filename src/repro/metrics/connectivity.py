@@ -19,6 +19,10 @@ import numpy as np
 from scipy.sparse import csr_matrix
 from scipy.sparse.csgraph import connected_components as _cc
 
+from repro.geometry.csr import (
+    csr_is_connected,
+    csr_largest_component_fraction,
+)
 from repro.geometry.graphs import is_connected, largest_component_fraction
 from repro.sim.world import WorldSnapshot
 
@@ -33,14 +37,22 @@ __all__ = [
 
 def strictly_connected(snap: WorldSnapshot, physical_neighbor_mode: bool = False) -> bool:
     """True iff the snapshot's undirected effective topology is connected."""
-    return is_connected(snap.effective_bidirectional(physical_neighbor_mode))
+    if snap.prefers_dense:
+        return is_connected(snap.effective_bidirectional(physical_neighbor_mode))
+    return csr_is_connected(snap.effective_bidirectional_csr(physical_neighbor_mode))
 
 
 def largest_effective_component(
     snap: WorldSnapshot, physical_neighbor_mode: bool = False
 ) -> float:
     """Fraction of nodes in the largest effective component."""
-    return largest_component_fraction(snap.effective_bidirectional(physical_neighbor_mode))
+    if snap.prefers_dense:
+        return largest_component_fraction(
+            snap.effective_bidirectional(physical_neighbor_mode)
+        )
+    return csr_largest_component_fraction(
+        snap.effective_bidirectional_csr(physical_neighbor_mode)
+    )
 
 
 def pairwise_connectivity_ratio(
@@ -53,17 +65,23 @@ def pairwise_connectivity_ratio(
     computing it exactly over strongly-connected components lets tests
     check the estimator against ground truth.
     """
-    adj = snap.effective_directed(physical_neighbor_mode)
-    n = adj.shape[0]
+    n = snap.n_nodes
     if n <= 1:
         return 1.0
-    n_comp, labels = _cc(csr_matrix(adj), directed=True, connection="strong")
+    if snap.prefers_dense:
+        adj = snap.effective_directed(physical_neighbor_mode)
+        matrix = csr_matrix(adj)
+        src, dst = np.nonzero(adj)
+    else:
+        graph = snap.effective_directed_csr(physical_neighbor_mode)
+        matrix = graph.to_scipy()
+        src, dst = graph.rows_array(), graph.indices
+    n_comp, labels = _cc(matrix, directed=True, connection="strong")
     # Build the component DAG's reachability by propagating over a
     # topological order (components are numbered in topological order by
     # scipy for directed graphs).
     comp_sizes = np.bincount(labels, minlength=n_comp)
     comp_adj = np.zeros((n_comp, n_comp), dtype=bool)
-    src, dst = np.nonzero(adj)
     comp_adj[labels[src], labels[dst]] = True
     np.fill_diagonal(comp_adj, False)
     reach = np.eye(n_comp, dtype=bool)
@@ -90,10 +108,15 @@ def logical_topology_connected(snap: WorldSnapshot) -> bool:
     A logical link exists when at least one end selected the other (the
     union of logical neighbor sets forms the logical topology, Section 1).
     """
-    adj = snap.logical | snap.logical.T
-    return is_connected(adj)
+    if snap.prefers_dense:
+        return is_connected(snap.logical | snap.logical.T)
+    # directed=False makes scipy treat each CSR edge as undirected — the
+    # same union-of-selections semantics as logical | logical.T.
+    return csr_is_connected(snap.logical_csr)
 
 
 def original_topology_connected(snap: WorldSnapshot) -> bool:
     """True iff the unit-disk graph at the normal range is connected."""
-    return is_connected(snap.original_topology())
+    if snap.prefers_dense:
+        return is_connected(snap.original_topology())
+    return csr_is_connected(snap.original_csr())

@@ -61,7 +61,19 @@ def snapshot_edge_connectivity(
     snap: WorldSnapshot, physical_neighbor_mode: bool = False
 ) -> int:
     """Edge connectivity of a snapshot's undirected effective topology."""
-    return edge_connectivity(snap.effective_bidirectional(physical_neighbor_mode))
+    if snap.prefers_dense:
+        return edge_connectivity(snap.effective_bidirectional(physical_neighbor_mode))
+    graph = snap.effective_bidirectional_csr(physical_neighbor_mode)
+    if graph.n <= 1:
+        return 0
+    g = nx.Graph()
+    g.add_nodes_from(range(graph.n))
+    rows, cols = graph.rows_array(), graph.indices
+    upper = rows < cols
+    g.add_edges_from(zip(rows[upper].tolist(), cols[upper].tolist()))
+    if not nx.is_connected(g):
+        return 0
+    return int(nx.edge_connectivity(g))
 
 
 def min_link_failures_to_partition(

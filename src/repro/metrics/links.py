@@ -71,14 +71,28 @@ class LinkLifetimeTracker:
         self._finished = False
 
     def _links_of(self, snap: WorldSnapshot) -> set[tuple[int, int]]:
+        if snap.prefers_dense:
+            if self.kind == "effective":
+                adj = snap.effective_bidirectional(self.physical_neighbor_mode)
+            elif self.kind == "logical":
+                adj = snap.logical | snap.logical.T
+            else:
+                adj = snap.original_topology()
+            iu, iv = np.nonzero(np.triu(adj, k=1))
+            return set(zip(iu.tolist(), iv.tolist()))
         if self.kind == "effective":
-            adj = snap.effective_bidirectional(self.physical_neighbor_mode)
+            graph = snap.effective_bidirectional_csr(self.physical_neighbor_mode)
         elif self.kind == "logical":
-            adj = snap.logical | snap.logical.T
+            graph = snap.logical_csr
         else:
-            adj = snap.original_topology()
-        iu, iv = np.nonzero(np.triu(adj, k=1))
-        return set(zip(iu.tolist(), iv.tolist()))
+            graph = snap.original_csr()
+        # (min, max) normalization covers both the symmetric kinds (each
+        # link listed once per direction) and the logical union semantics
+        # (a link exists when either end selected the other).
+        rows, cols = graph.rows_array(), graph.indices
+        lo = np.minimum(rows, cols)
+        hi = np.maximum(rows, cols)
+        return set(zip(lo.tolist(), hi.tolist()))
 
     def observe(self, snap: WorldSnapshot) -> None:
         """Record the link set of *snap* (call in increasing time order)."""

@@ -20,6 +20,7 @@ import numpy as np
 from scipy.sparse import csr_matrix
 from scipy.sparse.csgraph import shortest_path
 
+from repro.geometry.csr import CSRGraph
 from repro.geometry.points import pairwise_distances
 
 __all__ = ["stretch_factors", "StretchReport"]
@@ -51,9 +52,27 @@ def _all_pairs(adjacency: np.ndarray, weights: np.ndarray) -> np.ndarray:
     return shortest_path(csr_matrix(masked), method="D", directed=False)
 
 
+def _all_pairs_csr(graph: CSRGraph, alpha: float) -> np.ndarray:
+    """All-pairs shortest paths from an edge-weighted CSR graph.
+
+    The edge cost is ``data**alpha``; zero-length edges are dropped to
+    mirror ``csr_matrix``'s explicit-zero elimination in the dense path,
+    so both forms see the identical weighted graph.
+    """
+    if graph.data is None:
+        raise ValueError("stretch_factors needs edge distances on CSR inputs")
+    weights = np.power(graph.data, alpha)
+    keep = weights > 0
+    rows = graph.rows_array()[keep]
+    matrix = csr_matrix(
+        (weights[keep], (rows, graph.indices[keep])), shape=(graph.n, graph.n)
+    )
+    return shortest_path(matrix, method="D", directed=False)
+
+
 def stretch_factors(
-    reduced: np.ndarray,
-    reference: np.ndarray,
+    reduced: np.ndarray | CSRGraph,
+    reference: np.ndarray | CSRGraph,
     positions: np.ndarray,
     alpha: float = 1.0,
     dist: np.ndarray | None = None,
@@ -62,14 +81,26 @@ def stretch_factors(
 
     ``alpha = 1`` gives distance stretch; ``alpha = 2`` or ``4`` energy
     stretch.  Both graphs are treated as undirected.  Pass a snapshot's
-    precomputed *dist* to skip recomputing pairwise distances.
+    precomputed *dist* to skip recomputing pairwise distances, or pass
+    edge-weighted :class:`~repro.geometry.csr.CSRGraph` topologies (e.g.
+    ``snap.effective_bidirectional_csr()``) and no dense matrix is built
+    for the adjacency side at all (the shortest-path tables themselves
+    remain ``(n, n)`` — inherent to an all-pairs quantity).
     """
-    if dist is None:
-        dist = pairwise_distances(positions)
-    weights = np.power(dist, alpha, where=dist > 0, out=np.zeros_like(dist))
-    ref_sp = _all_pairs(reference | reference.T, weights)
-    red_sp = _all_pairs(reduced | reduced.T, weights)
-    n = dist.shape[0]
+    sparse_inputs = isinstance(reduced, CSRGraph) or isinstance(reference, CSRGraph)
+    if sparse_inputs:
+        if not (isinstance(reduced, CSRGraph) and isinstance(reference, CSRGraph)):
+            raise ValueError("pass both topologies dense or both as CSRGraph")
+        ref_sp = _all_pairs_csr(reference, alpha)
+        red_sp = _all_pairs_csr(reduced, alpha)
+        n = reference.n
+    else:
+        if dist is None:
+            dist = pairwise_distances(positions)
+        weights = np.power(dist, alpha, where=dist > 0, out=np.zeros_like(dist))
+        ref_sp = _all_pairs(reference | reference.T, weights)
+        red_sp = _all_pairs(reduced | reduced.T, weights)
+        n = dist.shape[0]
     iu, iv = np.triu_indices(n, k=1)
     ref_vals = ref_sp[iu, iv]
     red_vals = red_sp[iu, iv]

@@ -29,6 +29,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.geometry.csr import CSRGraph, csr_bfs, csr_bfs_parents
 from repro.sim.flood import directed_bfs
 from repro.sim.world import NetworkWorld
 from repro.util.validate import check_int_range, check_positive
@@ -130,9 +131,17 @@ class AodvRouting:
 
     # ------------------------------------------------------------------ #
 
-    def _effective_adjacency(self) -> np.ndarray:
+    def _effective_topology(self) -> np.ndarray | CSRGraph:
+        """Directed effective topology in whichever form the snapshot holds.
+
+        Dense below the sparse switch (unchanged semantics), CSR at scale
+        so a discovery never materialises an ``(n, n)`` matrix.
+        """
         snap = self.world.snapshot()
-        return snap.effective_directed(self.world.manager.physical_neighbor_mode)
+        pn = self.world.manager.physical_neighbor_mode
+        if snap.prefers_dense:
+            return snap.effective_directed(pn)
+        return snap.effective_directed_csr(pn)
 
     def _ensure_route_then_send(self, record: AodvRecord) -> None:
         key = (record.source, record.destination)
@@ -148,15 +157,21 @@ class AodvRouting:
         # --- RREQ flood: reverse-path construction (instantaneous) ---
         if self.world.manager.recompute_on_packet:
             self.world.redecide_all()
-        adj = self._effective_adjacency()
-        reached = directed_bfs(adj, record.source)
+        topo = self._effective_topology()
+        if isinstance(topo, CSRGraph):
+            reached = csr_bfs(topo, record.source)
+        else:
+            reached = directed_bfs(topo, record.source)
         record.rreq_transmissions += int(reached.sum())
         self.world.channel.stats.data_transmissions += int(reached.sum())
         if not reached[record.destination]:
             record.dropped_at = self.world.engine.now
             record.drop_reason = "destination-unreachable"
             return
-        path = self._bfs_path(adj, record.source, record.destination)
+        if isinstance(topo, CSRGraph):
+            path = self._csr_path(topo, record.source, record.destination)
+        else:
+            path = self._bfs_path(topo, record.source, record.destination)
         # --- RREP back along the reverse path, hop by hop ---
         self._forward_rrep(record, path, len(path) - 1)
 
@@ -181,6 +196,15 @@ class AodvRouting:
                         nxt.append(int(v))
             frontier = nxt
         raise AssertionError("caller guarantees reachability")
+
+    @staticmethod
+    def _csr_path(graph: CSRGraph, source: int, dest: int) -> list[int]:
+        """Shortest hop path source -> dest over a directed CSR adjacency."""
+        parent = csr_bfs_parents(graph, source)
+        path = [int(dest)]
+        while path[-1] != source:
+            path.append(int(parent[path[-1]]))
+        return path[::-1]
 
     def _link_alive(self, u: int, v: int) -> bool:
         """Is the directed effective link u -> v usable right now?"""

@@ -16,7 +16,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.geometry.csr import CSRGraph
 from repro.geometry.points import pairwise_distances
+from repro.geometry.sparse import neighborhood_csr
 from repro.util.validate import check_positive
 
 __all__ = ["RoutingOutcome", "ContactProcessConfig", "MobilityDistanceCache"]
@@ -31,11 +33,17 @@ class MobilityDistanceCache:
     keys matrices by exact query time and evicts least-recently-used
     entries beyond *maxsize* (a full study's tick grid usually fits).
 
+    Two views are served: :meth:`at` returns the dense matrix (small n)
+    and :meth:`contacts_at` a :class:`~repro.geometry.csr.CSRGraph` of the
+    contact neighborhoods at a given range — the form the tick loops use
+    at scale, where a dense matrix per tick would be quadratic.  Each view
+    is cached independently so a study uses exactly one of them per tick.
+
     Share one instance across routers over the same mobility to share the
     matrices too.
     """
 
-    __slots__ = ("mobility", "maxsize", "_store", "hits", "misses")
+    __slots__ = ("mobility", "maxsize", "_store", "_contacts", "hits", "misses")
 
     def __init__(self, mobility, maxsize: int = 512) -> None:
         if maxsize < 1:
@@ -43,6 +51,7 @@ class MobilityDistanceCache:
         self.mobility = mobility
         self.maxsize = int(maxsize)
         self._store: OrderedDict[float, np.ndarray] = OrderedDict()
+        self._contacts: OrderedDict[tuple[float, float], CSRGraph] = OrderedDict()
         self.hits = 0
         self.misses = 0
 
@@ -60,6 +69,27 @@ class MobilityDistanceCache:
         if len(self._store) > self.maxsize:
             self._store.popitem(last=False)
         return dist
+
+    def contacts_at(self, t: float, radius: float) -> CSRGraph:
+        """Contact graph (pairs within *radius*) at time *t* (cached).
+
+        Distances ride along as edge data; the predicate is the same
+        boundary-inclusive ``d <= radius`` as the dense path, so
+        ``contacts_at(t, r).to_dense()`` equals ``at(t) <= r`` off the
+        diagonal bit-for-bit.
+        """
+        key = (float(t), float(radius))
+        graph = self._contacts.get(key)
+        if graph is not None:
+            self._contacts.move_to_end(key)
+            self.hits += 1
+            return graph
+        self.misses += 1
+        graph = neighborhood_csr(self.mobility.positions(float(t)), float(radius))
+        self._contacts[key] = graph
+        if len(self._contacts) > self.maxsize:
+            self._contacts.popitem(last=False)
+        return graph
 
 
 @dataclass(frozen=True)

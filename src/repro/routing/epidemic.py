@@ -18,6 +18,7 @@ import math
 
 import numpy as np
 
+from repro.geometry.grid import DENSE_THRESHOLD
 from repro.mobility.base import MobilityModel
 from repro.routing.base import (
     ContactProcessConfig,
@@ -67,6 +68,19 @@ class _ContactSimulation:
         """Mask of carriers allowed to hand the packet on (scheme-specific)."""
         raise NotImplementedError
 
+    @property
+    def _sparse(self) -> bool:
+        """Run ticks on CSR contact graphs instead of dense matrices?
+
+        The switch mirrors the snapshot pipeline's: below the dense
+        threshold the historical dense code runs unchanged; above it a
+        tick costs O(contacts), never ``(n, n)``.  Both paths see the same
+        boundary-inclusive contact predicate and produce candidate arrays
+        in the same ascending order, so the rng draw stream (and therefore
+        every outcome) is identical either way.
+        """
+        return self.mobility.n_nodes >= DENSE_THRESHOLD
+
     def deliver(self, source: int, destination: int, start_time: float = 0.0) -> RoutingOutcome:
         """Inject a message at *source* and simulate until delivery/deadline."""
         n = self.mobility.n_nodes
@@ -75,17 +89,23 @@ class _ContactSimulation:
         if source == destination:
             return RoutingOutcome(source, destination, True, 0.0, 1, 0)
         cfg = self.config
+        sparse = self._sparse
         carriers = np.zeros(n, dtype=bool)
         carriers[source] = True
         contacts = 0
         t = start_time
         end = min(start_time + cfg.deadline, self.mobility.horizon)
         while t <= end + 1e-9:
-            dist = self.dist_cache.at(t)
             forwarders = self._forwarders(carriers, source)
-            in_contact = (dist <= cfg.contact_range) & forwarders[:, np.newaxis]
-            np.fill_diagonal(in_contact, False)
-            candidates = np.flatnonzero(in_contact.any(axis=0) & ~carriers)
+            if sparse:
+                graph = self.dist_cache.contacts_at(t, cfg.contact_range)
+                heard = np.unique(graph.gather_rows(np.flatnonzero(forwarders)))
+                candidates = heard[~carriers[heard]]
+            else:
+                dist = self.dist_cache.at(t)
+                in_contact = (dist <= cfg.contact_range) & forwarders[:, np.newaxis]
+                np.fill_diagonal(in_contact, False)
+                candidates = np.flatnonzero(in_contact.any(axis=0) & ~carriers)
             if candidates.size:
                 accept = self._may_copy(candidates.size)
                 newly = candidates[accept]
@@ -140,23 +160,34 @@ class TwoHopRelayRouting(_ContactSimulation):
         if source == destination:
             return RoutingOutcome(source, destination, True, 0.0, 1, 0)
         cfg = self.config
+        sparse = self._sparse
         carriers = np.zeros(n, dtype=bool)
         carriers[source] = True
         contacts = 0
         t = start_time
         end = min(start_time + cfg.deadline, self.mobility.horizon)
         while t <= end + 1e-9:
-            within = self.dist_cache.at(t) <= cfg.contact_range
+            if sparse:
+                graph = self.dist_cache.contacts_at(t, cfg.contact_range)
+                near_dest = graph.row(destination)
+                dest_hears_carrier = bool(carriers[near_dest].any())
+                near_source = graph.row(source)
+                candidates = near_source[~carriers[near_source]]
+            else:
+                within = self.dist_cache.at(t) <= cfg.contact_range
+                dest_hears_carrier = bool(
+                    (within[destination] & carriers)[np.arange(n) != destination].any()
+                )
+                candidates = np.flatnonzero(within[source] & ~carriers)
+                candidates = candidates[candidates != source]
             # any carrier (source or relay) in contact with the destination
-            if (within[destination] & carriers)[np.arange(n) != destination].any():
+            if dest_hears_carrier:
                 carriers[destination] = True
                 return RoutingOutcome(
                     source, destination, True, t - start_time,
                     int(carriers.sum()), contacts + 1,
                 )
             # source recruits new relays
-            candidates = np.flatnonzero(within[source] & ~carriers)
-            candidates = candidates[candidates != source]
             if candidates.size:
                 accept = self._may_copy(candidates.size)
                 newly = candidates[accept]

@@ -23,6 +23,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.geometry.csr import csr_bfs
 from repro.sim.world import NetworkWorld
 
 __all__ = ["FloodResult", "directed_bfs", "flood"]
@@ -102,8 +103,12 @@ def flood(
             version = max(complete, default=max(available, default=None))
         world.redecide_all(version=version)
     snap = world.snapshot()
-    adjacency = snap.effective_directed(pn_mode)
-    reached = directed_bfs(adjacency, source)
+    if snap.prefers_dense:
+        reached = directed_bfs(snap.effective_directed(pn_mode), source)
+    else:
+        # Sparse-first at scale: CSR frontier expansion over the effective
+        # delivery graph — O(edges) per probe, no (n, n) allocation.
+        reached = csr_bfs(snap.effective_directed_csr(pn_mode), source)
     transmissions = int(reached.sum())
     world.channel.stats.data_transmissions += transmissions
     return FloodResult(source=source, reached=reached, transmissions=transmissions)

@@ -58,14 +58,15 @@ class SimulationTrace:
         return int(self.positions.shape[1]) if self.n_samples else 0
 
     def snapshot(self, index: int) -> WorldSnapshot:
-        """Reconstruct the :class:`WorldSnapshot` of sample *index*."""
-        pos = self.positions[index]
-        diff = pos[:, np.newaxis, :] - pos[np.newaxis, :, :]
-        dist = np.sqrt(np.einsum("ijk,ijk->ij", diff, diff))
+        """Reconstruct the :class:`WorldSnapshot` of sample *index*.
+
+        Distances are left to the snapshot's lazy ``dist`` property (the
+        same bit-identical pairwise kernel), so reconstructing a sample
+        only pays for the matrices a consumer actually touches.
+        """
         return WorldSnapshot(
             time=float(self.times[index]),
-            positions=pos,
-            dist=dist,
+            positions=self.positions[index],
             logical=self.logical[index],
             actual_ranges=self.actual_ranges[index],
             extended_ranges=self.extended_ranges[index],

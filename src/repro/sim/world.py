@@ -18,7 +18,7 @@ them through Hello messages.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import os
 
 import numpy as np
 
@@ -27,7 +27,10 @@ from repro.core.tables import NeighborTable
 from repro.core.views import Hello
 from repro.faults.inject import FaultInjector
 from repro.faults.schedule import FaultSchedule
-from repro.geometry.grid import GraphBackend
+from repro.geometry.csr import CSRGraph
+from repro.geometry.grid import DENSE_THRESHOLD, GraphBackend
+from repro.geometry.points import pairwise_distances
+from repro.geometry.sparse import IncrementalNeighborhoods, neighborhood_csr
 from repro.mobility.base import MobilityModel
 from repro.sim.clock import ClockSet
 from repro.sim.config import ScenarioConfig
@@ -35,20 +38,44 @@ from repro.sim.engine import Engine, PeriodicTimer
 from repro.sim.node import SimNode
 from repro.sim.radio import IdealChannel
 from repro.telemetry.core import NULL_TELEMETRY, Telemetry
-from repro.util.errors import ConfigurationError, ViewError
+from repro.util.errors import ConfigurationError, DenseMaterializationError, ViewError
 from repro.util.randomness import SeedSequenceFactory
 
-__all__ = ["NetworkWorld", "WorldSnapshot"]
+__all__ = ["NetworkWorld", "WorldSnapshot", "DENSE_MATERIALIZE_LIMIT", "SPARSE_SWITCH"]
 
 # Node count above which snapshot assembly scatters the logical matrix
 # from precollected index arrays; below it, per-element scalar writes are
 # faster (measured crossover ~400 at paper densities).
 _SCATTER_SWITCH = 400
 
+#: Largest snapshot for which the lazy dense ``dist`` / ``logical``
+#: properties will materialize an ``(n, n)`` matrix on demand.  Above it
+#: they raise :class:`~repro.util.errors.DenseMaterializationError`
+#: instead of silently allocating gigabytes (n=10k dist is ~800 MB).
+#: Overridable via the ``REPRO_DENSE_LIMIT`` environment variable; the
+#: scale smoke gate sets it *below* its node count so any dense fallback
+#: fails loudly.
+DENSE_MATERIALIZE_LIMIT = int(os.environ.get("REPRO_DENSE_LIMIT", "4096"))
 
-@dataclass(frozen=True)
+#: Node count at which ``World.snapshot`` switches from the eager dense
+#: construction (byte-for-byte the historical small-n path) to the
+#: sparse-first one (CSR eager, dense lazy).  Aligned with the geometry
+#: layer's dense/grid crossover.
+SPARSE_SWITCH = DENSE_THRESHOLD
+
+
 class WorldSnapshot:
     """Frozen view of the network at one instant.
+
+    Below :data:`SPARSE_SWITCH` nodes this behaves exactly as it always
+    did: ``dist`` and ``logical`` are plain dense arrays.  At scale the
+    snapshot is *sparse-first*: adjacency lives in CSR neighbor lists
+    (:meth:`logical_csr`, :meth:`in_range_csr`, ...) and the dense
+    matrices become lazy properties guarded by
+    :data:`DENSE_MATERIALIZE_LIMIT` — consumers that genuinely need
+    ``(n, n)`` arrays still work mid-scale, while anything that would
+    allocate gigabytes raises
+    :class:`~repro.util.errors.DenseMaterializationError`.
 
     Attributes
     ----------
@@ -57,27 +84,110 @@ class WorldSnapshot:
     positions:
         True ``(n, 2)`` node positions.
     dist:
-        ``(n, n)`` true pairwise distances.
+        ``(n, n)`` true pairwise distances (lazy property at scale).
     logical:
-        ``(n, n)`` boolean; ``logical[u, v]`` iff v is in u's logical set.
+        ``(n, n)`` boolean; ``logical[u, v]`` iff v is in u's logical set
+        (lazy property at scale).
     actual_ranges / extended_ranges:
         Per-node ranges currently in force.
     normal_range:
         The scenario's normal transmission range.
     """
 
-    time: float
-    positions: np.ndarray
-    dist: np.ndarray
-    logical: np.ndarray
-    actual_ranges: np.ndarray
-    extended_ranges: np.ndarray
-    normal_range: float
+    __slots__ = (
+        "time",
+        "positions",
+        "actual_ranges",
+        "extended_ranges",
+        "normal_range",
+        "_dist",
+        "_logical",
+        "_logical_csr",
+        "_backend",
+        "_neighbor_source",
+        "_cache",
+    )
+
+    def __init__(
+        self,
+        time: float,
+        positions: np.ndarray,
+        dist: np.ndarray | None = None,
+        logical: np.ndarray | None = None,
+        actual_ranges: np.ndarray | None = None,
+        extended_ranges: np.ndarray | None = None,
+        normal_range: float = 0.0,
+        *,
+        logical_csr: CSRGraph | None = None,
+        backend: GraphBackend | None = None,
+        neighbor_source=None,
+    ) -> None:
+        self.time = time
+        self.positions = np.asarray(positions, dtype=np.float64)
+        n = self.positions.shape[0]
+        self.actual_ranges = (
+            np.zeros(n) if actual_ranges is None else np.asarray(actual_ranges)
+        )
+        self.extended_ranges = (
+            np.zeros(n) if extended_ranges is None else np.asarray(extended_ranges)
+        )
+        self.normal_range = float(normal_range)
+        if logical is None and logical_csr is None:
+            raise ValueError("WorldSnapshot needs logical or logical_csr")
+        self._dist = dist
+        self._logical = logical
+        self._logical_csr = logical_csr
+        self._backend = backend
+        #: optional callable ``radius -> CSRGraph`` (the world's
+        #: incremental builder); otherwise neighborhoods build fresh.
+        self._neighbor_source = neighbor_source
+        self._cache: dict = {}
 
     @property
     def n_nodes(self) -> int:
         """Number of nodes in the snapshot."""
         return self.positions.shape[0]
+
+    @property
+    def prefers_dense(self) -> bool:
+        """True when the dense code paths are the right (cheap) choice.
+
+        Consumers dispatch on this: dense whenever the matrix is already
+        in hand or the snapshot is small, sparse otherwise.
+        """
+        return self._dist is not None or self.n_nodes < SPARSE_SWITCH
+
+    def _guard_dense(self, name: str) -> None:
+        n = self.n_nodes
+        if n > DENSE_MATERIALIZE_LIMIT:
+            raise DenseMaterializationError(
+                f"materializing WorldSnapshot.{name} would allocate an "
+                f"({n}, {n}) matrix (limit {DENSE_MATERIALIZE_LIMIT} nodes; "
+                f"set REPRO_DENSE_LIMIT to raise it, or use the sparse "
+                f"CSR API: logical_csr / in_range_csr / effective_*_csr)"
+            )
+
+    @property
+    def dist(self) -> np.ndarray:
+        """``(n, n)`` true pairwise distances (materialized lazily)."""
+        if self._dist is None:
+            self._guard_dense("dist")
+            if self._backend is not None:
+                self._dist = self._backend.distances()
+            else:
+                self._dist = pairwise_distances(self.positions)
+        return self._dist
+
+    @property
+    def logical(self) -> np.ndarray:
+        """``(n, n)`` boolean logical-selection matrix (lazy at scale)."""
+        if self._logical is None:
+            self._guard_dense("logical")
+            self._logical = self._logical_csr.to_dense()
+        return self._logical
+
+    # ------------------------------------------------------------------ #
+    # dense API (unchanged semantics; raises above the limit at scale)
 
     def in_range(self) -> np.ndarray:
         """``(n, n)`` boolean: v hears u's transmissions (directed)."""
@@ -109,11 +219,81 @@ class WorldSnapshot:
 
     def logical_degrees(self) -> np.ndarray:
         """Per-node logical neighbor count."""
-        return self.logical.sum(axis=1)
+        if self._logical is not None:
+            return self._logical.sum(axis=1)
+        return self._logical_csr.degrees()
 
     def physical_degrees(self) -> np.ndarray:
         """Per-node count of nodes inside the *extended* range."""
-        return self.in_range().sum(axis=1)
+        if self.prefers_dense:
+            return self.in_range().sum(axis=1)
+        return self.in_range_csr().degrees()
+
+    # ------------------------------------------------------------------ #
+    # sparse API — never allocates anything (n, n); bit-identical edge
+    # sets and distances to the dense constructions above
+
+    def pair_distance(self, u: int, v: int) -> float:
+        """True distance between two nodes, without the full matrix."""
+        if self._dist is not None:
+            return float(self._dist[u, v])
+        dx = self.positions[u, 0] - self.positions[v, 0]
+        dy = self.positions[u, 1] - self.positions[v, 1]
+        return float(np.sqrt(dx * dx + dy * dy))
+
+    @property
+    def logical_csr(self) -> CSRGraph:
+        """CSR form of the logical-selection adjacency."""
+        if self._logical_csr is None:
+            self._logical_csr = CSRGraph.from_dense(self._logical)
+        return self._logical_csr
+
+    def neighbor_csr(self, radius: float) -> CSRGraph:
+        """Edge-weighted unit-disk CSR at *radius* (cached per radius)."""
+        key = float(radius)
+        cached = self._cache.get(key)
+        if cached is None:
+            if self._neighbor_source is not None:
+                cached = self._neighbor_source(key)
+            else:
+                if self._backend is None:
+                    self._backend = GraphBackend(self.positions, dist=self._dist)
+                cached = neighborhood_csr(self.positions, key, backend=self._backend)
+            self._cache[key] = cached
+        return cached
+
+    def in_range_csr(self) -> CSRGraph:
+        """CSR form of :meth:`in_range` (per-row extended-range filter)."""
+        cached = self._cache.get("in_range")
+        if cached is None:
+            if self.n_nodes == 0:
+                cached = CSRGraph.empty(0)
+            else:
+                reach = self.neighbor_csr(float(self.extended_ranges.max()))
+                cached = reach.filter_row_radius(self.extended_ranges)
+            self._cache["in_range"] = cached
+        return cached
+
+    def effective_directed_csr(self, physical_neighbor_mode: bool = False) -> CSRGraph:
+        """CSR form of :meth:`effective_directed`."""
+        key = ("effective", bool(physical_neighbor_mode))
+        cached = self._cache.get(key)
+        if cached is None:
+            cached = self.in_range_csr()
+            if not physical_neighbor_mode:
+                cached = cached.intersect(self.logical_csr)
+            self._cache[key] = cached
+        return cached
+
+    def effective_bidirectional_csr(
+        self, physical_neighbor_mode: bool = False
+    ) -> CSRGraph:
+        """CSR form of :meth:`effective_bidirectional`."""
+        return self.effective_directed_csr(physical_neighbor_mode).mutual()
+
+    def original_csr(self) -> CSRGraph:
+        """CSR form of :meth:`original_topology`."""
+        return self.neighbor_csr(self.normal_range)
 
 
 class NetworkWorld:
@@ -227,6 +407,10 @@ class NetworkWorld:
         # GraphBackend (lazy dense distance matrix below the threshold,
         # grid index at scale) instead of recomputing the geometry each.
         self._geometry_memo: tuple[float, np.ndarray, GraphBackend] | None = None
+        # One incremental CSR builder per quantized radius: between Hello
+        # generations only nodes whose 3x3 grid-cell neighborhood changed
+        # re-enter the geometry kernel (dirty-region recomputation).
+        self._neighbor_builders: dict[float, IncrementalNeighborhoods] = {}
         self._setup_hello_schedule()
 
     # ------------------------------------------------------------------ #
@@ -256,6 +440,43 @@ class NetworkWorld:
             memo = (t, positions, GraphBackend(positions))
             self._geometry_memo = memo
         return memo[1], memo[2]
+
+    def _sparse_neighbors(self, t: float, radius: float) -> CSRGraph:
+        """Unit-disk CSR at *radius* and time *t*, incrementally rebuilt.
+
+        The incremental builders are keyed by a radius *quantized up* to a
+        multiple of the normal range: the per-generation query radius
+        (``extended_ranges.max()``) drifts tick to tick, but its quantum is
+        stable, so the dirty-region diff stays valid across generations.
+        Filtering the quantized graph down to *radius* is exact — edge
+        distances depend only on the endpoint coordinates, never on the
+        build radius.
+        """
+        positions, backend = self._geometry(t)
+        nr = self.config.normal_range
+        if radius <= 0 or not np.isfinite(radius) or nr <= 0 or not np.isfinite(nr):
+            return neighborhood_csr(positions, radius, backend=backend)
+        rq = nr * max(1.0, np.ceil(radius / nr))
+        while rq < radius:  # float-quotient rounding guard
+            rq += nr
+        builder = self._neighbor_builders.setdefault(rq, IncrementalNeighborhoods())
+        graph = builder.csr(positions, rq, backend=backend)
+        if radius == rq:
+            return graph
+        return graph.select(graph.data <= radius)
+
+    def neighbor_stats(self) -> dict[str, int]:
+        """Aggregate incremental-rebuild counters across all builders."""
+        totals = {
+            "full_rebuilds": 0,
+            "incremental_updates": 0,
+            "reused_rows": 0,
+            "recomputed_rows": 0,
+        }
+        for builder in self._neighbor_builders.values():
+            for key in totals:
+                totals[key] += getattr(builder, key)
+        return totals
 
     # ------------------------------------------------------------------ #
     # Hello protocol
@@ -635,13 +856,14 @@ class NetworkWorld:
     def _snapshot_impl(self, now: float) -> WorldSnapshot:
         n = self.config.n_nodes
         positions, backend = self._geometry(now)
-        dist = backend.distances()
-        logical = np.zeros((n, n), dtype=bool)
         actual = np.zeros(n)
         extended = np.zeros(n)
+        sparse_first = n >= SPARSE_SWITCH
         if n >= _SCATTER_SWITCH:
             # One fancy-indexed scatter from precollected (owner, count,
-            # neighbor) index arrays replaces n small per-node writes.
+            # neighbor) index arrays replaces n small per-node writes.  At
+            # and above the sparse switch, the same index arrays become the
+            # CSR logical adjacency directly — no (n, n) allocation.
             ids: list[int] = []
             counts: list[int] = []
             cols: list[int] = []
@@ -658,11 +880,31 @@ class NetworkWorld:
                     cols_extend(neighbors)
                 actual[i] = decision.actual_range
                 extended[i] = decision.extended_range
+            if sparse_first:
+                # logical_neighbors is a frozenset: rows arrive grouped but
+                # columns unordered, so from_edges' stable sort applies.
+                logical_csr = (
+                    CSRGraph.from_edges(np.repeat(ids, counts), np.asarray(cols), n)
+                    if ids
+                    else CSRGraph.empty(n)
+                )
+                return WorldSnapshot(
+                    time=now,
+                    positions=positions,
+                    logical_csr=logical_csr,
+                    actual_ranges=actual,
+                    extended_ranges=extended,
+                    normal_range=self.config.normal_range,
+                    backend=backend,
+                    neighbor_source=lambda r, _t=now: self._sparse_neighbors(_t, r),
+                )
+            logical = np.zeros((n, n), dtype=bool)
             if ids:
                 logical[np.repeat(ids, counts), cols] = True
         else:
             # Below the crossover the per-element scalar writes beat the
             # index-list build; neighbor sets are only a handful wide.
+            logical = np.zeros((n, n), dtype=bool)
             for node in self.nodes:
                 decision = node.decision
                 if decision is None:
@@ -676,9 +918,11 @@ class NetworkWorld:
         return WorldSnapshot(
             time=now,
             positions=positions,
-            dist=dist,
+            dist=backend.distances(),
             logical=logical,
             actual_ranges=actual,
             extended_ranges=extended,
             normal_range=self.config.normal_range,
+            backend=backend,
+            neighbor_source=lambda r, _t=now: self._sparse_neighbors(_t, r),
         )

@@ -2,6 +2,7 @@
 
 from repro.util.errors import (
     ConfigurationError,
+    DenseMaterializationError,
     ProtocolError,
     ReproError,
     ScheduleError,
@@ -25,6 +26,7 @@ __all__ = [
     "ScheduleError",
     "ProtocolError",
     "ViewError",
+    "DenseMaterializationError",
     "SeedSequenceFactory",
     "require",
     "check_positive",

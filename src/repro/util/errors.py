@@ -14,6 +14,7 @@ __all__ = [
     "ScheduleError",
     "ProtocolError",
     "ViewError",
+    "DenseMaterializationError",
     "WorkUnitError",
     "UnitTimeoutError",
     "OrchestrationError",
@@ -42,6 +43,17 @@ class ProtocolError(ReproError, RuntimeError):
 
 class ViewError(ReproError, RuntimeError):
     """A local view was queried for information it does not hold."""
+
+
+class DenseMaterializationError(ReproError, RuntimeError):
+    """A lazy dense ``(n, n)`` matrix was requested above the size limit.
+
+    Raised by :class:`repro.sim.world.WorldSnapshot` when code asks for
+    ``dist`` / ``logical`` on a snapshot larger than
+    ``DENSE_MATERIALIZE_LIMIT`` nodes — the guard that turns an accidental
+    multi-gigabyte allocation at scale into an explicit error pointing at
+    the sparse API.
+    """
 
 
 class WorkUnitError(ReproError, RuntimeError):
