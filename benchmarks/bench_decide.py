@@ -160,6 +160,60 @@ def bench_rng_kernel(m: int, seed: int = 11) -> dict:
     }
 
 
+def bench_hello_pipeline(n: int, seed: int = 7, warm_t: float = 3.0) -> dict:
+    """Warmup wall time of the batched Hello pipeline vs the scalar route.
+
+    Both worlds run identical scenarios; their channel counters and
+    per-node neighbor-table state are asserted identical before any
+    timing is reported (the twin-world contract
+    ``tests/test_property_hello_batch.py`` proves exhaustively).
+    """
+    scale = Scale(
+        name="bench-hello",
+        n_nodes=n,
+        area_side=_side(n),
+        duration=warm_t + 2.0,
+        sample_rate=1.0,
+        repetitions=1,
+    )
+    spec = ExperimentSpec(
+        protocol="rng",
+        mechanism="proactive",
+        mean_speed=20.0,
+        config=scale.config(),
+    )
+
+    def timed(pipeline: str):
+        world = build_world(spec, seed, hello_pipeline=pipeline)
+        t0 = time.perf_counter()
+        world.run_until(warm_t)
+        return world, time.perf_counter() - t0
+
+    batched, batched_s = timed("batched")
+    scalar, scalar_s = timed("scalar")
+    if batched.channel.stats.as_dict() != scalar.channel.stats.as_dict():
+        raise AssertionError(f"batched pipeline changed channel stats at n={n}")
+    now = batched.engine.now
+    for nb, ns in zip(batched.nodes, scalar.nodes):
+        if nb.table.live_view_token(now)[1:] != ns.table.live_view_token(now)[1:]:
+            raise AssertionError(f"batched pipeline changed table state at n={n}")
+    oracle = batched.hello_pipeline_stats()
+    print(
+        f"hello_pipeline n={n:<5} scalar={scalar_s:7.2f} s   "
+        f"batched={batched_s:7.2f} s   {scalar_s / batched_s:6.1f}x   "
+        f"(rebuilds={oracle['oracle_rebuilds']}, "
+        f"queries={oracle['oracle_queries']}, "
+        f"slots={oracle['neighbor_slots']})"
+    )
+    return {
+        "n": n,
+        "scalar_warmup_s": round(scalar_s, 3),
+        "batched_warmup_s": round(batched_s, 3),
+        "speedup": round(scalar_s / batched_s, 2),
+        **oracle,
+    }
+
+
 SCALE_SIZES = (2000, 5000, 10000)
 
 
@@ -220,9 +274,13 @@ def run_benchmark(smoke: bool = False) -> dict:
     redecide_sizes = (25,) if smoke else (50, 100)
     kernel_sizes = (16,) if smoke else (25, 50, 100)
     scale_sizes = () if smoke else SCALE_SIZES
+    # The smoke row still exercises the full batched pipeline (oracle,
+    # columnar splice, coalesced delivery) and its identity assertions.
+    hello_sizes = (300,) if smoke else (1000, 2000)
     results = {
         "redecide_all": {str(n): bench_redecide(n) for n in redecide_sizes},
         "rng_kernel": {str(m): bench_rng_kernel(m) for m in kernel_sizes},
+        "hello_pipeline": {str(n): bench_hello_pipeline(n) for n in hello_sizes},
         "scale_pipeline": {str(n): bench_scale_pipeline(n) for n in scale_sizes},
     }
     return {
@@ -233,6 +291,7 @@ def run_benchmark(smoke: bool = False) -> dict:
             "smoke": smoke,
             "redecide_sizes": list(redecide_sizes),
             "kernel_sizes": list(kernel_sizes),
+            "hello_sizes": list(hello_sizes),
             "scale_sizes": list(scale_sizes),
         },
         "results": results,

@@ -217,13 +217,20 @@ def build_world(
     seed: int,
     faults: "FaultSchedule | None" = None,
     telemetry: "Telemetry | None" = None,
+    hello_pipeline: str = "auto",
 ) -> NetworkWorld:
     """Construct the fully wired world for one repetition."""
     seeds = SeedSequenceFactory(seed)
     mobility = build_mobility(spec, seeds.rng("mobility"))
     manager = build_manager(spec)
     return NetworkWorld(
-        spec.config, mobility, manager, seed=seed, faults=faults, telemetry=telemetry
+        spec.config,
+        mobility,
+        manager,
+        seed=seed,
+        faults=faults,
+        telemetry=telemetry,
+        hello_pipeline=hello_pipeline,
     )
 
 

@@ -1,0 +1,298 @@
+"""World-level columnar neighbor state (struct-of-arrays Hello storage).
+
+The scalar pipeline keeps one :class:`~repro.core.tables.NeighborTable`
+per node, each holding per-sender ``deque[Hello]`` histories — perfectly
+fine at paper scale, but at 10k nodes a single Hello generation performs
+hundreds of thousands of Python-level deque appends and Hello allocations.
+:class:`NeighborState` stores the same information *columnar*: one flat
+NumPy ring buffer of shape ``(slots, k)`` per field (version / x / y /
+sent_at / local timestamp), where a *slot* is one (receiver, sender) pair
+and ``k`` is the retained history depth.  A batched Hello delivery then
+updates every receiver of one transmission with a single vectorized splice
+(`record_batch`), instead of per-receiver Python calls.
+
+Semantics are bit-identical to the scalar tables:
+
+- per-receiver sender *insertion order* is preserved (an insertion-ordered
+  ``dict[sender -> slot]`` directory per receiver), which is what keeps
+  ``live_view_token`` orderings and view dict iteration identical;
+- per-pair histories are bounded rings of depth ``k`` (oldest evicted),
+  the exact ``deque(maxlen=k)`` behaviour;
+- ``mutations`` / ``hellos_received`` counters live in flat per-node
+  arrays and follow the same increment rules as the scalar tables.
+
+Hello objects are *materialised on read* (and memoised per slot until the
+slot is written again); :class:`~repro.core.views.Hello` is a frozen value
+type, so a materialised copy compares equal to the original in every view
+and fingerprint.
+
+The per-node facade over this storage is
+:class:`~repro.core.tables.ColumnarNeighborTable`; the batched delivery
+path that feeds it lives in :mod:`repro.sim.world`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.views import Hello
+from repro.util.validate import check_int_range
+
+__all__ = ["NeighborState"]
+
+_EMPTY_F = np.empty(0, dtype=np.float64)
+
+
+class NeighborState:
+    """Columnar Hello storage for all (receiver, sender) pairs of a world.
+
+    Parameters
+    ----------
+    n_nodes:
+        Number of nodes (receivers) served.
+    history_depth:
+        Retained Hellos per (receiver, sender) pair (``k`` of Theorem 3).
+    """
+
+    __slots__ = (
+        "n_nodes",
+        "k",
+        "mutations",
+        "hellos_received",
+        "_directory",
+        "_version",
+        "_x",
+        "_y",
+        "_sent",
+        "_ts",
+        "_writes",
+        "_latest_sent",
+        "_slot_sender",
+        "_n_slots",
+        "_slot_cache",
+        "_memo",
+    )
+
+    def __init__(self, n_nodes: int, history_depth: int) -> None:
+        self.n_nodes = check_int_range("n_nodes", n_nodes, 1)
+        self.k = check_int_range("history_depth", history_depth, 1)
+        self.mutations = np.zeros(n_nodes, dtype=np.int64)
+        self.hellos_received = np.zeros(n_nodes, dtype=np.int64)
+        #: per-receiver ``{sender: slot}``; dict insertion order *is* the
+        #: scalar tables' record order, which the view tokens depend on.
+        self._directory: list[dict[int, int]] = [{} for _ in range(n_nodes)]
+        cap = 1024
+        k = self.k
+        self._version = np.zeros((cap, k), dtype=np.int64)
+        self._x = np.zeros((cap, k), dtype=np.float64)
+        self._y = np.zeros((cap, k), dtype=np.float64)
+        self._sent = np.zeros((cap, k), dtype=np.float64)
+        self._ts = np.zeros((cap, k), dtype=np.float64)
+        #: total writes per slot; ring head = writes % k, fill = min(writes, k)
+        self._writes = np.zeros(cap, dtype=np.int64)
+        #: sent_at of the newest entry per slot (freshness / expiry checks)
+        self._latest_sent = np.full(cap, -np.inf, dtype=np.float64)
+        self._slot_sender = np.zeros(cap, dtype=np.int64)
+        self._n_slots = 0
+        #: per-sender ``(receivers, slots)`` fast path: consecutive Hello
+        #: generations usually reach the same receiver set, so the slot
+        #: gather is one ``array_equal`` instead of a per-receiver dict walk.
+        self._slot_cache: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        #: per-slot materialisation memo: ``slot -> (writes, tuple[Hello])``
+        self._memo: dict[int, tuple[int, tuple[Hello, ...]]] = {}
+
+    # ------------------------------------------------------------------ #
+    # storage management
+
+    def _grow(self, need: int) -> None:
+        cap = self._version.shape[0]
+        new_cap = cap
+        while new_cap < need:
+            new_cap *= 2
+        if new_cap == cap:
+            return
+        for name in ("_version", "_x", "_y", "_sent", "_ts"):
+            old = getattr(self, name)
+            fresh = np.zeros((new_cap, self.k), dtype=old.dtype)
+            fresh[:cap] = old
+            setattr(self, name, fresh)
+        for name, fill in (
+            ("_writes", 0),
+            ("_slot_sender", 0),
+            ("_latest_sent", -np.inf),
+        ):
+            old = getattr(self, name)
+            fresh = np.full(new_cap, fill, dtype=old.dtype)
+            fresh[:cap] = old
+            setattr(self, name, fresh)
+
+    def _alloc_slot(self, sender: int) -> int:
+        slot = self._n_slots
+        if slot >= self._version.shape[0]:
+            self._grow(slot + 1)
+        self._n_slots = slot + 1
+        self._slot_sender[slot] = sender
+        return slot
+
+    def _slots_for(self, sender: int, receivers: np.ndarray) -> np.ndarray:
+        slots = np.empty(receivers.size, dtype=np.intp)
+        directory = self._directory
+        for i, rid in enumerate(receivers.tolist()):
+            d = directory[rid]
+            slot = d.get(sender)
+            if slot is None:
+                slot = self._alloc_slot(sender)
+                d[sender] = slot
+            slots[i] = slot
+        return slots
+
+    # ------------------------------------------------------------------ #
+    # writes
+
+    def record_batch(self, hello: Hello, receivers: np.ndarray) -> None:
+        """Record one Hello at every receiver in one vectorized splice.
+
+        *receivers* must be unique node indices (the radio's surviving
+        receiver array).  Equivalent to ``table.record_hello(hello)`` at
+        each receiver, in array order.
+        """
+        if receivers.size == 0:
+            return
+        sender = hello.sender
+        cached = self._slot_cache.get(sender)
+        if (
+            cached is not None
+            and cached[0].size == receivers.size
+            and np.array_equal(cached[0], receivers)
+        ):
+            slots = cached[1]
+        else:
+            slots = self._slots_for(sender, receivers)
+            self._slot_cache[sender] = (receivers.copy(), slots)
+        pos = self._writes[slots] % self.k
+        self._version[slots, pos] = hello.version
+        self._x[slots, pos] = hello.position[0]
+        self._y[slots, pos] = hello.position[1]
+        self._sent[slots, pos] = hello.sent_at
+        self._ts[slots, pos] = hello.timestamp
+        self._writes[slots] += 1
+        self._latest_sent[slots] = hello.sent_at
+        self.hellos_received[receivers] += 1
+        self.mutations[receivers] += 1
+
+    def record_one(self, receiver: int, hello: Hello) -> None:
+        """Scalar form of :meth:`record_batch` (single receiver)."""
+        d = self._directory[receiver]
+        sender = hello.sender
+        slot = d.get(sender)
+        if slot is None:
+            slot = self._alloc_slot(sender)
+            d[sender] = slot
+            self._slot_cache.pop(sender, None)
+        pos = int(self._writes[slot]) % self.k
+        self._version[slot, pos] = hello.version
+        self._x[slot, pos] = hello.position[0]
+        self._y[slot, pos] = hello.position[1]
+        self._sent[slot, pos] = hello.sent_at
+        self._ts[slot, pos] = hello.timestamp
+        self._writes[slot] += 1
+        self._latest_sent[slot] = hello.sent_at
+        self.hellos_received[receiver] += 1
+        self.mutations[receiver] += 1
+
+    def prune(self, receiver: int, now: float, expiry: float) -> bool:
+        """Drop *receiver*'s pairs not heard from within *expiry* seconds.
+
+        Returns True (and bumps the receiver's mutation counter once, the
+        scalar-table rule) when anything was dropped.  Dropped slots are
+        never reused; the per-sender slot caches touching them are
+        invalidated so a later Hello from the same sender starts a fresh
+        history, exactly like a fresh scalar deque.
+        """
+        d = self._directory[receiver]
+        if not d:
+            return False
+        latest = self._latest_sent
+        stale = [s for s, slot in d.items() if now - latest[slot] > expiry]
+        if not stale:
+            return False
+        for s in stale:
+            slot = d.pop(s)
+            self._memo.pop(slot, None)
+            self._slot_cache.pop(s, None)
+        self.mutations[receiver] += 1
+        return True
+
+    # ------------------------------------------------------------------ #
+    # reads (materialisation)
+
+    def _materialize(self, slot: int) -> tuple[Hello, ...]:
+        writes = int(self._writes[slot])
+        memo = self._memo.get(slot)
+        if memo is not None and memo[0] == writes:
+            return memo[1]
+        k = self.k
+        count = writes if writes < k else k
+        sender = int(self._slot_sender[slot])
+        version = self._version[slot]
+        x = self._x[slot]
+        y = self._y[slot]
+        sent = self._sent[slot]
+        ts = self._ts[slot]
+        hellos = tuple(
+            Hello(
+                sender=sender,
+                version=int(version[j]),
+                position=(float(x[j]), float(y[j])),
+                sent_at=float(sent[j]),
+                timestamp=float(ts[j]),
+            )
+            for j in ((writes - count + i) % k for i in range(count))
+        )
+        self._memo[slot] = (writes, hellos)
+        return hellos
+
+    def senders(self, receiver: int) -> list[int]:
+        """Sender ids recorded at *receiver*, in insertion order."""
+        return list(self._directory[receiver])
+
+    def history(self, receiver: int, sender: int) -> tuple[Hello, ...]:
+        """Retained Hellos of one (receiver, sender) pair, oldest first."""
+        slot = self._directory[receiver].get(sender)
+        return () if slot is None else self._materialize(slot)
+
+    def live_ids(self, receiver: int, now: float, expiry: float) -> tuple[int, ...]:
+        """Sender ids with a live (non-expired) Hello, insertion order."""
+        latest = self._latest_sent
+        return tuple(
+            s
+            for s, slot in self._directory[receiver].items()
+            if now - latest[slot] <= expiry
+        )
+
+    def latest_live(
+        self, receiver: int, now: float, expiry: float
+    ) -> dict[int, Hello]:
+        """Most recent live Hello per sender (insertion-ordered dict)."""
+        latest = self._latest_sent
+        out: dict[int, Hello] = {}
+        for s, slot in self._directory[receiver].items():
+            if now - latest[slot] <= expiry:
+                out[s] = self._materialize(slot)[-1]
+        return out
+
+    def live_histories(
+        self, receiver: int, now: float, expiry: float
+    ) -> dict[int, tuple[Hello, ...]]:
+        """Full retained history per live sender (insertion-ordered dict)."""
+        latest = self._latest_sent
+        out: dict[int, tuple[Hello, ...]] = {}
+        for s, slot in self._directory[receiver].items():
+            if now - latest[slot] <= expiry:
+                out[s] = self._materialize(slot)
+        return out
+
+    @property
+    def n_slots(self) -> int:
+        """Total (receiver, sender) pairs ever allocated (diagnostics)."""
+        return self._n_slots

@@ -19,7 +19,7 @@ from repro.core.views import Hello, LocalView, MultiVersionView
 from repro.util.errors import ViewError
 from repro.util.validate import check_int_range, check_positive
 
-__all__ = ["NeighborTable"]
+__all__ = ["NeighborTable", "ColumnarNeighborTable"]
 
 #: process-wide table identities for the decision-cache fingerprints
 _TABLE_UIDS = itertools.count()
@@ -228,6 +228,136 @@ class NeighborTable:
             owner=self.owner,
             own_hellos=own,
             neighbor_hellos=neighbors,
+            normal_range=self.normal_range,
+            sampled_at=now,
+        )
+
+
+class ColumnarNeighborTable(NeighborTable):
+    """Per-node facade over a world-level columnar :class:`NeighborState`.
+
+    Behaviourally identical to :class:`NeighborTable` — same tokens, same
+    views, same counter rules, same insertion orderings — but received
+    Hellos live in the shared struct-of-arrays storage
+    (:class:`~repro.core.neighbor_state.NeighborState`), which the batched
+    delivery pipeline updates with one vectorized splice per transmission
+    instead of one Python call per receiver.  The owner's *own*
+    advertisement history stays in this object (it is written once per
+    Hello, never per receiver).
+
+    Parameters are those of :class:`NeighborTable` plus *state*, the
+    shared columnar store; ``history_depth`` must match the store's.
+    """
+
+    def __init__(
+        self,
+        owner: int,
+        normal_range: float,
+        state,
+        history_depth: int = 3,
+        expiry: float = 2.5,
+    ) -> None:
+        if history_depth != state.k:
+            raise ViewError(
+                f"table history_depth={history_depth} does not match the "
+                f"columnar store's k={state.k}"
+            )
+        self._state = state
+        super().__init__(owner, normal_range, history_depth, expiry)
+
+    # -- counters live in the shared per-node arrays ------------------- #
+
+    @property
+    def hellos_received(self) -> int:  # type: ignore[override]
+        return int(self._state.hellos_received[self.owner])
+
+    @hellos_received.setter
+    def hellos_received(self, value: int) -> None:
+        self._state.hellos_received[self.owner] = value
+
+    @property
+    def mutations(self) -> int:  # type: ignore[override]
+        return int(self._state.mutations[self.owner])
+
+    @mutations.setter
+    def mutations(self, value: int) -> None:
+        self._state.mutations[self.owner] = value
+
+    # -- recording ------------------------------------------------------ #
+
+    def record_hello(self, hello: Hello) -> None:
+        """Scalar reception path (kept for API/test parity; the simulator
+        delivers through :meth:`NeighborState.record_batch` instead)."""
+        if hello.sender == self.owner:
+            raise ViewError("a node does not receive its own Hello")
+        self._state.record_one(self.owner, hello)
+
+    def prune(self, now: float) -> None:
+        self._state.prune(self.owner, now, self.expiry)
+
+    # -- introspection --------------------------------------------------- #
+
+    def known_neighbors(self, now: float | None = None) -> list[int]:
+        if now is None:
+            return sorted(self._state.senders(self.owner))
+        return sorted(self._state.live_ids(self.owner, now, self.expiry))
+
+    def history_of(self, neighbor: int) -> tuple[Hello, ...]:
+        return self._state.history(self.owner, neighbor)
+
+    # -- decision-cache tokens ------------------------------------------- #
+
+    def live_view_token(self, now: float) -> tuple:
+        return (
+            self.uid,
+            self.mutations,
+            self._state.live_ids(self.owner, now, self.expiry),
+        )
+
+    # -- view materialisation -------------------------------------------- #
+
+    def latest_view(self, now: float, own_hello: Hello) -> LocalView:
+        return LocalView(
+            owner=self.owner,
+            own_hello=own_hello,
+            neighbor_hellos=self._state.latest_live(self.owner, now, self.expiry),
+            normal_range=self.normal_range,
+            sampled_at=now,
+        )
+
+    def versioned_view(self, now: float, version: int) -> LocalView:
+        own = next((h for h in self._own if h.version == version), None)
+        if own is None:
+            raise ViewError(
+                f"node {self.owner} has not advertised version {version} yet"
+            )
+        state = self._state
+        neighbors: dict[int, Hello] = {}
+        for nid in state.senders(self.owner):
+            match = next(
+                (h for h in state.history(self.owner, nid) if h.version == version),
+                None,
+            )
+            if match is not None:
+                neighbors[nid] = match
+        return LocalView(
+            owner=self.owner,
+            own_hello=own,
+            neighbor_hellos=neighbors,
+            normal_range=self.normal_range,
+            sampled_at=now,
+        )
+
+    def multi_view(self, now: float, own_hello: Hello | None = None) -> MultiVersionView:
+        own = list(self._own)
+        if own_hello is not None:
+            own.append(own_hello)
+        if not own:
+            raise ViewError(f"node {self.owner} has no own position record")
+        return MultiVersionView(
+            owner=self.owner,
+            own_hellos=own,
+            neighbor_hellos=self._state.live_histories(self.owner, now, self.expiry),
             normal_range=self.normal_range,
             sampled_at=now,
         )

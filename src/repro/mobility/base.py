@@ -129,6 +129,26 @@ class TrajectorySet:
             t - row_times[idx]
         )
 
+    def positions_at(self, t: float, nodes: np.ndarray) -> np.ndarray:
+        """``(len(nodes), 2)`` positions of a node subset at time *t*.
+
+        Runs the exact per-element arithmetic of :meth:`positions` on the
+        selected rows only — ``positions_at(t, nodes)`` is bit-identical
+        to ``positions(t)[nodes]`` — so subset evaluation (e.g. exact
+        receiver filtering in the batched Hello pipeline) never pays the
+        full ``(n, k)`` leg scan.
+        """
+        t = float(np.clip(t, 0.0, self.horizon))
+        nodes = np.asarray(nodes, dtype=np.intp)
+        times = self.leg_times[nodes]
+        idx = (times <= t).sum(axis=1) - 1
+        idx = np.clip(idx, 0, times.shape[1] - 1)
+        rows = np.arange(nodes.shape[0])
+        t0 = times[rows, idx]
+        p0 = self.leg_points[nodes, idx]
+        v = self.leg_velocities[nodes, idx]
+        return p0 + v * (t - t0)[:, np.newaxis]
+
     def velocities(self, t: float) -> np.ndarray:
         """``(n, 2)`` instantaneous velocities at time *t*."""
         t = float(np.clip(t, 0.0, self.horizon))
@@ -174,6 +194,10 @@ class MobilityModel(ABC):
     def position(self, node: int, t: float) -> np.ndarray:
         """Position of one node at time *t*."""
         return self.trajectories.position(node, t)
+
+    def positions_at(self, t: float, nodes: np.ndarray) -> np.ndarray:
+        """Positions of a node subset at time *t* (``positions(t)[nodes]``)."""
+        return self.trajectories.positions_at(t, nodes)
 
     def max_speed(self) -> float:
         """Upper bound on any node's instantaneous speed, m/s."""

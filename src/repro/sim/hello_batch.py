@@ -1,0 +1,124 @@
+"""Receiver lookup for the batched Hello pipeline.
+
+The scalar emission path evaluates *all* node positions and builds a fresh
+:class:`~repro.geometry.grid.GraphBackend` at every distinct emission time
+— correct, but each sender jitters / clock-skews its own send instant, so
+the per-tick geometry memo never hits during warmup and receiver discovery
+degenerates to O(n) grid builds per Hello generation (the 10k warmup wall;
+see ``docs/PERFORMANCE.md``).
+
+:class:`HelloReceiverOracle` answers the same query — *who is within the
+normal range of sender i at time t?* — with a **stale grid plus an exact
+subset filter**:
+
+- a :class:`~repro.geometry.grid.GridIndex` is built over all positions at
+  some grid time ``t_g`` and reused while ``v_max * (t - t_g)`` stays
+  under a slack budget (``v_max`` is the provable trajectory speed bound);
+- a query at ``t`` asks the stale grid for candidates within
+  ``r + v_max * (t - t_g)`` — a guaranteed superset of the true receivers,
+  since no node can have moved further than ``v_max * (t - t_g)``;
+- the candidates' *true* positions at ``t`` are then evaluated with the
+  subset kernel :meth:`~repro.mobility.base.TrajectorySet.positions_at`
+  and filtered with the exact boundary-inclusive ``d <= r`` predicate.
+
+The distance kernel (:func:`~repro.geometry.points.distances_from`) and
+the position interpolation are elementwise, hence subset-stable: filtering
+a superset of candidates yields the *bit-identical* ascending receiver
+array the scalar ``IdealChannel.receivers`` path produces.  The i.i.d.
+loss model downstream consumes its RNG positionally, so identical arrays
+keep the whole run byte-identical.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.grid import GridIndex
+from repro.geometry.points import distances_from
+from repro.mobility.base import TrajectorySet
+
+__all__ = ["HelloReceiverOracle"]
+
+_EMPTY = np.empty(0, dtype=np.intp)
+
+
+class HelloReceiverOracle:
+    """Stale-grid receiver lookup over analytic trajectories.
+
+    Parameters
+    ----------
+    trajectories:
+        The compiled :class:`~repro.mobility.base.TrajectorySet`.
+    radius:
+        Transmission range of Hello broadcasts (the normal range).
+    slack_factor:
+        Fraction of *radius* the superset query may grow by before the
+        grid is rebuilt; ``v_max * (t - t_g) <= slack_factor * radius``
+        bounds the candidate overfetch.  0.5 keeps the query span at most
+        2 cells while rebuilding (for the paper's 20 m/s scenarios) only
+        every ``slack_factor * radius / v_max`` seconds.
+    """
+
+    __slots__ = (
+        "trajectories",
+        "radius",
+        "_slack",
+        "_vmax",
+        "_grid",
+        "_grid_t",
+        "rebuilds",
+        "queries",
+    )
+
+    def __init__(
+        self,
+        trajectories: TrajectorySet,
+        radius: float,
+        slack_factor: float = 0.5,
+    ) -> None:
+        self.trajectories = trajectories
+        self.radius = float(radius)
+        self._slack = float(slack_factor) * self.radius
+        self._vmax = trajectories.max_speed()
+        self._grid: GridIndex | None = None
+        self._grid_t = 0.0
+        self.rebuilds = 0
+        self.queries = 0
+
+    def node_position(self, node: int, t: float) -> np.ndarray:
+        """Exact position of one node at *t* (``positions(t)[node]``)."""
+        return self.trajectories.positions_at(t, np.array([node], dtype=np.intp))[0]
+
+    def positions_of(self, nodes: np.ndarray, t: float) -> np.ndarray:
+        """Exact positions of a node subset at *t* (``positions(t)[nodes]``)."""
+        return self.trajectories.positions_at(t, nodes)
+
+    def _ensure_grid(self, t: float) -> GridIndex:
+        grid = self._grid
+        if grid is not None and self._vmax * (t - self._grid_t) <= self._slack:
+            return grid
+        grid = GridIndex(self.trajectories.positions(t), cell_size=self.radius)
+        self._grid = grid
+        self._grid_t = t
+        self.rebuilds += 1
+        return grid
+
+    def receivers(self, sender: int, t: float, sender_pos: np.ndarray | None = None) -> np.ndarray:
+        """Ascending indices of nodes within *radius* of *sender* at *t*.
+
+        Bit-identical to ``IdealChannel.receivers(sender, positions(t),
+        radius)`` — same candidate superset guarantee, same exact
+        ``d <= radius`` filter, same ascending order, sender excluded.
+        """
+        if self.radius <= 0.0:
+            return _EMPTY
+        self.queries += 1
+        grid = self._ensure_grid(t)
+        p = self.node_position(sender, t) if sender_pos is None else sender_pos
+        extra = self._vmax * (t - self._grid_t)
+        cand = grid.neighbors_within(p, self.radius + extra)
+        if cand.size == 0:
+            return _EMPTY
+        d = distances_from(p, self.trajectories.positions_at(t, cand))
+        hit = cand[d <= self.radius]
+        return hit[hit != sender]

@@ -19,11 +19,13 @@ them through Hello messages.
 from __future__ import annotations
 
 import os
+from collections import deque
 
 import numpy as np
 
 from repro.core.manager import MobilitySensitiveTopologyControl
-from repro.core.tables import NeighborTable
+from repro.core.neighbor_state import NeighborState
+from repro.core.tables import ColumnarNeighborTable, NeighborTable
 from repro.core.views import Hello
 from repro.faults.inject import FaultInjector
 from repro.faults.schedule import FaultSchedule
@@ -35,6 +37,7 @@ from repro.mobility.base import MobilityModel
 from repro.sim.clock import ClockSet
 from repro.sim.config import ScenarioConfig
 from repro.sim.engine import Engine, PeriodicTimer
+from repro.sim.hello_batch import HelloReceiverOracle
 from repro.sim.node import SimNode
 from repro.sim.radio import IdealChannel
 from repro.telemetry.core import NULL_TELEMETRY, Telemetry
@@ -325,6 +328,19 @@ class NetworkWorld:
         (:data:`~repro.telemetry.NULL_TELEMETRY`) keeps every seam a
         single ``is None`` branch, the same zero-cost pattern as the
         fault seams.
+    hello_pipeline:
+        Hello delivery route: ``"auto"`` (default) uses the batched
+        generation-oriented pipeline — one engine event per Hello
+        carrying the receiver array, columnar neighbor state, stale-grid
+        receiver oracle — whenever no fault schedule is armed, and the
+        scalar per-receiver path otherwise; ``"scalar"`` forces the
+        historical per-receiver path; ``"batched"`` demands the batched
+        path and raises if faults are armed (per-receiver delivery-delay
+        and outage gating must stay event-accurate, so faults always
+        route scalar).  Both routes are bit-identical — same receiver
+        arrays, same RNG stream consumption, same table tokens, same
+        ``RunStats`` counters (proven by the
+        ``tests/test_property_hello_batch.py`` suite).
     """
 
     def __init__(
@@ -335,6 +351,7 @@ class NetworkWorld:
         seed: int = 0,
         faults: FaultSchedule | None = None,
         telemetry: Telemetry | None = None,
+        hello_pipeline: str = "auto",
     ) -> None:
         if mobility.n_nodes != config.n_nodes:
             raise ConfigurationError(
@@ -387,20 +404,65 @@ class NetworkWorld:
         self._jitter_rng = seeds.rng("hello-jitter")
         self._round_rng = seeds.rng("reactive-rounds")
         # Recent Hello transmissions for the optional collision model:
-        # (send time, sender id, sender position at send time).
-        self._recent_hellos: list[tuple[float, int, np.ndarray]] = []
-        self.nodes = [
-            SimNode(
-                node_id=i,
-                table=NeighborTable(
-                    owner=i,
-                    normal_range=config.normal_range,
-                    history_depth=config.history_depth,
-                    expiry=config.hello_expiry,
-                ),
+        # (send time, sender id, sender position at send time).  Appended
+        # in event order, so expiry pruning pops from the left.
+        self._recent_hellos: deque[tuple[float, int, np.ndarray]] = deque()
+        if hello_pipeline not in ("auto", "batched", "scalar"):
+            raise ConfigurationError(
+                f"hello_pipeline must be 'auto', 'batched' or 'scalar', "
+                f"got {hello_pipeline!r}"
             )
-            for i in range(config.n_nodes)
-        ]
+        if hello_pipeline == "batched" and self.fault_injector is not None:
+            raise ConfigurationError(
+                "hello_pipeline='batched' cannot be combined with an armed "
+                "fault schedule: per-receiver delivery gating must stay "
+                "event-accurate, so faulted runs always use the scalar path "
+                "(use 'auto' to get this dispatch automatically)"
+            )
+        self.hello_pipeline = hello_pipeline
+        # Batched route: only when faults are disarmed and the mobility
+        # model exposes compiled trajectories (the oracle's subset kernels
+        # need the analytic legs).
+        self._batched = hello_pipeline == "batched" or (
+            hello_pipeline == "auto"
+            and self.fault_injector is None
+            and hasattr(mobility, "trajectories")
+        )
+        if self._batched:
+            self._neighbor_state: NeighborState | None = NeighborState(
+                config.n_nodes, config.history_depth
+            )
+            self._oracle: HelloReceiverOracle | None = HelloReceiverOracle(
+                mobility.trajectories, config.normal_range
+            )
+            self.nodes = [
+                SimNode(
+                    node_id=i,
+                    table=ColumnarNeighborTable(
+                        owner=i,
+                        normal_range=config.normal_range,
+                        state=self._neighbor_state,
+                        history_depth=config.history_depth,
+                        expiry=config.hello_expiry,
+                    ),
+                )
+                for i in range(config.n_nodes)
+            ]
+        else:
+            self._neighbor_state = None
+            self._oracle = None
+            self.nodes = [
+                SimNode(
+                    node_id=i,
+                    table=NeighborTable(
+                        owner=i,
+                        normal_range=config.normal_range,
+                        history_depth=config.history_depth,
+                        expiry=config.hello_expiry,
+                    ),
+                )
+                for i in range(config.n_nodes)
+            ]
         # One (time, positions, backend) memo: every consumer of the same
         # tick — Hello emission, packet-time redecisions, snapshots,
         # repeated observers — shares a single mobility evaluation and one
@@ -534,6 +596,8 @@ class NetworkWorld:
     def _emit_hello_impl(
         self, node_id: int, version: int, tel: Telemetry | None
     ) -> Hello | None:
+        if self._batched:
+            return self._emit_hello_batched(node_id, version, tel)
         t = self.engine.now
         inj = self.fault_injector
         if inj is not None and inj.node_down(node_id, t):
@@ -554,7 +618,8 @@ class NetworkWorld:
         )
         node.table.record_own(hello)
         node.hellos_sent += 1
-        self.channel.stats.hello_messages += 1
+        stats = self.channel.stats
+        stats.hello_messages += 1
         receivers = self.channel.surviving_hello_receivers(
             self.channel.receivers(
                 node_id, all_positions, self.config.normal_range, backend=backend
@@ -563,7 +628,9 @@ class NetworkWorld:
             now=t,
         )
         if self.config.hello_tx_duration > 0.0:
-            receivers = self._drop_collided(t, node_id, pos, receivers, all_positions)
+            receivers = self._drop_collided(
+                t, node_id, pos, receivers, all_positions[receivers]
+            )
         if tel is not None:
             tel.count("hello_sent")
             tel.event(
@@ -571,32 +638,96 @@ class NetworkWorld:
                 receivers=int(receivers.size),
             )
         arrival = self.channel.arrival_time(t)
+        stats.deliveries += int(receivers.size)
+        schedule_at = self.engine.schedule_at
         if inj is None:
             if tel is None:
+                nodes = self.nodes
                 for rid in receivers:
-                    self.engine.schedule_at(
-                        arrival, self.nodes[int(rid)].table.record_hello, hello
-                    )
-                    self.channel.stats.deliveries += 1
+                    schedule_at(arrival, nodes[int(rid)].table.record_hello, hello)
             else:
                 # Armed path: route receptions through the traced recorder
                 # (same table call, plus a hello_received event).
+                record_traced = self._record_hello_traced
                 for rid in receivers:
-                    self.engine.schedule_at(
-                        arrival, self._record_hello_traced, int(rid), hello
-                    )
-                    self.channel.stats.deliveries += 1
+                    schedule_at(arrival, record_traced, int(rid), hello)
         else:
+            deliver = self._deliver_hello
+            delivery_delay = inj.delivery_delay
             for rid in receivers:
                 rid_i = int(rid)
-                self.engine.schedule_at(
-                    arrival + inj.delivery_delay(t, node_id, rid_i),
-                    self._deliver_hello,
+                schedule_at(
+                    arrival + delivery_delay(t, node_id, rid_i),
+                    deliver,
                     rid_i,
                     hello,
                 )
-                self.channel.stats.deliveries += 1
         return hello
+
+    def _emit_hello_batched(
+        self, node_id: int, version: int, tel: Telemetry | None
+    ) -> Hello:
+        """Batched emission: one coalesced engine event per Hello.
+
+        Bit-identical to the scalar route (faults are never armed here):
+        the oracle returns the exact ascending receiver array the
+        per-emission geometry build would, the loss RNG consumes draws in
+        the same positional order, and the single batch event fires at the
+        same ``(arrival, seq)`` rank the scalar per-receiver burst would
+        occupy, so reception order per (receiver, sender) is preserved.
+        """
+        t = self.engine.now
+        node = self.nodes[node_id]
+        oracle = self._oracle
+        memo = self._geometry_memo
+        pos = memo[1][node_id] if memo is not None and memo[0] == t else None
+        hello_pos = oracle.node_position(node_id, t) if pos is None else pos
+        hello = Hello(
+            sender=node_id,
+            version=version,
+            position=(float(hello_pos[0]), float(hello_pos[1])),
+            sent_at=t,
+            timestamp=self.clocks.local_time(node_id, t),
+        )
+        node.table.record_own(hello)
+        node.hellos_sent += 1
+        stats = self.channel.stats
+        stats.hello_messages += 1
+        receivers = self.channel.surviving_hello_receivers(
+            oracle.receivers(node_id, t, hello_pos), sender=node_id, now=t
+        )
+        if self.config.hello_tx_duration > 0.0:
+            receivers = self._drop_collided(
+                t, node_id, hello_pos, receivers,
+                oracle.positions_of(receivers, t),
+            )
+        if tel is not None:
+            tel.count("hello_sent")
+            tel.event(
+                "hello_sent", t=t, node=node_id, version=version,
+                receivers=int(receivers.size),
+            )
+        stats.deliveries += int(receivers.size)
+        if receivers.size:
+            self.engine.schedule_batch(
+                self.channel.arrival_time(t),
+                self._receive_hello_batch,
+                hello,
+                receivers,
+            )
+        return hello
+
+    def _receive_hello_batch(self, hello: Hello, receivers: np.ndarray) -> None:
+        """Record one Hello at every surviving receiver (one splice)."""
+        self._neighbor_state.record_batch(hello, receivers)
+        tel = self._tel
+        if tel is not None:
+            n = int(receivers.size)
+            tel.count("hello_received", n)
+            tel.event_batch(
+                "hello_received", n, t=self.engine.now,
+                sender=hello.sender, version=hello.version, count=n,
+            )
 
     def _record_hello_traced(self, receiver: int, hello: Hello) -> None:
         """Reception path while telemetry is armed (and no faults are)."""
@@ -643,7 +774,7 @@ class NetworkWorld:
         sender_id: int,
         sender_pos: np.ndarray,
         receivers: np.ndarray,
-        positions: np.ndarray,
+        receiver_positions: np.ndarray,
     ) -> np.ndarray:
         """Half-duplex collision model: a receiver inside the range of any
         *other* Hello still on the air loses this delivery.
@@ -654,10 +785,12 @@ class NetworkWorld:
         collision behaviour the paper's future work asks about.
         """
         window = self.config.hello_tx_duration
-        self._recent_hellos = [
-            entry for entry in self._recent_hellos if t - entry[0] <= window
-        ]
         recent = self._recent_hellos
+        # Entries arrive in event-time order, so everything outside the
+        # airtime window sits at the left end; an entry survives iff
+        # ``t - entry[0] <= window`` (boundary-inclusive).
+        while recent and t - recent[0][0] > window:
+            recent.popleft()
         if recent and receivers.size:
             # One broadcast distance check of all on-air senders against all
             # receivers replaces the per-receiver Python loop; np.hypot on
@@ -665,7 +798,7 @@ class NetworkWorld:
             # the scalar form ran per pair.
             on_air_ids = np.asarray([sid for (_, sid, _) in recent], dtype=np.intp)
             on_air_pos = np.asarray([spos for (_, _, spos) in recent], dtype=np.float64)
-            rpos = positions[receivers]
+            rpos = receiver_positions
             diff = on_air_pos[:, np.newaxis, :] - rpos[np.newaxis, :, :]
             in_range = (
                 np.hypot(diff[..., 0], diff[..., 1]) <= self.config.normal_range
@@ -726,6 +859,11 @@ class NetworkWorld:
                 t + offset, self._send_hello_reactive, node.node_id, round_index
             )
         decide_at = t + cfg.reactive_flood_delay + 2.0 * cfg.propagation_delay
+        if self._batched:
+            # Warm the per-tick geometry memo right before the synchronized
+            # round of decisions (they all share decide_at), so the batched
+            # per-node position route degenerates to memo hits.
+            self.engine.schedule_batch(decide_at, self._geometry, decide_at)
         for node in self.nodes:
             self.engine.schedule_at(
                 decide_at, self._decide_reactive, node.node_id, round_index
@@ -752,6 +890,22 @@ class NetworkWorld:
     # ------------------------------------------------------------------ #
     # decisions
 
+    def _node_position(self, node_id: int, t: float) -> np.ndarray:
+        """True position of one node at *t*, cheapest exact route.
+
+        Memo hit: the already-evaluated positions array.  Batched
+        pipeline: a single-row trajectory evaluation (bit-identical to
+        ``positions(t)[node_id]``), so per-emission decisions never force
+        an O(n) geometry build.  Scalar pipeline: the historical full
+        ``_geometry`` evaluation, which also warms the per-tick memo.
+        """
+        memo = self._geometry_memo
+        if memo is not None and memo[0] == t:
+            return memo[1][node_id]
+        if self._batched:
+            return self._oracle.node_position(node_id, t)
+        return self._geometry(t)[0][node_id]
+
     def decide_node(
         self,
         node_id: int,
@@ -764,7 +918,7 @@ class NetworkWorld:
         if current_hello is None:
             # The per-tick memo makes packet-time recomputation share one
             # vectorized mobility evaluation across all n redecisions.
-            pos = self._geometry(t)[0][node_id]
+            pos = self._node_position(node_id, t)
             current_hello = Hello(
                 sender=node_id,
                 version=node.next_version,
@@ -812,6 +966,10 @@ class NetworkWorld:
     def _redecide_all_impl(self, version: int | None) -> None:
         inj = self.fault_injector
         now = self.engine.now
+        # Warm the per-tick geometry memo once: every decide below shares
+        # the single vectorized mobility evaluation (in batched mode the
+        # per-node position route would otherwise run n single-row evals).
+        self._geometry(now)
         for node in self.nodes:
             if inj is not None and inj.node_down(node.node_id, now):
                 continue  # a crashed node forwards nothing and decides nothing
@@ -833,6 +991,16 @@ class NetworkWorld:
     def fault_stats(self) -> dict[str, int]:
         """Injected-fault counters (empty when no schedule is armed)."""
         return {} if self.fault_injector is None else self.fault_injector.as_dict()
+
+    def hello_pipeline_stats(self) -> dict[str, int]:
+        """Batched-pipeline counters (empty on the scalar route)."""
+        if not self._batched:
+            return {}
+        return {
+            "oracle_rebuilds": self._oracle.rebuilds,
+            "oracle_queries": self._oracle.queries,
+            "neighbor_slots": self._neighbor_state.n_slots,
+        }
 
     def snapshot(self, t: float | None = None) -> WorldSnapshot:
         """Freeze the effective topology at time *t* (default: now).

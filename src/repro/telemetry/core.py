@@ -225,6 +225,27 @@ class Telemetry:
             )
         )
 
+    def event_batch(
+        self, kind: str, tally: int, t: float, node: int | None = None, **data: object
+    ) -> None:
+        """Append one summarizing event standing for *tally* occurrences.
+
+        Per-kind totals (:meth:`EventLog.kind_counts`) advance by *tally*
+        exactly as if *tally* individual events had been appended; only the
+        single summary object is retained (the rest are accounted as
+        recorded-but-dropped).  The batched Hello pipeline uses this to
+        keep armed runs from paying a Python event call per receiver.
+        """
+        self.events.append(
+            TelemetryEvent(
+                kind=kind,
+                t=float(t),
+                node=node,
+                data=tuple(sorted(data.items())),
+            ),
+            tally=tally,
+        )
+
     def span(self, name: str) -> _Span:
         """Timing context for phase *name* (nests; monotonic clock)."""
         return _Span(self, name)
@@ -327,6 +348,11 @@ class NullTelemetry(Telemetry):
         """No-op."""
 
     def event(self, kind: str, t: float, node: int | None = None, **data: object) -> None:
+        """No-op."""
+
+    def event_batch(
+        self, kind: str, tally: int, t: float, node: int | None = None, **data: object
+    ) -> None:
         """No-op."""
 
     def absorb(self, summary: TelemetrySummary) -> None:

@@ -92,13 +92,26 @@ class EventLog:
         self.dropped = 0
         self._tally: _TallyCounter[str] = _TallyCounter()
 
-    def append(self, event: TelemetryEvent) -> None:
-        """Record one event (evicting the oldest when full)."""
+    def append(self, event: TelemetryEvent, tally: int = 1) -> None:
+        """Record one event (evicting the oldest when full).
+
+        *tally* > 1 records a single summarizing event object that stands
+        for that many occurrences: the per-kind tally (and therefore
+        :meth:`kind_counts`) advances by *tally*, while only one event is
+        retained — the other ``tally - 1`` count as recorded-but-not-
+        retained (``dropped``), the same accounting :meth:`absorb_counts`
+        uses for merged summaries.  This is what keeps the batched Hello
+        pipeline's ``hello_received`` kind totals exactly equal to the
+        scalar per-receiver path.
+        """
+        if tally < 1:
+            raise ValueError(f"tally must be >= 1, got {tally}")
         if len(self._events) == self.maxsize:
             self.dropped += 1
         self._events.append(event)
-        self.recorded += 1
-        self._tally[event.kind] += 1
+        self.recorded += tally
+        self.dropped += tally - 1
+        self._tally[event.kind] += tally
 
     def __len__(self) -> int:
         return len(self._events)

@@ -1,0 +1,351 @@
+"""Batched vs scalar Hello pipeline: the bit-identity contract.
+
+The batched pipeline (``hello_pipeline="batched"`` / the ``"auto"``
+dispatch) must be observationally indistinguishable from the historical
+scalar per-receiver path: same retained Hello histories, same table
+tokens, same channel counters, same RNG stream consumption — across
+consistency mechanisms, Hello loss, the collision model and clock
+jitter.  These tests build *twin worlds* from identical configuration
+and seed, run both, and compare every observable that decisions and
+``RunStats`` derive from.
+
+Also here: the scalar-route oracle discipline (faults force the scalar
+path; ``"batched"`` + faults is a configuration error), the
+``_drop_collided`` expiry boundary, :class:`NeighborState` ring/prune
+semantics and the engine's handle-free ``schedule_batch``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.buffer_zone import BufferZonePolicy
+from repro.core.consistency import (
+    BaselineConsistency,
+    ProactiveConsistency,
+    ReactiveConsistency,
+    ViewSynchronization,
+    WeakConsistency,
+)
+from repro.core.manager import MobilitySensitiveTopologyControl
+from repro.core.neighbor_state import NeighborState
+from repro.core.tables import ColumnarNeighborTable, NeighborTable
+from repro.core.views import Hello
+from repro.faults.schedule import FaultSchedule, NodeOutage
+from repro.mobility import Area, RandomWaypoint
+from repro.protocols import RngProtocol
+from repro.sim.config import ScenarioConfig
+from repro.sim.engine import Engine
+from repro.sim.world import NetworkWorld
+from repro.util.errors import ConfigurationError, ScheduleError
+from repro.util.randomness import SeedSequenceFactory
+
+MECHANISMS = {
+    "baseline": BaselineConsistency,
+    "view-sync": ViewSynchronization,
+    "proactive": ProactiveConsistency,
+    "reactive": ReactiveConsistency,
+    "weak": WeakConsistency,
+}
+
+
+def _config(**overrides) -> ScenarioConfig:
+    base = dict(
+        n_nodes=10,
+        area=Area(300.0, 300.0),
+        normal_range=150.0,
+        duration=5.0,
+        sample_rate=2.0,
+        warmup=1.0,
+    )
+    base.update(overrides)
+    return ScenarioConfig(**base)
+
+
+def _world(cfg: ScenarioConfig, mechanism: str, seed: int, pipeline: str) -> NetworkWorld:
+    """One world; twin calls with different *pipeline* share everything else."""
+    seeds = SeedSequenceFactory(seed)
+    mobility = RandomWaypoint(
+        cfg.area, cfg.n_nodes, cfg.duration, mean_speed=8.0, rng=seeds.rng("m")
+    )
+    manager = MobilitySensitiveTopologyControl(
+        RngProtocol(),
+        mechanism=MECHANISMS[mechanism](),
+        buffer_policy=BufferZonePolicy(width=20.0, cap=cfg.normal_range),
+    )
+    return NetworkWorld(
+        cfg, mobility, manager, seed=seed, hello_pipeline=pipeline
+    )
+
+
+def _assert_twins_identical(batched: NetworkWorld, scalar: NetworkWorld) -> None:
+    """Every decision-relevant observable must match bit-for-bit.
+
+    Table uids are process-global and differ between any two worlds, so
+    tokens are compared component-wise past the uid.
+    """
+    assert batched._batched and not scalar._batched
+    now = batched.engine.now
+    assert now == scalar.engine.now
+    assert batched.channel.stats.as_dict() == scalar.channel.stats.as_dict()
+    for nb, ns in zip(batched.nodes, scalar.nodes):
+        tb, ts = nb.table, ns.table
+        assert nb.hellos_sent == ns.hellos_sent
+        assert tb.mutations == ts.mutations
+        assert tb.hellos_received == ts.hellos_received
+        assert tb.full_token()[1:] == ts.full_token()[1:]
+        assert tb.live_view_token(now)[1:] == ts.live_view_token(now)[1:]
+        assert tb.known_neighbors() == ts.known_neighbors()
+        assert tb.known_neighbors(now) == ts.known_neighbors(now)
+        for neighbor in tb.known_neighbors():
+            # Hello is a frozen value type: materialised columnar copies
+            # must compare equal to the scalar deque contents, in order.
+            assert tb.history_of(neighbor) == ts.history_of(neighbor)
+            assert tb.message_versions_in_use(neighbor) == ts.message_versions_in_use(neighbor)
+        assert tb.own_history == ts.own_history
+
+
+class TestBatchedScalarBitIdentity:
+    @settings(max_examples=8, deadline=None)
+    @given(
+        mechanism=st.sampled_from(sorted(MECHANISMS)),
+        seed=st.integers(0, 2**16),
+    )
+    def test_ideal_channel(self, mechanism, seed):
+        cfg = _config()
+        batched = _world(cfg, mechanism, seed, "batched")
+        scalar = _world(cfg, mechanism, seed, "scalar")
+        batched.run_until(cfg.duration)
+        scalar.run_until(cfg.duration)
+        _assert_twins_identical(batched, scalar)
+
+    @settings(max_examples=6, deadline=None)
+    @given(
+        mechanism=st.sampled_from(["baseline", "proactive", "weak"]),
+        seed=st.integers(0, 2**16),
+        loss=st.sampled_from([0.1, 0.3]),
+    )
+    def test_lossy_channel_consumes_rng_identically(self, mechanism, seed, loss):
+        # The i.i.d. loss model draws one uniform per candidate receiver,
+        # positionally: identical receiver arrays are the only way the twin
+        # runs can agree on losses, deliveries and every downstream view.
+        cfg = _config(hello_loss_rate=loss)
+        batched = _world(cfg, mechanism, seed, "batched")
+        scalar = _world(cfg, mechanism, seed, "scalar")
+        batched.run_until(cfg.duration)
+        scalar.run_until(cfg.duration)
+        assert batched.channel.stats.hello_losses > 0
+        _assert_twins_identical(batched, scalar)
+
+    @settings(max_examples=6, deadline=None)
+    @given(seed=st.integers(0, 2**16))
+    def test_collision_model(self, seed):
+        cfg = _config(hello_tx_duration=0.05)
+        batched = _world(cfg, "view-sync", seed, "batched")
+        scalar = _world(cfg, "view-sync", seed, "scalar")
+        batched.run_until(cfg.duration)
+        scalar.run_until(cfg.duration)
+        _assert_twins_identical(batched, scalar)
+
+    def test_snapshots_and_decisions_agree(self):
+        cfg = _config(duration=6.0)
+        batched = _world(cfg, "view-sync", 11, "batched")
+        scalar = _world(cfg, "view-sync", 11, "scalar")
+        batched.run_until(cfg.duration)
+        scalar.run_until(cfg.duration)
+        sb, ss = batched.snapshot(), scalar.snapshot()
+        assert np.array_equal(sb.positions, ss.positions)
+        assert np.array_equal(sb.extended_ranges, ss.extended_ranges)
+        assert np.array_equal(sb.logical, ss.logical)
+
+
+class TestPipelineDispatch:
+    def test_auto_is_batched_without_faults(self):
+        world = _world(_config(), "baseline", 1, "auto")
+        assert world._batched
+        assert all(isinstance(n.table, ColumnarNeighborTable) for n in world.nodes)
+
+    def test_auto_routes_scalar_when_faults_armed(self):
+        cfg = _config()
+        seeds = SeedSequenceFactory(2)
+        mobility = RandomWaypoint(
+            cfg.area, cfg.n_nodes, cfg.duration, mean_speed=8.0, rng=seeds.rng("m")
+        )
+        schedule = FaultSchedule(events=(NodeOutage(node=0, start=1.0, end=3.0),))
+        world = NetworkWorld(
+            cfg,
+            mobility,
+            MobilitySensitiveTopologyControl(RngProtocol()),
+            seed=2,
+            faults=schedule,
+        )
+        assert not world._batched
+        assert all(type(n.table) is NeighborTable for n in world.nodes)
+        world.run_until(cfg.duration)  # the forced-scalar route still runs
+        assert world.fault_stats()["fault_suppressed_sends"] > 0
+        assert world.hello_pipeline_stats() == {}
+
+    def test_batched_with_faults_is_a_configuration_error(self):
+        cfg = _config()
+        seeds = SeedSequenceFactory(3)
+        mobility = RandomWaypoint(
+            cfg.area, cfg.n_nodes, cfg.duration, mean_speed=8.0, rng=seeds.rng("m")
+        )
+        schedule = FaultSchedule(events=(NodeOutage(node=0, start=1.0, end=3.0),))
+        with pytest.raises(ConfigurationError, match="fault"):
+            NetworkWorld(
+                cfg,
+                mobility,
+                MobilitySensitiveTopologyControl(RngProtocol()),
+                seed=3,
+                faults=schedule,
+                hello_pipeline="batched",
+            )
+
+    def test_unknown_pipeline_rejected(self):
+        with pytest.raises(ConfigurationError, match="hello_pipeline"):
+            _world(_config(), "baseline", 1, "vectorised")
+
+    def test_pipeline_stats_reported_on_batched_route(self):
+        world = _world(_config(), "baseline", 4, "batched")
+        world.run_until(3.0)
+        stats = world.hello_pipeline_stats()
+        assert stats["oracle_queries"] > 0
+        assert stats["oracle_rebuilds"] >= 1
+        assert stats["neighbor_slots"] > 0
+
+
+class TestDropCollidedBoundary:
+    """The airtime window is boundary-inclusive: age == window still collides."""
+
+    @staticmethod
+    def _world(window: float) -> NetworkWorld:
+        return _world(_config(hello_tx_duration=window), "baseline", 5, "scalar")
+
+    def test_entry_exactly_at_window_edge_still_on_air(self):
+        world = self._world(0.1)
+        origin = np.array([0.0, 0.0])
+        none = np.empty(0, dtype=np.intp)
+        world._drop_collided(0.0, 0, origin, none, np.empty((0, 2)))
+        # Exactly window seconds later: t - entry[0] == window, kept on air,
+        # so a receiver inside the earlier sender's range collides.
+        receivers = np.array([3], dtype=np.intp)
+        survivors = world._drop_collided(
+            0.1, 1, np.array([50.0, 0.0]), receivers, np.array([[10.0, 0.0]])
+        )
+        assert survivors.size == 0
+        assert world.channel.stats.collisions == 1
+
+    def test_entry_just_past_window_is_pruned(self):
+        world = self._world(0.1)
+        origin = np.array([0.0, 0.0])
+        none = np.empty(0, dtype=np.intp)
+        world._drop_collided(0.0, 0, origin, none, np.empty((0, 2)))
+        receivers = np.array([3], dtype=np.intp)
+        survivors = world._drop_collided(
+            0.1 + 1e-9, 1, np.array([50.0, 0.0]), receivers, np.array([[10.0, 0.0]])
+        )
+        assert survivors.tolist() == [3]
+        assert world.channel.stats.collisions == 0
+        assert len(world._recent_hellos) == 1  # only the new transmission
+
+
+def _hello(sender: int, version: int, sent_at: float, x: float = 1.0) -> Hello:
+    return Hello(
+        sender=sender,
+        version=version,
+        position=(x, 2.0),
+        sent_at=sent_at,
+        timestamp=sent_at + 0.001,
+    )
+
+
+class TestNeighborState:
+    def test_ring_evicts_oldest_beyond_depth(self):
+        state = NeighborState(4, history_depth=3)
+        for v in range(5):
+            state.record_one(0, _hello(1, v, float(v)))
+        history = state.history(0, 1)
+        assert [h.version for h in history] == [2, 3, 4]
+        assert state.hellos_received[0] == 5 and state.mutations[0] == 5
+
+    def test_record_batch_equals_record_one(self):
+        batch, one = NeighborState(6, 2), NeighborState(6, 2)
+        receivers = np.array([0, 2, 5], dtype=np.intp)
+        for v in range(3):
+            hello = _hello(1, v, float(v))
+            batch.record_batch(hello, receivers)  # second call hits the slot cache
+            for rid in receivers:
+                one.record_one(int(rid), hello)
+        for rid in receivers:
+            assert batch.history(int(rid), 1) == one.history(int(rid), 1)
+            assert batch.senders(int(rid)) == one.senders(int(rid))
+        assert np.array_equal(batch.mutations, one.mutations)
+        assert np.array_equal(batch.hellos_received, one.hellos_received)
+
+    def test_prune_drops_stale_and_restarts_history(self):
+        state = NeighborState(2, 3)
+        for v in range(3):
+            state.record_batch(_hello(1, v, float(v)), np.array([0], dtype=np.intp))
+        assert state.prune(0, now=10.0, expiry=2.5)
+        assert state.history(0, 1) == ()
+        assert state.senders(0) == []
+        assert state.mutations[0] == 4  # one bump per pruning pass with drops
+        # A later Hello starts a fresh depth-1 history, like a new deque.
+        state.record_batch(_hello(1, 9, 11.0), np.array([0], dtype=np.intp))
+        assert [h.version for h in state.history(0, 1)] == [9]
+
+    def test_prune_without_stale_is_a_noop(self):
+        state = NeighborState(2, 3)
+        state.record_one(0, _hello(1, 0, 5.0))
+        assert not state.prune(0, now=6.0, expiry=2.5)
+        assert state.mutations[0] == 1
+
+    def test_live_ids_preserve_insertion_order(self):
+        state = NeighborState(2, 3)
+        for sender in (7, 3, 5):
+            state.record_one(0, _hello(sender, 0, 1.0))
+        assert state.live_ids(0, now=2.0, expiry=2.5) == (7, 3, 5)
+        assert list(state.latest_live(0, 2.0, 2.5)) == [7, 3, 5]
+
+
+class TestScheduleBatch:
+    def test_interleaves_with_schedule_at_in_seq_order(self):
+        engine = Engine()
+        seen: list[str] = []
+        engine.schedule_at(1.0, seen.append, "a")
+        engine.schedule_batch(1.0, seen.append, "b")
+        engine.schedule_at(1.0, seen.append, "c")
+        engine.run(until=2.0)
+        assert seen == ["a", "b", "c"]
+
+    def test_validates_like_schedule_at(self):
+        engine = Engine()
+        engine.run(until=1.0)
+        with pytest.raises(ScheduleError, match="past"):
+            engine.schedule_batch(0.5, lambda: None)
+        with pytest.raises(ScheduleError, match="finite"):
+            engine.schedule_batch(float("nan"), lambda: None)
+
+    def test_counts_as_pending_and_clears(self):
+        engine = Engine()
+        engine.schedule_batch(1.0, lambda: None)
+        handle = engine.schedule_at(1.5, lambda: None)
+        assert engine.pending_events == 2
+        engine.clear()
+        assert engine.pending_events == 0
+        assert handle.cancelled
+
+    def test_compaction_keeps_handle_free_entries(self):
+        engine = Engine()
+        fired: list[int] = []
+        engine.schedule_batch(1.0, fired.append, 1)
+        # Cancel enough handled events that tombstones dominate and the
+        # heap compacts; the handle-free entry must survive compaction.
+        handles = [engine.schedule_at(2.0, fired.append, 99) for _ in range(8)]
+        for handle in handles:
+            handle.cancel()
+        engine.run(until=3.0)
+        assert fired == [1]

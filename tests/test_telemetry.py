@@ -140,6 +140,30 @@ class TestEventLog:
         with pytest.raises(ValueError, match="maxsize"):
             EventLog(maxsize=0)
 
+    def test_tally_records_one_summarizing_event(self):
+        log = EventLog(maxsize=10)
+        log.append(TelemetryEvent(kind="hello_received", t=1.0), tally=5)
+        assert len(log) == 1
+        # Kind totals advance by the tally; the 4 unretained occurrences
+        # use the absorb_counts recorded-but-not-retained accounting.
+        assert log.kind_counts() == {"hello_received": 5}
+        assert log.recorded == 5 and log.dropped == 4
+
+    def test_tally_validated(self):
+        log = EventLog(maxsize=10)
+        with pytest.raises(ValueError, match="tally"):
+            log.append(TelemetryEvent(kind="hello_received", t=1.0), tally=0)
+
+    def test_tally_composes_with_ring_eviction(self):
+        log = EventLog(maxsize=1)
+        log.append(TelemetryEvent(kind="hello_received", t=0.0), tally=3)
+        log.append(TelemetryEvent(kind="hello_received", t=1.0), tally=2)
+        assert [e.t for e in log] == [1.0]
+        assert log.recorded == 5
+        # 2 + 1 unretained tallies plus the one evicted event object.
+        assert log.dropped == 4
+        assert log.kind_counts() == {"hello_received": 5}
+
     def test_event_as_dict_inlines_data(self):
         event = TelemetryEvent(
             kind="hello_dropped", t=1.5, node=3, data=(("count", 2), ("reason", "loss"))
@@ -222,6 +246,23 @@ class TestTelemetrySummary:
         assert round_tripped == s.as_dict()
 
 
+class TestEventBatch:
+    def test_summary_event_carries_data_and_tally(self):
+        tel = Telemetry()
+        tel.event_batch("hello_received", 7, t=1.5, sender=3, version=2, count=7)
+        (event,) = list(tel.events)
+        assert event.kind == "hello_received" and event.t == 1.5
+        assert dict(event.data) == {"sender": 3, "version": 2, "count": 7}
+        assert tel.events.kind_counts() == {"hello_received": 7}
+
+    def test_batch_of_one_equals_plain_event(self):
+        a, b = Telemetry(), Telemetry()
+        a.event("hello_received", t=2.0, node=1, sender=0)
+        b.event_batch("hello_received", 1, t=2.0, node=1, sender=0)
+        assert list(a.events) == list(b.events)
+        assert a.events.kind_counts() == b.events.kind_counts()
+
+
 class TestNullTelemetry:
     def test_disabled_and_records_nothing(self):
         tel = NullTelemetry()
@@ -230,6 +271,7 @@ class TestNullTelemetry:
         tel.gauge("y", 1.0)
         tel.observe("z", 2.0)
         tel.event("hello_sent", t=0.0)
+        tel.event_batch("hello_received", 4, t=0.0)
         with tel.span("phase"):
             pass
         s = tel.summary()
@@ -588,3 +630,52 @@ class TestCacheCounterIdentity:
         for key, value in counters.items():
             if key.startswith("decision_cache"):
                 assert summary_counters[key] == value
+
+
+class TestBatchedPipelineTelemetry:
+    """Per-batch hello_received aggregation keeps totals exactly equal."""
+
+    @staticmethod
+    def _run(pipeline: str) -> Telemetry:
+        from repro.core.manager import MobilitySensitiveTopologyControl
+        from repro.mobility import RandomWaypoint
+        from repro.protocols import RngProtocol
+        from repro.sim.world import NetworkWorld
+        from repro.util.randomness import SeedSequenceFactory
+
+        cfg = ScenarioConfig(
+            n_nodes=12, area=Area(350.0, 350.0), normal_range=200.0,
+            duration=6.0, warmup=2.0, sample_rate=1.0,
+        )
+        seeds = SeedSequenceFactory(9)
+        mobility = RandomWaypoint(
+            cfg.area, cfg.n_nodes, cfg.duration, mean_speed=10.0,
+            rng=seeds.rng("m"),
+        )
+        tel = Telemetry()
+        world = NetworkWorld(
+            cfg, mobility, MobilitySensitiveTopologyControl(RngProtocol()),
+            seed=9, telemetry=tel, hello_pipeline=pipeline,
+        )
+        world.run_until(cfg.duration)
+        return tel
+
+    def test_kind_counts_match_scalar_route_exactly(self):
+        batched, scalar = self._run("batched"), self._run("scalar")
+        assert batched.events.kind_counts() == scalar.events.kind_counts()
+        b, s = batched.registry.counters_dict(), scalar.registry.counters_dict()
+        # One batch event stands in for n receptions, so the engine event
+        # count legitimately differs; every traffic counter must not.
+        for key in ("hello_sent", "hello_received"):
+            assert b[key] == s[key]
+
+    def test_batched_receptions_are_summarized_not_per_receiver(self):
+        tel = self._run("batched")
+        received = [e for e in tel.events if e.kind == "hello_received"]
+        assert received  # retained summaries exist...
+        # ...and each carries its receiver count; with no ring eviction in
+        # a run this small the counts total the exact per-kind tally.
+        counts = [dict(e.data)["count"] for e in received]
+        assert all(c >= 1 for c in counts)
+        assert sum(counts) == tel.events.kind_counts()["hello_received"]
+        assert sum(counts) == tel.registry.counters_dict()["hello_received"]
