@@ -160,13 +160,19 @@ def bench_rng_kernel(m: int, seed: int = 11) -> dict:
     }
 
 
-def bench_hello_pipeline(n: int, seed: int = 7, warm_t: float = 3.0) -> dict:
+def bench_hello_pipeline(
+    n: int, seed: int = 7, warm_t: float = 3.0, propagation: str = "unit-disk"
+) -> dict:
     """Warmup wall time of the batched Hello pipeline vs the scalar route.
 
     Both worlds run identical scenarios; their channel counters and
     per-node neighbor-table state are asserted identical before any
     timing is reported (the twin-world contract
-    ``tests/test_property_hello_batch.py`` proves exhaustively).
+    ``tests/test_property_hello_batch.py`` proves exhaustively, and
+    ``tests/test_property_propagation.py`` extends to non-unit-disk
+    models).  The ``log-distance`` rows track the model-filter overhead:
+    superset-radius grid queries plus the keyed shadowing predicate on
+    top of the historical distance filter.
     """
     scale = Scale(
         name="bench-hello",
@@ -180,7 +186,7 @@ def bench_hello_pipeline(n: int, seed: int = 7, warm_t: float = 3.0) -> dict:
         protocol="rng",
         mechanism="proactive",
         mean_speed=20.0,
-        config=scale.config(),
+        config=scale.config(propagation=propagation),
     )
 
     def timed(pipeline: str):
@@ -199,7 +205,7 @@ def bench_hello_pipeline(n: int, seed: int = 7, warm_t: float = 3.0) -> dict:
             raise AssertionError(f"batched pipeline changed table state at n={n}")
     oracle = batched.hello_pipeline_stats()
     print(
-        f"hello_pipeline n={n:<5} scalar={scalar_s:7.2f} s   "
+        f"hello_pipeline n={n:<5} [{propagation}] scalar={scalar_s:7.2f} s   "
         f"batched={batched_s:7.2f} s   {scalar_s / batched_s:6.1f}x   "
         f"(rebuilds={oracle['oracle_rebuilds']}, "
         f"queries={oracle['oracle_queries']}, "
@@ -207,6 +213,7 @@ def bench_hello_pipeline(n: int, seed: int = 7, warm_t: float = 3.0) -> dict:
     )
     return {
         "n": n,
+        "propagation": propagation,
         "scalar_warmup_s": round(scalar_s, 3),
         "batched_warmup_s": round(batched_s, 3),
         "speedup": round(scalar_s / batched_s, 2),
@@ -277,10 +284,17 @@ def run_benchmark(smoke: bool = False) -> dict:
     # The smoke row still exercises the full batched pipeline (oracle,
     # columnar splice, coalesced delivery) and its identity assertions.
     hello_sizes = (300,) if smoke else (1000, 2000)
+    # Model-filter overhead rows: same pipeline under log-distance
+    # shadowing (superset query + keyed predicate).
+    hello_model_sizes = (300,) if smoke else (1000,)
     results = {
         "redecide_all": {str(n): bench_redecide(n) for n in redecide_sizes},
         "rng_kernel": {str(m): bench_rng_kernel(m) for m in kernel_sizes},
         "hello_pipeline": {str(n): bench_hello_pipeline(n) for n in hello_sizes},
+        "hello_pipeline_log_distance": {
+            str(n): bench_hello_pipeline(n, propagation="log-distance")
+            for n in hello_model_sizes
+        },
         "scale_pipeline": {str(n): bench_scale_pipeline(n) for n in scale_sizes},
     }
     return {
@@ -292,6 +306,7 @@ def run_benchmark(smoke: bool = False) -> dict:
             "redecide_sizes": list(redecide_sizes),
             "kernel_sizes": list(kernel_sizes),
             "hello_sizes": list(hello_sizes),
+            "hello_model_sizes": list(hello_model_sizes),
             "scale_sizes": list(scale_sizes),
         },
         "results": results,

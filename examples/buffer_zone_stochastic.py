@@ -1,0 +1,177 @@
+#!/usr/bin/env python3
+"""Does Theorem 5's buffer survive a stochastic radio?
+
+Theorem 5 sizes the buffer zone as ``l = 2 Δ'' v_max`` — twice the worst
+information age times the worst speed — so that every logical link a
+node selected is still covered by its extended range when packets
+actually fly.  The proof is geometric: it assumes the unit disk, where
+"covered" and "deliverable" coincide.
+
+This study re-asks the question under the propagation seam
+(:mod:`repro.sim.propagation`):
+
+- ``unit-disk`` — the paper's channel, the control group;
+- ``log-distance`` (sigma 6 dB) — deterministic per-pair shadowing:
+  geometry is distorted but frozen, so the theorem's *staleness*
+  argument should still hold link by link;
+- ``sinr`` — per-message reception draws: a neighbor's Hello can
+  silently miss a generation, so information age is no longer bounded
+  by the Hello interval alone.  The Theorem-5 oracle widens its
+  allowance by ``2 v_max * max_hello_interval`` for exactly this case
+  (:func:`repro.faults.oracles.theorem5_slack`).
+
+For each model x buffer width we run a mobile scenario and measure, at
+every sample instant, the worst *coverage gap* — ``max over logical
+links (u, v) of d(u, v) - extended_range(u)`` — plus the fraction of
+instants with any uncovered link and the flood delivery ratio.
+
+The punchline (see the run's closing notes): the coverage gap is
+governed by kinematics under every radio — shadowing can push it higher
+(stretched links get *selected*), but ``l`` still bounds it.  What
+stochastic range breaks is the other half of the theorem's promise:
+covered no longer implies deliverable.
+
+Run:  PYTHONPATH=src python examples/buffer_zone_stochastic.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro.analysis.experiment import ExperimentSpec, build_world
+from repro.core.buffer_zone import buffer_width
+from repro.sim.config import ScenarioConfig
+from repro.sim.flood import flood
+from repro.mobility.base import Area
+
+MODELS = (
+    ("unit-disk", {}),
+    ("log-distance", {"sigma_db": 6.0}),
+    ("sinr", {}),
+)
+
+
+def coverage_gap(world) -> float:
+    """Worst uncovered logical-link length at the current instant (m)."""
+    snap = world.snapshot()
+    worst = -np.inf
+    for node in world.nodes:
+        decision = node.decision
+        if decision is None:
+            continue
+        for v in decision.logical_neighbors:
+            gap = snap.pair_distance(node.node_id, v) - snap.extended_ranges[
+                node.node_id
+            ]
+            worst = max(worst, gap)
+    return worst
+
+
+def run_point(
+    model: str,
+    params: dict,
+    buffer: float,
+    n_nodes: int,
+    duration: float,
+    seed: int,
+    speed: float,
+) -> dict:
+    side = 90.0 * float(np.sqrt(n_nodes))
+    cfg = ScenarioConfig(
+        n_nodes=n_nodes,
+        area=Area(side, side),
+        duration=duration,
+        warmup=2.0,
+        sample_rate=2.0,
+        propagation=model,
+        propagation_params=params,
+    )
+    spec = ExperimentSpec(
+        protocol="rng",
+        mechanism="view-sync",
+        buffer_width=buffer,
+        mean_speed=speed,
+        config=cfg,
+    )
+    world = build_world(spec, seed)
+    gaps, ratios = [], []
+    for t in np.arange(cfg.warmup, cfg.duration + 1e-9, 1.0 / cfg.sample_rate):
+        world.run_until(float(t))
+        gaps.append(coverage_gap(world))
+        ratios.append(flood(world, 0).delivery_ratio)
+    gaps_arr = np.asarray(gaps)
+    return {
+        "worst_gap": float(gaps_arr.max()),
+        "violation_fraction": float(np.mean(gaps_arr > 0.0)),
+        "delivery": float(np.mean(ratios)),
+        "propagation_losses": world.channel.stats.propagation_losses,
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="smaller sweep")
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args()
+
+    n_nodes = 25 if args.quick else 40
+    duration = 8.0 if args.quick else 14.0
+    speed = 20.0
+    cfg_probe = ScenarioConfig(n_nodes=n_nodes, duration=duration)
+    # Theorem-5 sizing: Δ'' = one Hello generation of information age,
+    # v_max = the waypoint speed ceiling (paper §5.2: twice the mean).
+    v_max = 2.0 * speed
+    l_t5 = buffer_width(max_speed=v_max, max_delay=cfg_probe.max_hello_interval)
+    # Stochastic widening: one extra missed Hello generation of drift.
+    l_wide = l_t5 + 2.0 * v_max * cfg_probe.max_hello_interval
+    buffers = [0.0, 0.25 * l_t5, 0.5 * l_t5, l_t5, l_wide]
+
+    print(__doc__.splitlines()[0])
+    print(
+        f"\nn={n_nodes}, speed={speed} m/s, duration={duration}s; "
+        f"Theorem-5 buffer l={l_t5:.0f} m, widened l'={l_wide:.0f} m\n"
+    )
+    header = (
+        f"{'model':<14} {'buffer':>8}   {'worst gap':>10} "
+        f"{'violations':>11} {'delivery':>9} {'prop.drops':>11}"
+    )
+    print(header)
+    print("-" * len(header))
+    for model, params in MODELS:
+        for buffer in buffers:
+            row = run_point(
+                model, params, buffer, n_nodes, duration, args.seed, speed
+            )
+            print(
+                f"{model:<14} {buffer:>7.0f}m   {row['worst_gap']:>9.1f}m "
+                f"{row['violation_fraction']:>10.0%} {row['delivery']:>9.2f} "
+                f"{row['propagation_losses']:>11}"
+            )
+        print()
+
+    print("Reading the table:")
+    print(
+        "- The worst coverage gap is kinematic (view age x node speed)\n"
+        "  under every radio: unit-disk and sinr trace the same curve,\n"
+        "  and log-distance only shifts it by selecting shadow-stretched\n"
+        "  links.  Theorem 5's l = 2 Δ'' v_max still bounds it — the\n"
+        "  violation fraction reaches 0 by width l under all three\n"
+        "  models.\n"
+        "- What stochastic range breaks is the theorem's other half:\n"
+        "  'covered' no longer implies 'deliverable'.  At widths where\n"
+        "  the deterministic radios already deliver everything, shadowed\n"
+        "  (log-distance) and drawn (sinr) links still fail — the buffer\n"
+        "  has to additionally absorb the range stretch / reception odds\n"
+        "  before delivery catches up with coverage, and with sinr each\n"
+        "  individual message can still miss at any width (flood\n"
+        "  redundancy is what closes the gap here, not geometry).  That\n"
+        "  is why the verification oracle widens its slack by\n"
+        "  2 v_max Δ'' for stochastic models (theorem5_slack) instead of\n"
+        "  trusting geometric coverage alone."
+    )
+
+
+if __name__ == "__main__":
+    main()

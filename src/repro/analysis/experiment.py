@@ -120,10 +120,14 @@ class ExperimentSpec:
 
         Floats are coerced to ``float`` and flags to ``bool`` so two specs
         that are semantically equal (e.g. ``buffer_width=10`` vs ``10.0``)
-        serialize identically — work-unit IDs hash this form.
+        serialize identically — work-unit IDs hash this form.  The
+        ``propagation`` / ``propagation_params`` config keys are emitted
+        only when non-default, so every unit-disk spec keeps the exact
+        canonical JSON (and orchestrator unit id) it had before the
+        propagation seam existed.
         """
         cfg = self.config
-        return {
+        out = {
             "protocol": self.protocol,
             "protocol_kwargs": dict(self.protocol_kwargs),
             "mechanism": self.mechanism,
@@ -150,6 +154,13 @@ class ExperimentSpec:
                 "hello_tx_duration": float(cfg.hello_tx_duration),
             },
         }
+        if cfg.propagation != "unit-disk" or cfg.propagation_params:
+            out["config"]["propagation"] = str(cfg.propagation)
+            out["config"]["propagation_params"] = {
+                str(k): (float(v) if isinstance(v, (int, float)) else v)
+                for k, v in sorted(cfg.propagation_params.items())
+            }
+        return out
 
     @staticmethod
     def from_dict(data: dict) -> "ExperimentSpec":
@@ -256,6 +267,11 @@ class RunStats:
         Injected-disturbance counters; all zero unless *faults_armed*.
     faults_armed:
         Whether a :class:`~repro.faults.FaultSchedule` was in force.
+    propagation:
+        Name of the run's propagation model (``"unit-disk"`` by
+        default); together with ``propagation_losses`` emitted by
+        :meth:`as_dict` only for non-unit-disk runs so the legacy dict
+        shape — and every pinned digest of it — is untouched.
     telemetry:
         Frozen :class:`~repro.telemetry.TelemetrySummary` when the run
         was traced, else None.
@@ -267,6 +283,8 @@ class RunStats:
     deliveries: int = 0
     hello_losses: int = 0
     collisions: int = 0
+    propagation_losses: int = 0
+    propagation: str = "unit-disk"
     decision_cache_hits: int = 0
     decision_cache_misses: int = 0
     decision_cache_uncacheable: int = 0
@@ -289,6 +307,7 @@ class RunStats:
             **world.manager.cache_info(),
             **world.fault_stats(),
             faults_armed=world.fault_injector is not None,
+            propagation=world.propagation.name,
             telemetry=telemetry.summary() if telemetry is not None else None,
         )
 
@@ -296,8 +315,9 @@ class RunStats:
         """Legacy ``channel_stats`` dict shape (bit-compatible).
 
         ``fault_*`` keys appear only when a schedule was armed, exactly
-        as the pre-typed dict behaved; the telemetry summary is not a
-        counter and is excluded.
+        as the pre-typed dict behaved; ``propagation`` /
+        ``propagation_losses`` only when the run used a non-unit-disk
+        model; the telemetry summary is not a counter and is excluded.
         """
         out = {
             "hello_messages": self.hello_messages,
@@ -310,6 +330,9 @@ class RunStats:
             "decision_cache_misses": self.decision_cache_misses,
             "decision_cache_uncacheable": self.decision_cache_uncacheable,
         }
+        if self.propagation != "unit-disk":
+            out["propagation"] = self.propagation
+            out["propagation_losses"] = self.propagation_losses
         if self.faults_armed:
             out.update(
                 fault_hello_drops=self.fault_hello_drops,

@@ -35,6 +35,7 @@ from repro.analysis.report import format_kv, write_csv
 from repro.analysis.scales import PAPER, QUICK, SMOKE, STANDARD, Scale
 from repro.analysis.tables import generate_table1
 from repro.protocols import available_protocols
+from repro.sim.propagation import available_propagation_models
 
 __all__ = ["main", "build_parser"]
 
@@ -196,6 +197,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="restrict to this mechanism (repeatable; default: all shipped)",
     )
     p.add_argument(
+        "--propagation", action="append", dest="propagations", metavar="NAME",
+        choices=sorted(available_propagation_models()),
+        help="restrict the propagation axis to this model (repeatable; "
+        "default: weighted sample of all shipped models)",
+    )
+    p.add_argument(
         "--out-dir", default=None,
         help="write shrunk failing cases as JSON repros into this directory",
     )
@@ -245,6 +252,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--sample-rate", type=float, default=10.0)
     p.add_argument("--repetitions", type=int, default=5)
     p.add_argument("--seed", type=int, default=2026)
+    p.add_argument(
+        "--propagation",
+        choices=sorted(available_propagation_models()),
+        default="unit-disk",
+        help="reachability model (see docs/PROPAGATION.md)",
+    )
+    p.add_argument(
+        "--propagation-param",
+        action="append",
+        dest="propagation_params",
+        metavar="KEY=VALUE",
+        default=None,
+        help="propagation-model constructor parameter, repeatable "
+        "(e.g. --propagation-param sigma_db=6)",
+    )
     _add_workers_flag(p)
     _add_telemetry_flag(p)
     _add_store_flags(p)
@@ -414,6 +436,24 @@ def _run_figures(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_propagation_params(pairs: list[str] | None) -> dict:
+    """Parse repeated ``KEY=VALUE`` flags into constructor kwargs."""
+    params: dict = {}
+    for pair in pairs or ():
+        key, sep, value = pair.partition("=")
+        if not sep or not key:
+            raise SystemExit(
+                f"--propagation-param expects KEY=VALUE, got {pair!r}"
+            )
+        try:
+            params[key] = float(value)
+        except ValueError:
+            raise SystemExit(
+                f"--propagation-param {key} expects a number, got {value!r}"
+            ) from None
+    return params
+
+
 def _run_single(args: argparse.Namespace) -> int:
     scale_cfg = Scale(
         name="custom",
@@ -428,7 +468,10 @@ def _run_single(args: argparse.Namespace) -> int:
         buffer_width=args.buffer,
         physical_neighbor_mode=args.pn,
         mean_speed=args.speed,
-        config=scale_cfg.config(),
+        config=scale_cfg.config(
+            propagation=args.propagation,
+            propagation_params=_parse_propagation_params(args.propagation_params),
+        ),
     )
     t0 = time.perf_counter()
     agg = run_repetitions(
@@ -531,9 +574,10 @@ def _run_equivalence(args: argparse.Namespace) -> int:
 
 
 def _run_fuzz(args: argparse.Namespace) -> int:
-    from repro.faults.fuzz import MECHANISMS, fuzz
+    from repro.faults.fuzz import MECHANISMS, PROPAGATIONS, fuzz
 
     mechanisms = tuple(args.mechanisms) if args.mechanisms else MECHANISMS
+    propagations = tuple(args.propagations) if args.propagations else PROPAGATIONS
     t0 = time.perf_counter()
 
     def progress(i, case, result):
@@ -552,6 +596,7 @@ def _run_fuzz(args: argparse.Namespace) -> int:
             deep=args.deep,
             differential=args.differential,
             mechanisms=mechanisms,
+            propagations=propagations,
             shrink=args.shrink,
             out_dir=args.out_dir,
             progress=progress,

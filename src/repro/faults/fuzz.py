@@ -60,6 +60,7 @@ from repro.util.randomness import SeedSequenceFactory
 __all__ = [
     "MECHANISMS",
     "PROTOCOLS",
+    "PROPAGATIONS",
     "BrokenViewSync",
     "FuzzCase",
     "CaseResult",
@@ -77,6 +78,9 @@ __all__ = [
 MECHANISMS = ("baseline", "view-sync", "proactive", "reactive", "weak")
 #: Protocol sample — cheap, structurally diverse (sparsifier, tree, cone).
 PROTOCOLS = ("rng", "mst", "spt2")
+#: Propagation-model sample; the unit disk is over-weighted because it is
+#: the only model arming the static-connectivity oracle (the strictest).
+PROPAGATIONS = ("unit-disk", "unit-disk", "log-distance", "sinr")
 
 _CASE_FORMAT = "repro-fuzz-case/1"
 
@@ -391,23 +395,33 @@ def random_case(
     index: int = 0,
     mechanisms: Sequence[str] = MECHANISMS,
     protocols: Sequence[str] = PROTOCOLS,
+    propagations: Sequence[str] = PROPAGATIONS,
 ) -> FuzzCase:
     """Draw one random scenario + schedule (pure function of *rng* state).
 
     Scenarios stay small (10-18 nodes at the paper's density, 6 s runs)
     so a fuzz campaign of dozens of cases finishes in tens of seconds;
     static scenarios are over-weighted because they arm the strictest
-    oracle (unconditional connectivity).
+    oracle (unconditional connectivity).  The propagation axis samples
+    *propagations* (log-distance draws its shadowing depth too); the
+    oracles adapt automatically — static connectivity stands down off
+    the unit disk, Theorem-5 widens its slack for stochastic reception.
     """
     n_nodes = int(rng.integers(10, 19))
     side = float(np.sqrt(n_nodes * 8100.0) * rng.uniform(0.85, 1.15))
     speed = float(rng.choice([0.0, 0.0, 5.0, 10.0, 20.0]))
+    propagation = str(rng.choice(list(propagations)))
+    propagation_params: dict = {}
+    if propagation == "log-distance":
+        propagation_params = {"sigma_db": float(rng.choice([2.0, 4.0, 6.0]))}
     cfg = ScenarioConfig(
         n_nodes=n_nodes,
         area=Area(side, side),
         duration=6.0,
         warmup=2.0,
         sample_rate=2.0,
+        propagation=propagation,
+        propagation_params=propagation_params,
     )
     theorem5 = False
     buffer = float(rng.choice([0.0, 10.0, 30.0]))
@@ -501,6 +515,7 @@ def fuzz(
     differential: bool = True,
     mechanisms: Sequence[str] = MECHANISMS,
     protocols: Sequence[str] = PROTOCOLS,
+    propagations: Sequence[str] = PROPAGATIONS,
     shrink: bool = True,
     out_dir: str | Path | None = None,
     progress: Callable[[int, FuzzCase, CaseResult], None] | None = None,
@@ -526,7 +541,10 @@ def fuzz(
     saved: list[Path] = []
     for i in range(runs):
         rng = factory.rng(f"fuzz-case-{i}")
-        case = random_case(rng, index=i, mechanisms=mechanisms, protocols=protocols)
+        case = random_case(
+            rng, index=i, mechanisms=mechanisms, protocols=protocols,
+            propagations=propagations,
+        )
         unit = None
         if store is not None:
             from repro.orchestrator.units import WorkUnit, content_unit_id

@@ -17,10 +17,15 @@ The oracles, and what they correspond to:
   the detector that catches :class:`~repro.faults.fuzz.BrokenViewSync`).
 - :func:`theorem5_oracle` — with the buffer zone sized by Theorem 5
   (``l = 2 Δ'' v``), every logical link's current true length is covered
-  by the selecting endpoint's extended range.
+  by the selecting endpoint's extended range.  Under a stochastic
+  propagation model the oracle's slack widens by the model's staleness
+  allowance (:func:`theorem5_slack`): failed reception draws can age a
+  view by up to one extra Hello generation without any fault injected.
 - :func:`static_connectivity_oracle` — in a static scenario, once every
   fault's influence has drained, a connected undisturbed topology implies
   a connected logical topology *and* effective (deliverable) connectivity.
+  Unit-disk only: under shadowing or probabilistic reception the geometric
+  disk no longer promises delivery, so the implication does not hold.
 
 :func:`check_instant` composes the applicable subset at one sampling
 instant and is the single entry point the fuzz runner calls.
@@ -44,6 +49,7 @@ __all__ = [
     "FRESHNESS_MECHANISMS",
     "audit_oracle",
     "freshness_oracle",
+    "theorem5_slack",
     "theorem5_oracle",
     "static_connectivity_oracle",
     "check_instant",
@@ -147,6 +153,36 @@ def freshness_oracle(world: NetworkWorld) -> list[OracleFinding]:
     return findings
 
 
+def theorem5_slack(world: NetworkWorld) -> float:
+    """Worst-case allowance the Theorem-5 coverage check must grant.
+
+    Sums every bounded disturbance that can legitimately widen the gap
+    between a logical link's current length and the selecting endpoint's
+    extended range: injected position noise, clock skew (configured plus
+    injected) times speed, propagation delay times speed, Hello-interval
+    stretch beyond nominal, and — when a *stochastic* propagation model
+    is armed — the model's staleness allowance
+    (:meth:`~repro.sim.propagation.PropagationModel.staleness_allowance`):
+    a failed reception draw ages the view by up to one extra Hello
+    generation of motion at both endpoints, exactly like a one-generation
+    interval stretch.  Deterministic models (unit disk, log-distance)
+    contribute zero, so the historical slack value is unchanged for them.
+    """
+    cfg = world.config
+    v_max = world.mobility.max_speed()
+    return (
+        2.0 * _noise_bound(world)
+        + 2.0 * v_max * (2.0 * _skew_bound(world) + cfg.propagation_delay)
+        # Interval stretch beyond nominal ages the decision past what the
+        # buffer was sized for; charge the excess drift to slack.
+        + 2.0 * v_max * (_interval_stretch(world) - 1.0) * cfg.max_hello_interval
+        # Stochastic reception: each missed draw defers the view refresh
+        # by one Hello generation at each endpoint.
+        + 2.0 * v_max * world.propagation.staleness_allowance(cfg)
+        + 1e-6
+    )
+
+
 def theorem5_oracle(world: NetworkWorld) -> list[OracleFinding]:
     """Theorem 5: a properly sized buffer keeps every logical link covered.
 
@@ -154,8 +190,9 @@ def theorem5_oracle(world: NetworkWorld) -> list[OracleFinding]:
     ``buffer_width(2 v_max, expiry + max_interval)`` — the fuzz generator
     flags such cases with ``theorem5=True``.  Nodes whose decision cadence
     a fault disrupted (an outage overlapping the age window stalls
-    re-decisions) are skipped; injected noise, skew and interval stretch
-    widen the allowance instead.
+    re-decisions) are skipped; injected noise, skew, interval stretch and
+    stochastic-reception staleness widen the allowance
+    (:func:`theorem5_slack`) instead.
     """
     cfg = world.config
     now = world.engine.now
@@ -164,15 +201,12 @@ def theorem5_oracle(world: NetworkWorld) -> list[OracleFinding]:
         return []
     inj = world.fault_injector
     # Worst staleness a standing decision may legitimately carry.
-    age_window = cfg.hello_expiry + _interval_stretch(world) * cfg.max_hello_interval
-    slack = (
-        2.0 * _noise_bound(world)
-        + 2.0 * v_max * (2.0 * _skew_bound(world) + cfg.propagation_delay)
-        # Interval stretch beyond nominal ages the decision past what the
-        # buffer was sized for; charge the excess drift to slack.
-        + 2.0 * v_max * (_interval_stretch(world) - 1.0) * cfg.max_hello_interval
-        + 1e-6
+    age_window = (
+        cfg.hello_expiry
+        + _interval_stretch(world) * cfg.max_hello_interval
+        + world.propagation.staleness_allowance(cfg)
     )
+    slack = theorem5_slack(world)
     delay_sum = 0.0
     if inj is not None:
         delay_sum = sum(
@@ -218,9 +252,18 @@ def static_connectivity_oracle(world: NetworkWorld) -> list[OracleFinding]:
     guarantees apply unconditionally: the logical topology derived from a
     connected undisturbed graph must be connected, and the in-force
     ranges must actually deliver it (strict connectivity).
+
+    Only sound under the unit disk: with log-distance shadowing an
+    adverse pair factor shrinks a link below its geometric length (a node
+    can select a neighbour whose Hello barely arrived, with no buffer to
+    spare), and probabilistic reception denies delivery outright — strict
+    connectivity can then genuinely fail with nothing broken, so the
+    oracle stands down for every non-unit-disk model.
     """
     cfg = world.config
     now = world.engine.now
+    if not world.propagation.is_unit_disk:
+        return []
     if world.mobility.max_speed() > 0.0:
         return []
     inj = world.fault_injector

@@ -14,6 +14,14 @@ from repro.sim.flood import FloodResult, directed_bfs, flood
 from repro.sim.node import SimNode
 from repro.sim.observers import Observation, ObserverSet
 from repro.sim.packets import PacketRecord, TrafficStats, UnicastTraffic
+from repro.sim.propagation import (
+    LogDistance,
+    ProbabilisticSINR,
+    PropagationModel,
+    UnitDisk,
+    available_propagation_models,
+    make_propagation,
+)
 from repro.sim.radio import ChannelStats, IdealChannel
 from repro.sim.trace import SimulationTrace, TraceRecorder
 from repro.sim.world import NetworkWorld, WorldSnapshot
@@ -26,6 +34,12 @@ __all__ = [
     "ClockSet",
     "IdealChannel",
     "ChannelStats",
+    "PropagationModel",
+    "UnitDisk",
+    "LogDistance",
+    "ProbabilisticSINR",
+    "make_propagation",
+    "available_propagation_models",
     "SimNode",
     "NetworkWorld",
     "WorldSnapshot",

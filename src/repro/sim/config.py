@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.mobility.base import Area
+from repro.sim.propagation import make_propagation
 from repro.util.validate import (
     check_int_range,
     check_non_negative,
@@ -58,6 +59,13 @@ class ScenarioConfig:
         Hello airtime for the collision model, seconds; two Hellos
         overlapping within this window collide at common receivers
         (0 = ideal MAC, the paper's default).
+    propagation:
+        Propagation-model name (``unit-disk`` — the paper's channel and
+        the default — ``log-distance``, or ``sinr``); see
+        :mod:`repro.sim.propagation` and ``docs/PROPAGATION.md``.
+    propagation_params:
+        Keyword arguments for the propagation-model constructor (e.g.
+        ``{"path_loss_exponent": 4.0, "sigma_db": 6.0}``).
     """
 
     n_nodes: int = 100
@@ -75,6 +83,8 @@ class ScenarioConfig:
     reactive_flood_delay: float = 0.02
     hello_loss_rate: float = 0.0
     hello_tx_duration: float = 0.0
+    propagation: str = "unit-disk"
+    propagation_params: dict = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         check_int_range("n_nodes", self.n_nodes, 2)
@@ -98,6 +108,10 @@ class ScenarioConfig:
         check_non_negative("hello_tx_duration", self.hello_tx_duration)
         if self.hello_tx_duration >= self.hello_interval:
             raise ValueError("hello_tx_duration must be far below hello_interval")
+        # Fail at configuration time, not mid-run: constructing the model
+        # validates the name and every parameter (the instance is
+        # discarded; the world builds and seeds its own).
+        make_propagation(self.propagation, **self.propagation_params)
 
     @property
     def max_hello_interval(self) -> float:

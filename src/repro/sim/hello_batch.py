@@ -27,6 +27,14 @@ a superset of candidates yields the *bit-identical* ascending receiver
 array the scalar ``IdealChannel.receivers`` path produces.  The i.i.d.
 loss model downstream consumes its RNG positionally, so identical arrays
 keep the whole run byte-identical.
+
+Non-unit-disk :class:`~repro.sim.propagation.PropagationModel` instances
+compose with the same discipline: the stale-grid query radius grows to
+the model's superset radius (``model.query_radius(r) + v_max (t - t_g)``)
+and the exact filter becomes the model's keyed ``accept`` predicate,
+which is itself subset-stable — so the batched route stays bit-identical
+to the scalar one under every model, not just the unit disk
+(``tests/test_property_propagation.py`` pins this contract).
 """
 
 from __future__ import annotations
@@ -57,11 +65,23 @@ class HelloReceiverOracle:
         bounds the candidate overfetch.  0.5 keeps the query span at most
         2 cells while rebuilding (for the paper's 20 m/s scenarios) only
         every ``slack_factor * radius / v_max`` seconds.
+    propagation:
+        Optional non-unit-disk
+        :class:`~repro.sim.propagation.PropagationModel`; the stale-grid
+        query widens to the model's superset radius and the exact filter
+        becomes the model's ``accept`` predicate.  ``None`` (the
+        default) keeps the historical unit-disk path bit for bit.
+        Within-nominal-range candidates the model rejects are tallied in
+        :attr:`propagation_losses` (the world folds the per-query delta
+        into the channel counters and telemetry).
     """
 
     __slots__ = (
         "trajectories",
         "radius",
+        "propagation",
+        "propagation_losses",
+        "_query_radius",
         "_slack",
         "_vmax",
         "_grid",
@@ -75,9 +95,19 @@ class HelloReceiverOracle:
         trajectories: TrajectorySet,
         radius: float,
         slack_factor: float = 0.5,
+        propagation=None,
     ) -> None:
         self.trajectories = trajectories
         self.radius = float(radius)
+        self.propagation = (
+            None if propagation is None or propagation.is_unit_disk else propagation
+        )
+        self.propagation_losses = 0
+        self._query_radius = (
+            self.radius
+            if self.propagation is None
+            else self.propagation.query_radius(self.radius)
+        )
         self._slack = float(slack_factor) * self.radius
         self._vmax = trajectories.max_speed()
         self._grid: GridIndex | None = None
@@ -104,11 +134,13 @@ class HelloReceiverOracle:
         return grid
 
     def receivers(self, sender: int, t: float, sender_pos: np.ndarray | None = None) -> np.ndarray:
-        """Ascending indices of nodes within *radius* of *sender* at *t*.
+        """Ascending indices of the nodes that hear *sender* at *t*.
 
         Bit-identical to ``IdealChannel.receivers(sender, positions(t),
-        radius)`` — same candidate superset guarantee, same exact
-        ``d <= radius`` filter, same ascending order, sender excluded.
+        radius, now=t)`` under the same propagation model — same
+        candidate superset guarantee, same exact filter (``d <= radius``
+        for the unit disk, the model's keyed ``accept`` otherwise), same
+        ascending order, sender excluded.
         """
         if self.radius <= 0.0:
             return _EMPTY
@@ -116,9 +148,23 @@ class HelloReceiverOracle:
         grid = self._ensure_grid(t)
         p = self.node_position(sender, t) if sender_pos is None else sender_pos
         extra = self._vmax * (t - self._grid_t)
-        cand = grid.neighbors_within(p, self.radius + extra)
+        cand = grid.neighbors_within(p, self._query_radius + extra)
+        if cand.size == 0:
+            return _EMPTY
+        model = self.propagation
+        if model is None:
+            d = distances_from(p, self.trajectories.positions_at(t, cand))
+            hit = cand[d <= self.radius]
+            return hit[hit != sender]
+        cand = cand[cand != sender]
         if cand.size == 0:
             return _EMPTY
         d = distances_from(p, self.trajectories.positions_at(t, cand))
-        hit = cand[d <= self.radius]
-        return hit[hit != sender]
+        ok = model.accept(sender, cand, d, self.radius, t)
+        # Same counted set as the scalar route: candidates the unit disk
+        # would reach but the model rejects (d <= query radius always
+        # holds for them in any candidate superset).
+        self.propagation_losses += int(
+            np.count_nonzero(~ok & (d <= min(self.radius, self._query_radius)))
+        )
+        return cand[ok]

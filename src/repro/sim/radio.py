@@ -1,4 +1,4 @@
-"""Radio substrate: unit-disk channel with an ideal MAC.
+"""Radio substrate: broadcast channel with an ideal MAC.
 
 The paper isolates mobility effects by assuming no collision and no
 contention, so the default channel model is deliberately simple and exact:
@@ -7,6 +7,14 @@ node within Euclidean distance *r* of *u*'s true position at *t*, after a
 small constant propagation/processing delay.  Message counters make
 control-overhead comparisons (e.g. reactive flooding vs broadcast)
 possible even though bandwidth is not modelled.
+
+Reachability itself is pluggable: an optional
+:class:`~repro.sim.propagation.PropagationModel` replaces the unit-disk
+predicate with log-distance shadowing or probabilistic SINR reception
+(candidates come from the model's superset query radius, then the exact
+per-model filter runs — see ``docs/PROPAGATION.md``).  With no model (or
+the :class:`~repro.sim.propagation.UnitDisk` default) the channel runs
+the historical unit-disk code byte for byte.
 
 For the paper's "Hello messages may be lost due to collision and mobility"
 remark (Section 4.2) and its realistic-MAC future work, the channel also
@@ -32,7 +40,13 @@ __all__ = ["ChannelStats", "IdealChannel"]
 
 @dataclass
 class ChannelStats:
-    """Counters of channel activity (control-overhead accounting)."""
+    """Counters of channel activity (control-overhead accounting).
+
+    ``propagation_losses`` counts candidate receivers inside the nominal
+    transmit range that the armed propagation model rejected (shadowing
+    or a failed reception draw); it stays zero — and the channel's hot
+    path untouched — under the unit-disk default.
+    """
 
     hello_messages: int = 0
     data_transmissions: int = 0
@@ -40,6 +54,7 @@ class ChannelStats:
     deliveries: int = 0
     hello_losses: int = 0
     collisions: int = 0
+    propagation_losses: int = 0
 
     def as_dict(self) -> dict[str, int]:
         """Plain-dict form for reports."""
@@ -50,11 +65,12 @@ class ChannelStats:
             "deliveries": self.deliveries,
             "hello_losses": self.hello_losses,
             "collisions": self.collisions,
+            "propagation_losses": self.propagation_losses,
         }
 
 
 class IdealChannel:
-    """Collision-free unit-disk broadcast channel.
+    """Collision-free broadcast channel (unit disk by default).
 
     Parameters
     ----------
@@ -75,6 +91,15 @@ class IdealChannel:
         the surviving receiver indices.  Installed by
         :class:`~repro.sim.world.NetworkWorld` when a fault schedule is
         armed (see :mod:`repro.faults`); ``None`` costs nothing.
+    propagation:
+        Optional :class:`~repro.sim.propagation.PropagationModel`
+        replacing the unit-disk reachability predicate in
+        :meth:`receivers`.  ``None`` (or a bound
+        :class:`~repro.sim.propagation.UnitDisk`) keeps the historical
+        bit-identical fast path; non-unit-disk models route through the
+        superset query radius plus exact per-candidate filtering, and
+        rejected within-nominal-range candidates are counted as
+        :attr:`ChannelStats.propagation_losses`.
     telemetry:
         Armed telemetry collector or None (the
         :class:`~repro.sim.world.NetworkWorld` installs this the same way
@@ -91,6 +116,7 @@ class IdealChannel:
         rng: np.random.Generator | None = None,
         stats: ChannelStats | None = None,
         fault_filter: Callable[[float, int, np.ndarray], np.ndarray] | None = None,
+        propagation=None,
         loss_rng: object = _SENTINEL,
     ) -> None:
         if loss_rng is not IdealChannel._SENTINEL:
@@ -107,6 +133,11 @@ class IdealChannel:
         self.rng = rng
         self.stats = stats if stats is not None else ChannelStats()
         self.fault_filter = fault_filter
+        # None means unit disk; a bound UnitDisk collapses to the same
+        # fast path so the hot loop guards on a single reference.
+        self.propagation = (
+            None if propagation is None or propagation.is_unit_disk else propagation
+        )
         self.telemetry = None
         check_non_negative("propagation_delay", self.propagation_delay)
         check_probability("hello_loss_rate", self.hello_loss_rate)
@@ -114,7 +145,10 @@ class IdealChannel:
             raise ValueError(
                 "hello_loss_rate > 0 requires an rng; for deterministic, "
                 "replayable loss use a repro.faults.FaultSchedule with "
-                "HelloLossBurst events instead (NetworkWorld(faults=...))"
+                "HelloLossBurst events instead (NetworkWorld(faults=...)), "
+                "or model channel-induced loss with a seeded propagation "
+                "model (ScenarioConfig(propagation=...); see "
+                "repro.sim.propagation and docs/PROPAGATION.md)"
             )
 
     @property
@@ -139,6 +173,7 @@ class IdealChannel:
         positions: np.ndarray,
         tx_range: float,
         backend: GraphBackend | None = None,
+        now: float = 0.0,
     ) -> np.ndarray:
         """Indices of nodes that hear a broadcast (sender excluded).
 
@@ -155,15 +190,51 @@ class IdealChannel:
             *positions*; when given, the range query dispatches through it
             (grid index at scale, the same dense ``distances_from`` scan
             below the dense threshold — results are bit-identical).
+        now:
+            Transmission instant; only stochastic propagation models read
+            it (their per-message draws are keyed on it), so unit-disk
+            callers may omit it.
         """
         if tx_range <= 0.0:
             return np.empty(0, dtype=np.intp)
+        model = self.propagation
+        if model is None:
+            if backend is not None:
+                hit = backend.neighbors_within(positions[sender], tx_range)
+            else:
+                d = distances_from(positions[sender], positions)
+                hit = np.flatnonzero(d <= tx_range)
+            return hit[hit != sender]
+        # Superset/subset discipline: fetch candidates within the model's
+        # guaranteed superset radius, then apply the exact per-model
+        # predicate.  The keyed accept() is subset-stable, so any
+        # candidate superset yields the same surviving set.
+        query_r = model.query_radius(tx_range)
         if backend is not None:
-            hit = backend.neighbors_within(positions[sender], tx_range)
+            cand = backend.neighbors_within(positions[sender], query_r)
         else:
-            d = distances_from(positions[sender], positions)
-            hit = np.flatnonzero(d <= tx_range)
-        return hit[hit != sender]
+            d_all = distances_from(positions[sender], positions)
+            cand = np.flatnonzero(d_all <= query_r)
+        cand = cand[cand != sender]
+        if cand.size == 0:
+            return cand.astype(np.intp)
+        d = distances_from(positions[sender], positions[cand])
+        ok = model.accept(sender, cand, d, tx_range, now)
+        # Drop accounting: candidates the unit disk would have reached
+        # but the model rejected.  ``d <= query_r`` keeps the counted
+        # set identical between candidate-generation strategies (any
+        # superset contains every such node).
+        lost = int(np.count_nonzero(~ok & (d <= min(tx_range, query_r))))
+        if lost:
+            self.stats.propagation_losses += lost
+            tel = self.telemetry
+            if tel is not None:
+                tel.count("hello_dropped", lost, reason="propagation")
+                tel.event(
+                    "hello_dropped", t=now, node=sender,
+                    count=lost, reason="propagation",
+                )
+        return cand[ok]
 
     def surviving_hello_receivers(
         self,

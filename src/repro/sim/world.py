@@ -39,6 +39,7 @@ from repro.sim.config import ScenarioConfig
 from repro.sim.engine import Engine, PeriodicTimer
 from repro.sim.hello_batch import HelloReceiverOracle
 from repro.sim.node import SimNode
+from repro.sim.propagation import make_propagation
 from repro.sim.radio import IdealChannel
 from repro.telemetry.core import NULL_TELEMETRY, Telemetry
 from repro.util.errors import ConfigurationError, DenseMaterializationError, ViewError
@@ -103,6 +104,7 @@ class WorldSnapshot:
         "actual_ranges",
         "extended_ranges",
         "normal_range",
+        "propagation",
         "_dist",
         "_logical",
         "_logical_csr",
@@ -124,7 +126,11 @@ class WorldSnapshot:
         logical_csr: CSRGraph | None = None,
         backend: GraphBackend | None = None,
         neighbor_source=None,
+        propagation=None,
     ) -> None:
+        #: non-unit-disk PropagationModel in force, or None (unit disk);
+        #: the in-range predicates below dispatch on this single reference.
+        self.propagation = propagation
         self.time = time
         self.positions = np.asarray(positions, dtype=np.float64)
         n = self.positions.shape[0]
@@ -193,8 +199,20 @@ class WorldSnapshot:
     # dense API (unchanged semantics; raises above the limit at scale)
 
     def in_range(self) -> np.ndarray:
-        """``(n, n)`` boolean: v hears u's transmissions (directed)."""
-        mask = self.dist <= self.extended_ranges[:, np.newaxis]
+        """``(n, n)`` boolean: v hears u's transmissions (directed).
+
+        Under a non-unit-disk propagation model the predicate is the
+        model's (shadowed ranges for ``log-distance``; for the
+        stochastic ``sinr`` model, one keyed reception draw per directed
+        pair at the snapshot instant — reproducible, since the draws are
+        pure functions of the bound seed and the snapshot time).
+        """
+        if self.propagation is None:
+            mask = self.dist <= self.extended_ranges[:, np.newaxis]
+        else:
+            mask = self.propagation.in_range_matrix(
+                self.dist, self.extended_ranges, self.time
+            )
         np.fill_diagonal(mask, False)
         return mask
 
@@ -215,8 +233,24 @@ class WorldSnapshot:
         return directed & directed.T
 
     def original_topology(self) -> np.ndarray:
-        """Undirected unit-disk topology at the normal transmission range."""
+        """Undirected maintainable topology at the normal range.
+
+        Unit disk: ``d <= normal_range``, the paper's original topology.
+        Deterministic-link models (``log-distance``): the links Hello
+        exchange can actually maintain — within the nominal range *and*
+        accepted by the (symmetric) model, so consistency/connectivity
+        arguments keep a sound reference graph.  Stochastic models
+        (``sinr``) have no time-invariant link set; the nominal disk is
+        returned as the documented reference and the oracles that need
+        an exact one skip such worlds.
+        """
         adj = self.dist <= self.normal_range
+        model = self.propagation
+        if model is not None and not model.stochastic:
+            n = self.n_nodes
+            ranges = np.full(n, self.normal_range)
+            adj = adj & model.in_range_matrix(self.dist, ranges, self.time)
+            adj = adj & adj.T  # symmetric by construction; enforce exactly
         np.fill_diagonal(adj, False)
         return adj
 
@@ -266,14 +300,35 @@ class WorldSnapshot:
         return cached
 
     def in_range_csr(self) -> CSRGraph:
-        """CSR form of :meth:`in_range` (per-row extended-range filter)."""
+        """CSR form of :meth:`in_range` (per-row extended-range filter).
+
+        Non-unit-disk models use the superset-radius discipline: the
+        neighborhood CSR is built at the model's superset radius for the
+        largest in-force range, then every edge gets the exact keyed
+        ``accept`` verdict — identical edges to the dense
+        :meth:`in_range`, no ``(n, n)`` allocation.
+        """
         cached = self._cache.get("in_range")
         if cached is None:
             if self.n_nodes == 0:
                 cached = CSRGraph.empty(0)
-            else:
+            elif self.propagation is None:
                 reach = self.neighbor_csr(float(self.extended_ranges.max()))
                 cached = reach.filter_row_radius(self.extended_ranges)
+            else:
+                model = self.propagation
+                reach = self.neighbor_csr(
+                    model.query_radius(float(self.extended_ranges.max()))
+                )
+                senders = reach.rows_array()
+                keep = model.accept(
+                    senders,
+                    reach.indices,
+                    reach.data,
+                    self.extended_ranges[senders],
+                    self.time,
+                )
+                cached = reach.select(np.asarray(keep, dtype=bool))
             self._cache["in_range"] = cached
         return cached
 
@@ -296,7 +351,29 @@ class WorldSnapshot:
 
     def original_csr(self) -> CSRGraph:
         """CSR form of :meth:`original_topology`."""
-        return self.neighbor_csr(self.normal_range)
+        model = self.propagation
+        if model is None or model.stochastic:
+            return self.neighbor_csr(self.normal_range)
+        cached = self._cache.get("original_model")
+        if cached is None:
+            reach = self.neighbor_csr(model.query_radius(self.normal_range))
+            senders = reach.rows_array()
+            keep = (
+                np.asarray(
+                    model.accept(
+                        senders,
+                        reach.indices,
+                        reach.data,
+                        self.normal_range,
+                        self.time,
+                    ),
+                    dtype=bool,
+                )
+                & (reach.data <= self.normal_range)
+            )
+            cached = reach.select(keep).mutual()
+            self._cache["original_model"] = cached
+        return cached
 
 
 class NetworkWorld:
@@ -340,7 +417,12 @@ class NetworkWorld:
         route scalar).  Both routes are bit-identical — same receiver
         arrays, same RNG stream consumption, same table tokens, same
         ``RunStats`` counters (proven by the
-        ``tests/test_property_hello_batch.py`` suite).
+        ``tests/test_property_hello_batch.py`` suite).  Non-unit-disk
+        propagation models compose with both routes: the batched
+        oracle's stale-grid query widens to the model's superset radius
+        and the exact filter becomes the model's keyed predicate, so
+        batched stays bit-identical to scalar under every model
+        (``tests/test_property_propagation.py``).
     """
 
     def __init__(
@@ -374,10 +456,23 @@ class NetworkWorld:
         self.engine.set_telemetry(self._tel)
         self.manager.attach_telemetry(self._tel)
         seeds = SeedSequenceFactory(seed)
+        #: PropagationModel in force (UnitDisk unless configured otherwise).
+        self.propagation = make_propagation(
+            config.propagation, **config.propagation_params
+        )
+        if self.propagation.is_unit_disk:
+            # Unit disk consumes no randomness and threads as None, so
+            # every seam below stays the historical bit-identical path.
+            self._propagation = None
+        else:
+            self._propagation = self.propagation.bind(
+                int(seeds.rng("propagation").integers(2**63))
+            )
         self.channel = IdealChannel(
             propagation_delay=config.propagation_delay,
             hello_loss_rate=config.hello_loss_rate,
             rng=seeds.rng("channel-loss") if config.hello_loss_rate > 0 else None,
+            propagation=self._propagation,
         )
         self.channel.telemetry = self._tel
         self.fault_injector: FaultInjector | None = None
@@ -433,7 +528,9 @@ class NetworkWorld:
                 config.n_nodes, config.history_depth
             )
             self._oracle: HelloReceiverOracle | None = HelloReceiverOracle(
-                mobility.trajectories, config.normal_range
+                mobility.trajectories,
+                config.normal_range,
+                propagation=self._propagation,
             )
             self.nodes = [
                 SimNode(
@@ -622,7 +719,8 @@ class NetworkWorld:
         stats.hello_messages += 1
         receivers = self.channel.surviving_hello_receivers(
             self.channel.receivers(
-                node_id, all_positions, self.config.normal_range, backend=backend
+                node_id, all_positions, self.config.normal_range,
+                backend=backend, now=t,
             ),
             sender=node_id,
             now=t,
@@ -693,8 +791,25 @@ class NetworkWorld:
         node.hellos_sent += 1
         stats = self.channel.stats
         stats.hello_messages += 1
+        if oracle.propagation is None:
+            hit = oracle.receivers(node_id, t, hello_pos)
+        else:
+            # Fold the oracle's per-query propagation rejects into the
+            # channel counters — the same accounting the scalar route
+            # does inside IdealChannel.receivers.
+            before = oracle.propagation_losses
+            hit = oracle.receivers(node_id, t, hello_pos)
+            lost = oracle.propagation_losses - before
+            if lost:
+                stats.propagation_losses += lost
+                if tel is not None:
+                    tel.count("hello_dropped", lost, reason="propagation")
+                    tel.event(
+                        "hello_dropped", t=t, node=node_id,
+                        count=lost, reason="propagation",
+                    )
         receivers = self.channel.surviving_hello_receivers(
-            oracle.receivers(node_id, t, hello_pos), sender=node_id, now=t
+            hit, sender=node_id, now=t
         )
         if self.config.hello_tx_duration > 0.0:
             receivers = self._drop_collided(
@@ -783,6 +898,11 @@ class NetworkWorld:
         already scheduled); with sub-millisecond airtimes the asymmetry is
         a second-order effect and the model still produces the qualitative
         collision behaviour the paper's future work asks about.
+
+        The interference test is deliberately nominal-range/unit-disk even
+        when a propagation model is armed: a collision is about carrier
+        energy at the receiver, not successful decoding, so the nominal
+        disk is the conservative footprint.
         """
         window = self.config.hello_tx_duration
         recent = self._recent_hellos
@@ -1065,6 +1185,7 @@ class NetworkWorld:
                     normal_range=self.config.normal_range,
                     backend=backend,
                     neighbor_source=lambda r, _t=now: self._sparse_neighbors(_t, r),
+                    propagation=self._propagation,
                 )
             logical = np.zeros((n, n), dtype=bool)
             if ids:
@@ -1093,4 +1214,5 @@ class NetworkWorld:
             normal_range=self.config.normal_range,
             backend=backend,
             neighbor_source=lambda r, _t=now: self._sparse_neighbors(_t, r),
+            propagation=self._propagation,
         )

@@ -28,7 +28,7 @@ EVENT_KINDS: frozenset[str] = frozenset(
         "run_end",  # repetition finished (wall-clock, sample count)
         "hello_sent",  # a node broadcast a Hello (version, receiver count)
         "hello_received",  # a Hello was recorded by a receiver table
-        "hello_dropped",  # deliveries lost (reason: loss | fault | collision)
+        "hello_dropped",  # deliveries lost (reason: loss | fault | collision | propagation)
         "decision_cache_hit",  # manager served a decision from the cache
         "decision_cache_miss",  # manager recomputed a decision
         "range_change",  # a decision changed the node's extended range
