@@ -378,9 +378,10 @@ class RunResult:
     def channel_stats(self) -> dict:
         """Deprecated dict view of :attr:`stats` (use the typed fields)."""
         warnings.warn(
-            "RunResult.channel_stats is deprecated; use RunResult.stats "
-            "(typed RunStats) — .as_dict() reproduces this dict exactly",
-            DeprecationWarning,
+            "RunResult.channel_stats is deprecated and will be removed in "
+            "repro 2.0; use RunResult.stats (typed RunStats) — .as_dict() "
+            "reproduces this dict exactly",
+            FutureWarning,
             stacklevel=2,
         )
         return self.stats.as_dict()
@@ -615,7 +616,7 @@ def run_repetitions_many(
         if collect:
             for run in runs:
                 if run.stats.telemetry is not None:
-                    telemetry.absorb(run.stats.telemetry)
+                    telemetry.absorb(run.stats.telemetry, source=run.seed)
     return [
         aggregate_runs(spec, runs[k * repetitions : (k + 1) * repetitions])
         for k, spec in enumerate(specs)

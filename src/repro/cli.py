@@ -68,14 +68,67 @@ _FIGURES = {
 }
 
 
-def _add_workers_flag(p: argparse.ArgumentParser) -> None:
-    p.add_argument(
+def _orchestration_parent() -> argparse.ArgumentParser:
+    """The shared execution/orchestration flags, as an argparse parent.
+
+    One definition serves every campaign-running verb (run, figures,
+    all, report, equivalence, fuzz, serve, submit), so flag names, types,
+    defaults, and help text cannot drift between commands.
+    """
+    from repro.orchestrator.backend import available_backends
+
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
         "--workers",
         type=int,
         default=None,
         help="processes for repetition fan-out (default: REPRO_WORKERS env "
         "var, else 1); results are identical at any worker count",
     )
+    parent.add_argument(
+        "--backend",
+        choices=available_backends(),
+        default=None,
+        help="execution backend: inprocess (synchronous), local "
+        "(fault-contained worker pool; default), queue (work-stealing "
+        "worker processes over the shared --store)",
+    )
+    parent.add_argument(
+        "--store",
+        metavar="PATH",
+        default=None,
+        help="checkpoint every work unit into this SQLite run store "
+        "(created if missing); inspect it with `repro runs`",
+    )
+    parent.add_argument(
+        "--resume",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="skip units already completed in --store (default: on); "
+        "--no-resume re-executes everything, idempotently overwriting",
+    )
+    parent.add_argument(
+        "--retries",
+        type=int,
+        default=1,
+        help="extra attempts per failing unit before quarantining it "
+        "(default: 1)",
+    )
+    parent.add_argument(
+        "--unit-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-unit wall-clock bound, enforced inside worker processes",
+    )
+    parent.add_argument(
+        "--max-units",
+        type=int,
+        default=None,
+        help="execute at most this many fresh units, then stop with exit "
+        "code 3 (completed work is checkpointed; rerun to continue)",
+    )
+    return parent
 
 
 def _add_telemetry_flag(p: argparse.ArgumentParser) -> None:
@@ -91,44 +144,6 @@ def _add_telemetry_flag(p: argparse.ArgumentParser) -> None:
     )
 
 
-def _add_store_flags(p: argparse.ArgumentParser) -> None:
-    p.add_argument(
-        "--store",
-        metavar="PATH",
-        default=None,
-        help="checkpoint every work unit into this SQLite run store "
-        "(created if missing); inspect it with `repro runs`",
-    )
-    p.add_argument(
-        "--resume",
-        action=argparse.BooleanOptionalAction,
-        default=True,
-        help="skip units already completed in --store (default: on); "
-        "--no-resume re-executes everything, idempotently overwriting",
-    )
-    p.add_argument(
-        "--retries",
-        type=int,
-        default=1,
-        help="extra attempts per failing unit before quarantining it "
-        "(default: 1)",
-    )
-    p.add_argument(
-        "--unit-timeout",
-        type=float,
-        default=None,
-        metavar="SECONDS",
-        help="per-unit wall-clock bound, enforced inside worker processes",
-    )
-    p.add_argument(
-        "--max-units",
-        type=int,
-        default=None,
-        help="execute at most this many fresh units, then stop with exit "
-        "code 3 (completed work is checkpointed; rerun to continue)",
-    )
-
-
 def build_parser() -> argparse.ArgumentParser:
     """The repro-experiment argument parser."""
     parser = argparse.ArgumentParser(
@@ -136,9 +151,14 @@ def build_parser() -> argparse.ArgumentParser:
         description="Reproduce Wu & Dai, mobility-sensitive topology control.",
     )
     sub = parser.add_subparsers(dest="command", required=True)
+    orchestration = _orchestration_parent()
 
     for name in [*_FIGURES, "all"]:
-        p = sub.add_parser(name, help=f"regenerate {name}" if name != "all" else "everything")
+        p = sub.add_parser(
+            name,
+            help=f"regenerate {name}" if name != "all" else "everything",
+            parents=[orchestration],
+        )
         p.add_argument("--scale", choices=sorted(_SCALES), default="quick")
         p.add_argument("--seed", type=int, default=2026)
         p.add_argument("--csv", help="write result rows to this CSV file")
@@ -146,18 +166,18 @@ def build_parser() -> argparse.ArgumentParser:
             "--no-chart", dest="chart", action="store_false",
             help="suppress the ASCII chart rendering",
         )
-        _add_workers_flag(p)
         _add_telemetry_flag(p)
-        _add_store_flags(p)
 
-    p = sub.add_parser("report", help="run the full campaign and write EXPERIMENTS.md")
+    p = sub.add_parser(
+        "report",
+        help="run the full campaign and write EXPERIMENTS.md",
+        parents=[orchestration],
+    )
     p.add_argument("--scale", choices=sorted(_SCALES), default="quick")
     p.add_argument("--seed", type=int, default=2026)
     p.add_argument("--output", default="EXPERIMENTS.md")
     p.add_argument("--html", help="also write a standalone HTML report here")
-    _add_workers_flag(p)
     _add_telemetry_flag(p)
-    _add_store_flags(p)
 
     p = sub.add_parser("unicast", help="GFG/GPSR unicast over maintained topologies")
     p.add_argument("--scale", choices=sorted(_SCALES), default="quick")
@@ -169,14 +189,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=2026)
     p.add_argument("--budget", type=float, default=5e6)
 
-    p = sub.add_parser("equivalence", help="speed-range equivalence study (Sec. 5.1)")
+    p = sub.add_parser(
+        "equivalence",
+        help="speed-range equivalence study (Sec. 5.1)",
+        parents=[orchestration],
+    )
     p.add_argument("--scale", choices=sorted(_SCALES), default="quick")
     p.add_argument("--seed", type=int, default=2026)
-    _add_workers_flag(p)
+    _add_telemetry_flag(p)
 
     p = sub.add_parser(
         "fuzz",
         help="differential fault-injection fuzzing against the paper's theorems",
+        parents=[orchestration],
     )
     p.add_argument("--runs", type=int, default=25, help="random cases to execute")
     p.add_argument("--seed", type=int, default=0, help="campaign seed (case i is a pure function of (seed, i))")
@@ -206,15 +231,6 @@ def build_parser() -> argparse.ArgumentParser:
         "--out-dir", default=None,
         help="write shrunk failing cases as JSON repros into this directory",
     )
-    p.add_argument(
-        "--store", metavar="PATH", default=None,
-        help="persist case verdicts as kind=fuzz units in this run store",
-    )
-    p.add_argument(
-        "--resume", action=argparse.BooleanOptionalAction, default=True,
-        help="replay already-executed cases from --store instead of "
-        "re-simulating them (default: on)",
-    )
 
     p = sub.add_parser("runs", help="inspect and export a run store")
     runs_sub = p.add_subparsers(dest="runs_command", required=True)
@@ -237,7 +253,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_export.add_argument("--jsonl", metavar="PATH", default=None)
     p_export.add_argument("--csv", metavar="PATH", default=None)
 
-    p = sub.add_parser("run", help="run one custom configuration")
+    p = sub.add_parser(
+        "run", help="run one custom configuration", parents=[orchestration]
+    )
     p.add_argument("--protocol", choices=available_protocols(), default="rng")
     p.add_argument(
         "--mechanism",
@@ -267,9 +285,59 @@ def build_parser() -> argparse.ArgumentParser:
         help="propagation-model constructor parameter, repeatable "
         "(e.g. --propagation-param sigma_db=6)",
     )
-    _add_workers_flag(p)
     _add_telemetry_flag(p)
-    _add_store_flags(p)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the HTTP experiment service",
+        parents=[orchestration],
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8642)
+    p.add_argument(
+        "--data-dir", default=None,
+        help="directory holding one run-store database per campaign "
+        "(default: a fresh temporary directory)",
+    )
+
+    p = sub.add_parser(
+        "submit",
+        help="submit a sweep campaign to a running experiment service",
+        parents=[orchestration],
+    )
+    p.add_argument(
+        "--url", default="http://127.0.0.1:8642",
+        help="service base URL (see `repro serve`)",
+    )
+    p.add_argument("--scale", choices=sorted(_SCALES), default="quick")
+    p.add_argument(
+        "--speeds", default=None,
+        help="comma-separated mean speeds (m/s) to sweep "
+        "(default: the scale's speed axis)",
+    )
+    p.add_argument("--protocol", choices=available_protocols(), default="rng")
+    p.add_argument(
+        "--mechanism",
+        choices=["baseline", "view-sync", "proactive", "reactive", "weak"],
+        default="baseline",
+    )
+    p.add_argument("--buffer", type=float, default=0.0, help="buffer width, m")
+    p.add_argument("--repetitions", type=int, default=None,
+                   help="seeds per speed (default: the scale's repetitions)")
+    p.add_argument("--seed", type=int, default=2026)
+    p.add_argument(
+        "--wait", action=argparse.BooleanOptionalAction, default=True,
+        help="poll until the campaign finishes (default: on)",
+    )
+    p.add_argument(
+        "--export", metavar="PATH", default=None,
+        help="after completion, write the campaign's deterministic "
+        "run-store JSONL export here",
+    )
+    p.add_argument(
+        "--events", type=int, default=0, metavar="N",
+        help="tail up to N live telemetry JSONL lines while waiting",
+    )
     return parser
 
 
@@ -317,9 +385,9 @@ def _with_telemetry(args: argparse.Namespace, fn) -> int:
 def _with_orchestrator(args: argparse.Namespace, fn) -> int:
     """Run *fn* under an armed :class:`OrchestrationContext` when asked.
 
-    Armed by any of ``--store``, ``--max-units``, ``--unit-timeout``, or a
-    non-default ``--retries``; otherwise *fn* runs on the plain in-memory
-    fan-out path.  Sweeps reach the context ambiently through
+    Armed by any of ``--store``, ``--backend``, ``--max-units``,
+    ``--unit-timeout``, or a non-default ``--retries``; otherwise *fn*
+    runs on the plain in-memory fan-out path.  Sweeps reach the context ambiently through
     :func:`repro.orchestrator.use_orchestrator`, so figure generators and
     campaigns need no parameter threading.  Exit code 3 means the unit
     budget was exhausted (work so far is checkpointed; rerun to continue).
@@ -327,6 +395,7 @@ def _with_orchestrator(args: argparse.Namespace, fn) -> int:
     store_path = getattr(args, "store", None)
     armed = (
         store_path is not None
+        or getattr(args, "backend", None) is not None
         or getattr(args, "max_units", None) is not None
         or getattr(args, "unit_timeout", None) is not None
         or getattr(args, "retries", 1) != 1
@@ -348,6 +417,7 @@ def _with_orchestrator(args: argparse.Namespace, fn) -> int:
         unit_timeout=getattr(args, "unit_timeout", None),
         resume=getattr(args, "resume", True),
         max_units=getattr(args, "max_units", None),
+        backend=getattr(args, "backend", None),
     )
     try:
         with context:
@@ -584,11 +654,20 @@ def _run_fuzz(args: argparse.Namespace) -> int:
         mark = "FAIL" if result.failed else "ok"
         print(f"[{i + 1:>3}/{args.runs}] {mark:<4} {case.describe()}")
 
+    for flag in ("workers", "backend", "unit_timeout"):
+        if getattr(args, flag, None) not in (None, 1):
+            print(
+                f"[fuzz] note: --{flag.replace('_', '-')} does not apply — "
+                "fuzz cases run sequentially in-process (case i must see "
+                "case i's exact RNG stream)"
+            )
     store = None
     if args.store:
         from repro.orchestrator import RunStore
 
         store = RunStore(args.store)
+    from repro.orchestrator.runner import CampaignInterrupted
+
     try:
         report = fuzz(
             runs=args.runs,
@@ -602,7 +681,11 @@ def _run_fuzz(args: argparse.Namespace) -> int:
             progress=progress,
             store=store,
             resume=args.resume,
+            max_fresh=args.max_units,
         )
+    except CampaignInterrupted as exc:
+        print(f"\n[fuzz] interrupted: {exc}")
+        return 3
     finally:
         if store is not None:
             tally = store.counts()
@@ -620,6 +703,98 @@ def _run_fuzz(args: argparse.Namespace) -> int:
     for path in report.saved:
         print(f"repro written: {path}")
     return 0 if report.ok else 1
+
+
+def _run_serve(args: argparse.Namespace) -> int:
+    from repro.service import ExperimentService
+    from repro.service.server import run_service
+
+    if args.store:
+        print(
+            "[serve] note: --store is ignored — each campaign gets its own "
+            "run store under --data-dir"
+        )
+    service = ExperimentService(
+        data_dir=args.data_dir,
+        default_backend=args.backend or "local",
+        default_workers=max(1, args.workers or 1),
+    )
+    return run_service(service, host=args.host, port=args.port)
+
+
+def _run_submit(args: argparse.Namespace) -> int:
+    from repro.service.client import ServiceClient, ServiceError
+
+    scale = _SCALES[args.scale]
+    speeds = (
+        [float(v) for v in args.speeds.split(",") if v.strip()]
+        if args.speeds
+        else list(scale.speeds)
+    )
+    cfg = scale.config()
+    specs = [
+        ExperimentSpec(
+            protocol=args.protocol,
+            mechanism=args.mechanism,
+            buffer_width=args.buffer,
+            mean_speed=speed,
+            config=cfg,
+        ).as_dict()
+        for speed in speeds
+    ]
+    document = {
+        "specs": specs,
+        "repetitions": args.repetitions or scale.repetitions,
+        "base_seed": args.seed,
+        "resume": args.resume,
+    }
+    if args.backend:
+        document["backend"] = args.backend
+    if args.workers:
+        document["workers"] = args.workers
+    if args.retries != 1:
+        document["retries"] = args.retries
+    if args.unit_timeout is not None:
+        document["unit_timeout"] = args.unit_timeout
+    if args.max_units is not None:
+        document["max_units"] = args.max_units
+    client = ServiceClient(args.url)
+    try:
+        created = client.submit(document)
+        cid = created["id"]
+        print(
+            f"[submit] campaign {cid}: {len(specs)} spec(s) × "
+            f"{document['repetitions']} repetition(s) via "
+            f"{created['backend']} backend at {args.url}"
+        )
+        if args.events:
+            for line in client.events(cid, max_lines=args.events):
+                print(line)
+        if not args.wait:
+            return 0
+        final = client.wait(cid)
+    except ServiceError as exc:
+        print(f"[submit] {exc}")
+        return 1
+    print(f"[submit] {cid} finished: {final['state']}")
+    for key in ("executed_units", "resumed_units", "quarantined_units"):
+        if key in final:
+            print(f"[submit]   {key.replace('_', ' ')}: {final[key]}")
+    for aggregate in final.get("aggregates", ()):
+        print(
+            f"[submit]   {aggregate['spec']}: connectivity "
+            f"{aggregate['connectivity']:.4f} over {aggregate['runs']} run(s)"
+        )
+    if final.get("error"):
+        print(f"[submit]   error: {final['error']}")
+    if args.export:
+        payload = client.export(cid, deterministic=True)
+        with open(args.export, "wb") as fh:
+            fh.write(payload)
+        print(f"[submit] wrote deterministic export to {args.export}")
+    if final["state"] == "interrupted":
+        return 3
+    return 0 if final["state"] in ("done", "cancelled") else 1
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -642,7 +817,13 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "lifetime":
         return _run_lifetime(args)
     if args.command == "equivalence":
-        return _run_equivalence(args)
+        return _with_telemetry(
+            args, lambda: _with_orchestrator(args, lambda: _run_equivalence(args))
+        )
+    if args.command == "serve":
+        return _run_serve(args)
+    if args.command == "submit":
+        return _run_submit(args)
     return _with_telemetry(
         args, lambda: _with_orchestrator(args, lambda: _run_figures(args))
     )

@@ -521,6 +521,7 @@ def fuzz(
     progress: Callable[[int, FuzzCase, CaseResult], None] | None = None,
     store: "RunStore | None" = None,
     resume: bool = True,
+    max_fresh: int | None = None,
 ) -> FuzzReport:
     """Run a deterministic fuzz campaign; shrink and serialize failures.
 
@@ -535,10 +536,18 @@ def fuzz(
     are replayed from their stored verdicts (findings included) instead
     of re-simulated.  Resumed failures are not re-shrunk or re-saved —
     shrinking happened in the session that first executed them.
+
+    *max_fresh* bounds the freshly-simulated cases: once the budget is
+    spent the campaign stops with
+    :class:`~repro.orchestrator.runner.CampaignInterrupted` (executed
+    cases are already checkpointed in *store*; rerun with resume to
+    continue) — the same budget semantics sweep campaigns get from
+    ``--max-units``.
     """
     factory = SeedSequenceFactory(seed)
     failures: list[CaseResult] = []
     saved: list[Path] = []
+    fresh = 0
     for i in range(runs):
         rng = factory.rng(f"fuzz-case-{i}")
         case = random_case(
@@ -570,7 +579,16 @@ def fuzz(
                     if progress is not None:
                         progress(i, case, result)
                     continue
+        if max_fresh is not None and fresh >= max_fresh:
+            from repro.orchestrator.runner import CampaignInterrupted
+
+            raise CampaignInterrupted(
+                f"fuzz case budget exhausted after {fresh} fresh case(s); "
+                f"executed cases are checkpointed — rerun with --resume to "
+                f"continue"
+            )
         result = run_case(case, deep=deep, differential=differential)
+        fresh += 1
         if result.failed:
             if shrink and len(case.schedule):
                 small = shrink_case(case, deep=deep, differential=differential)

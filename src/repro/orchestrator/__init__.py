@@ -6,8 +6,11 @@ Public surface:
   — content-hashed identity of one (spec, seed) repetition;
 - :class:`~repro.orchestrator.store.RunStore` — SQLite-WAL checkpoint
   database with idempotent upserts and JSONL/CSV export;
-- :class:`~repro.orchestrator.pool.WorkerPool` — fault-contained execution
-  (timeout, retry, quarantine);
+- :class:`~repro.orchestrator.backend.ExecutionBackend` and its
+  implementations (``inprocess`` / ``local`` / ``queue``) — the pluggable
+  execution engines behind every campaign (the fault-contained
+  :class:`~repro.orchestrator.pool.WorkerPool` powers the default
+  ``local`` backend);
 - :class:`~repro.orchestrator.runner.OrchestrationContext` +
   :func:`~repro.orchestrator.context.use_orchestrator` — the ambient
   campaign pipeline every sweep routes through;
@@ -37,6 +40,14 @@ __all__ = [
     "STORE_SCHEMA_VERSION",
     "WorkerPool",
     "QuarantinedUnit",
+    "ExecutionBackend",
+    "BackendCapabilities",
+    "UnitOutcome",
+    "InProcessBackend",
+    "LocalPoolBackend",
+    "QueueBackend",
+    "available_backends",
+    "make_backend",
     "OrchestrationContext",
     "CampaignInterrupted",
     "execute_unit",
@@ -54,8 +65,15 @@ _LAZY = {
     "RunStore": "repro.orchestrator.store",
     "UnitRow": "repro.orchestrator.store",
     "STORE_SCHEMA_VERSION": "repro.orchestrator.store",
-    "WorkerPool": "repro.orchestrator.pool",
     "QuarantinedUnit": "repro.orchestrator.pool",
+    "ExecutionBackend": "repro.orchestrator.backend",
+    "BackendCapabilities": "repro.orchestrator.backend",
+    "UnitOutcome": "repro.orchestrator.backend",
+    "InProcessBackend": "repro.orchestrator.backend",
+    "LocalPoolBackend": "repro.orchestrator.backend",
+    "QueueBackend": "repro.orchestrator.backend",
+    "available_backends": "repro.orchestrator.backend",
+    "make_backend": "repro.orchestrator.backend",
     "OrchestrationContext": "repro.orchestrator.runner",
     "CampaignInterrupted": "repro.orchestrator.runner",
     "execute_unit": "repro.orchestrator.runner",
@@ -65,6 +83,23 @@ _LAZY = {
 
 
 def __getattr__(name: str):
+    if name == "WorkerPool":
+        # Still fully supported as the engine of the "local" backend —
+        # but driving it directly skips checkpointing, resume, and the
+        # backend taxonomy, so steer new code to the campaign surface.
+        import warnings
+
+        warnings.warn(
+            "importing WorkerPool from repro.orchestrator is deprecated; "
+            "use repro.api.submit_campaign(..., backend='local') or "
+            "OrchestrationContext(backend=...) — for the raw pool, import "
+            "repro.orchestrator.pool.WorkerPool explicitly",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from repro.orchestrator.pool import WorkerPool
+
+        return WorkerPool
     module_name = _LAZY.get(name)
     if module_name is None:
         raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,616 @@
+"""Pluggable execution backends for campaign orchestration.
+
+The :class:`~repro.orchestrator.runner.OrchestrationContext` used to be
+welded to the :class:`~repro.orchestrator.pool.WorkerPool`.  This module
+generalises the execution step behind one small protocol —
+:class:`ExecutionBackend` — with three implementations spanning the
+deployment spectrum:
+
+:class:`InProcessBackend`
+    Executes one unit per :meth:`~ExecutionBackend.poll` call, inline,
+    with no threads or processes.  The reference implementation: tests
+    step it deterministically, and cancellation is exact (nothing is in
+    flight between polls).
+
+:class:`LocalPoolBackend`
+    Wraps today's fault-contained :class:`WorkerPool` (per-unit SIGALRM
+    timeout, bounded retry, quarantine, broken-pool rebuild) unchanged,
+    running it on a feeder thread so the caller keeps a poll/cancel
+    handle.  This is the default backend — ``workers == 1`` reproduces
+    the historical inline behaviour bit for bit.
+
+:class:`QueueBackend`
+    Multi-worker work-stealing over a shared :class:`RunStore`: worker
+    processes claim pending units by content-hash ID under a lease
+    (schema v2), execute them, and record outcomes straight into the
+    store.  Stalled or crashed workers lose their leases and other
+    workers reclaim the units, so the campaign converges regardless of
+    which worker dies.  Results remain bit-identical to a cold run —
+    seeds, not schedulers, define every simulation.
+
+Backends are registered by name (``available_backends`` /
+``make_backend``) so the CLI ``--backend`` flag, the HTTP service, and
+``repro.api.submit_campaign`` all share one taxonomy.
+"""
+
+from __future__ import annotations
+
+import os
+import queue
+import threading
+import time
+from abc import ABC, abstractmethod
+from collections import deque
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.orchestrator.pool import WorkerPool
+from repro.orchestrator.store import RunStore
+from repro.util.errors import ConfigurationError
+
+__all__ = [
+    "BackendCapabilities",
+    "UnitOutcome",
+    "ExecutionBackend",
+    "InProcessBackend",
+    "LocalPoolBackend",
+    "QueueBackend",
+    "available_backends",
+    "make_backend",
+]
+
+
+@dataclass(frozen=True)
+class BackendCapabilities:
+    """What a backend can do, queried by the orchestration layer.
+
+    ``writes_store`` is the load-bearing flag: a backend that records
+    outcomes into the :class:`RunStore` itself (the queue workers do, so
+    a crash between execute and report loses nothing) tells the context
+    *not* to re-record them on receipt.
+    """
+
+    name: str
+    parallel: bool
+    supports_cancel: bool
+    writes_store: bool
+
+
+@dataclass(frozen=True)
+class UnitOutcome:
+    """One finished unit as reported by a backend.
+
+    Either ``result`` (the JSON-ready result document) or ``error`` (the
+    final failure string after retries) is set, never both.
+    """
+
+    unit_id: str
+    ok: bool
+    attempts: int
+    result: dict | None = None
+    error: str | None = None
+
+
+class ExecutionBackend(ABC):
+    """Protocol between the orchestration context and an execution engine.
+
+    Lifecycle: one :meth:`submit_units` call hands the backend a batch of
+    payloads (``{unit_id: payload}``, payloads as consumed by
+    :func:`~repro.orchestrator.runner.execute_unit`); the caller then
+    drains :meth:`poll` until :meth:`done`; :meth:`cancel` asks the
+    backend to stop launching new units (in-flight ones still report).
+    A backend instance serves one batch; :meth:`close` releases whatever
+    it holds.
+    """
+
+    @abstractmethod
+    def submit_units(self, payloads: dict[str, dict]) -> None:
+        """Accept a batch of unit payloads for execution."""
+
+    @abstractmethod
+    def poll(self, timeout: float = 0.1) -> list[UnitOutcome]:
+        """Return outcomes that completed since the last poll.
+
+        May block up to *timeout* seconds waiting for the first one; an
+        empty list means nothing finished in that window (call
+        :meth:`done` to distinguish "still working" from "drained").
+        """
+
+    @abstractmethod
+    def cancel(self) -> None:
+        """Stop launching new units; in-flight units still report."""
+
+    @abstractmethod
+    def capabilities(self) -> BackendCapabilities:
+        """Static description of this backend."""
+
+    @abstractmethod
+    def done(self) -> bool:
+        """Whether every submitted unit has reported (or been cancelled)."""
+
+    def close(self) -> None:
+        """Release threads/processes; idempotent."""
+
+
+# --------------------------------------------------------------------- #
+
+
+class InProcessBackend(ExecutionBackend):
+    """Synchronous reference backend: one unit per :meth:`poll` call.
+
+    No threads, no processes, no timeout enforcement — execution happens
+    inside ``poll`` itself, so tests can single-step a campaign and
+    cancellation between polls is exact.  Retry/quarantine semantics
+    match the :class:`WorkerPool` inline path.
+    """
+
+    def __init__(self, retries: int = 1, backoff: float = 0.0) -> None:
+        from repro.orchestrator.runner import execute_unit
+
+        self._execute = execute_unit
+        self.retries = int(retries)
+        self.backoff = float(backoff)
+        self._pending: deque[tuple[str, dict]] = deque()
+        self._cancelled = False
+
+    def submit_units(self, payloads: dict[str, dict]) -> None:
+        if not self._cancelled:
+            self._pending.extend(payloads.items())
+
+    def poll(self, timeout: float = 0.1) -> list[UnitOutcome]:
+        if self._cancelled or not self._pending:
+            return []
+        uid, payload = self._pending.popleft()
+        attempts = 0
+        while True:
+            attempts += 1
+            try:
+                result = self._execute(payload)
+            except Exception as exc:
+                if attempts <= self.retries:
+                    if self.backoff:
+                        time.sleep(self.backoff * attempts)
+                    continue
+                return [UnitOutcome(uid, ok=False, attempts=attempts,
+                                    error=str(exc))]
+            return [UnitOutcome(uid, ok=True, attempts=attempts,
+                                result=result)]
+
+    def cancel(self) -> None:
+        self._cancelled = True
+        self._pending.clear()
+
+    def capabilities(self) -> BackendCapabilities:
+        return BackendCapabilities(
+            name="inprocess", parallel=False,
+            supports_cancel=True, writes_store=False,
+        )
+
+    def done(self) -> bool:
+        return self._cancelled or not self._pending
+
+
+# --------------------------------------------------------------------- #
+
+
+class LocalPoolBackend(ExecutionBackend):
+    """The :class:`WorkerPool` behind the backend protocol (default).
+
+    ``pool.run`` executes on a feeder thread whose callbacks push
+    :class:`UnitOutcome` objects onto a queue the caller drains via
+    :meth:`poll`; :meth:`cancel` trips the pool's cooperative
+    ``should_stop`` probe.  All fault-containment behaviour (per-unit
+    timeout, retry with backoff, quarantine, broken-pool rebuild) is the
+    pool's, unchanged.
+    """
+
+    def __init__(
+        self,
+        workers: int = 1,
+        retries: int = 1,
+        backoff: float = 0.05,
+    ) -> None:
+        from repro.orchestrator.runner import execute_unit
+
+        self._execute = execute_unit
+        self.workers = int(workers)
+        self.retries = int(retries)
+        self.backoff = float(backoff)
+        self._outcomes: queue.Queue[UnitOutcome] = queue.Queue()
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._submitted = 0
+        self._reported = 0
+
+    def submit_units(self, payloads: dict[str, dict]) -> None:
+        if self._thread is not None:
+            raise ConfigurationError(
+                "LocalPoolBackend serves one batch per instance"
+            )
+        self._submitted = len(payloads)
+        pool = WorkerPool(
+            self._execute,
+            workers=self.workers,
+            retries=self.retries,
+            backoff=self.backoff,
+            should_stop=self._stop.is_set,
+        )
+
+        def on_result(uid: str, result: dict, attempts: int) -> None:
+            self._outcomes.put(
+                UnitOutcome(uid, ok=True, attempts=attempts, result=result)
+            )
+
+        def on_failure(uid: str, error: str, attempts: int) -> None:
+            self._outcomes.put(
+                UnitOutcome(uid, ok=False, attempts=attempts, error=error)
+            )
+
+        self._thread = threading.Thread(
+            target=pool.run,
+            args=(dict(payloads), on_result, on_failure),
+            name="repro-local-pool",
+            daemon=True,
+        )
+        self._thread.start()
+
+    def poll(self, timeout: float = 0.1) -> list[UnitOutcome]:
+        out: list[UnitOutcome] = []
+        try:
+            out.append(self._outcomes.get(timeout=timeout))
+            while True:
+                out.append(self._outcomes.get_nowait())
+        except queue.Empty:
+            pass
+        self._reported += len(out)
+        return out
+
+    def cancel(self) -> None:
+        self._stop.set()
+
+    def capabilities(self) -> BackendCapabilities:
+        return BackendCapabilities(
+            name="local", parallel=self.workers > 1,
+            supports_cancel=True, writes_store=False,
+        )
+
+    def done(self) -> bool:
+        if self._thread is None:
+            return True
+        if self._reported >= self._submitted:
+            return True
+        # The feeder thread exits early on cancel (or after quarantining
+        # everything); once it is gone and the queue is drained, we are
+        # as done as we will ever be.
+        return not self._thread.is_alive() and self._outcomes.empty()
+
+    def close(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=30.0)
+
+
+# --------------------------------------------------------------------- #
+# QueueBackend: work-stealing workers over a shared RunStore
+
+
+def _queue_worker_main(
+    store_path: str,
+    owner: str,
+    unit_timeout: float | None,
+    telemetry: bool,
+    retries: int,
+    lease_seconds: float,
+) -> None:
+    """Worker process body: claim → execute → record, until drained.
+
+    Runs against its *own* store connection (never the parent's).  On a
+    unit failure within the retry budget the lease is released so any
+    worker (this one included) can reclaim it; past the budget the unit
+    is quarantined.  A worker that dies mid-unit simply lets its lease
+    expire — :meth:`RunStore.claim_units` hands the unit to someone else
+    and quarantines it once it has burned ``retries + 1`` claims.
+    """
+    from repro.orchestrator.runner import execute_unit
+
+    store = RunStore(store_path)
+    max_attempts = retries + 1
+    try:
+        while True:
+            if store.cancel_requested():
+                return
+            claimed = store.claim_units(
+                owner, limit=1, lease_seconds=lease_seconds,
+                max_attempts=max_attempts,
+            )
+            if not claimed:
+                # Nothing claimable right now.  Exit only once the
+                # pending pool is empty; otherwise some other worker
+                # holds live leases — linger so this worker can steal
+                # them if that worker stalls and the leases expire.
+                if store.counts().get("pending", 0) == 0:
+                    return
+                time.sleep(min(1.0, lease_seconds / 4.0))
+                continue
+            row = claimed[0]
+            payload = {
+                "spec_json": row.spec_json,
+                "seed": row.seed,
+                "timeout": unit_timeout,
+                "telemetry": telemetry,
+            }
+            beat_done = threading.Event()
+
+            def _beat() -> None:
+                while not beat_done.wait(lease_seconds / 3.0):
+                    store.heartbeat(owner, [row.unit_id], lease_seconds)
+
+            beater = threading.Thread(target=_beat, daemon=True)
+            beater.start()
+            try:
+                document = execute_unit(payload)
+            except Exception as exc:
+                if row.attempts >= max_attempts:
+                    store.record_quarantine(
+                        _row_unit(row), str(exc), attempts=row.attempts
+                    )
+                else:
+                    store.release_unit(row.unit_id)
+            else:
+                store.record_result(
+                    _row_unit(row), document, attempts=row.attempts
+                )
+            finally:
+                beat_done.set()
+                beater.join(timeout=1.0)
+    finally:
+        store.close()
+
+
+def _row_unit(row):
+    """Rebuild the WorkUnit a store row was registered from."""
+    from repro.analysis.experiment import ExperimentSpec
+    from repro.orchestrator.units import WorkUnit
+
+    return WorkUnit(
+        spec=ExperimentSpec.from_json(row.spec_json),
+        seed=row.seed,
+        spec_json=row.spec_json,
+    )
+
+
+class QueueBackend(ExecutionBackend):
+    """Work-stealing execution over a shared :class:`RunStore`.
+
+    ``workers`` processes each run :func:`_queue_worker_main`: claim a
+    pending unit under a lease, execute it, record the outcome directly
+    into the store (``writes_store``), repeat until the queue drains or
+    cancellation is flagged through the store's control table.  The
+    parent's :meth:`poll` watches the store for newly-settled unit IDs
+    and reports them as :class:`UnitOutcome` objects.
+
+    ``workers=0`` is the *inline drain* mode: ``poll`` runs one
+    claim-execute-record cycle in the calling process — the exact worker
+    code path, minus process spawn — which is what the conformance tests
+    step through.
+
+    Duplicate execution (two workers racing one unit across a lease
+    expiry) is harmless by construction: units are content-addressed and
+    results are idempotent upserts, so the second writer converges on
+    the same row.
+    """
+
+    def __init__(
+        self,
+        store: RunStore | str | Path | None = None,
+        workers: int = 2,
+        retries: int = 1,
+        lease_seconds: float = 60.0,
+        unit_timeout: float | None = None,
+        respawn_budget: int | None = None,
+    ) -> None:
+        if store is None:
+            raise ConfigurationError(
+                "QueueBackend needs a RunStore (or its path): the shared "
+                "store IS the work queue — pass --store/store="
+            )
+        self._store = store if isinstance(store, RunStore) else RunStore(store)
+        if not isinstance(store, RunStore):
+            self._owns_store = True
+        else:
+            self._owns_store = False
+        if workers < 0:
+            raise ValueError(f"workers must be >= 0, got {workers}")
+        self.workers = int(workers)
+        self.retries = int(retries)
+        self.lease_seconds = float(lease_seconds)
+        self.unit_timeout = unit_timeout
+        self.respawn_budget = (
+            int(respawn_budget) if respawn_budget is not None
+            else max(2, 2 * max(1, self.workers))
+        )
+        self._procs: list = []
+        self._watch: dict[str, bool] = {}
+        self._telemetry = False
+        self._cancelled = False
+
+    # ---------------------------------------------------------------- #
+
+    def submit_units(self, payloads: dict[str, dict]) -> None:
+        # Units are already registered as pending rows by the context;
+        # the store is the queue, so submission is just bookkeeping plus
+        # worker spawn.  Per-batch execution knobs ride on the backend.
+        for uid, payload in payloads.items():
+            self._watch.setdefault(uid, False)
+            self._telemetry = bool(payload.get("telemetry"))
+            if payload.get("timeout") is not None:
+                self.unit_timeout = payload["timeout"]
+        if self.workers > 0 and not self._procs:
+            self._spawn(self.workers)
+
+    def _spawn(self, n: int) -> None:
+        import multiprocessing as mp
+
+        for i in range(n):
+            owner = f"worker-{os.getpid()}-{len(self._procs)}"
+            proc = mp.Process(
+                target=_queue_worker_main,
+                args=(
+                    str(self._store.path), owner, self.unit_timeout,
+                    self._telemetry, self.retries, self.lease_seconds,
+                ),
+                daemon=True,
+            )
+            proc.start()
+            self._procs.append(proc)
+
+    def _inline_drain_step(self) -> None:
+        """workers=0: run one claim-execute-record cycle in-process."""
+        from repro.orchestrator.runner import execute_unit
+
+        if self._store.cancel_requested():
+            return
+        claimed = self._store.claim_units(
+            f"inline-{os.getpid()}", limit=1,
+            lease_seconds=self.lease_seconds,
+            max_attempts=self.retries + 1,
+        )
+        if not claimed:
+            return
+        row = claimed[0]
+        payload = {
+            "spec_json": row.spec_json,
+            "seed": row.seed,
+            "timeout": self.unit_timeout,
+            "telemetry": self._telemetry,
+        }
+        try:
+            document = execute_unit(payload)
+        except Exception as exc:
+            if row.attempts >= self.retries + 1:
+                self._store.record_quarantine(
+                    _row_unit(row), str(exc), attempts=row.attempts
+                )
+            else:
+                self._store.release_unit(row.unit_id)
+        else:
+            self._store.record_result(
+                _row_unit(row), document, attempts=row.attempts
+            )
+
+    def poll(self, timeout: float = 0.1) -> list[UnitOutcome]:
+        if self.workers == 0:
+            self._inline_drain_step()
+        out = self._collect_settled()
+        if self.workers > 0:
+            self._reap_and_respawn()
+            if not out and not self.done():
+                time.sleep(min(timeout, 0.1))
+                out = self._collect_settled()
+        return out
+
+    def _collect_settled(self) -> list[UnitOutcome]:
+        fresh = [uid for uid, seen in self._watch.items() if not seen]
+        out: list[UnitOutcome] = []
+        if not fresh:
+            return out
+        for row in self._store.units():
+            if row.unit_id not in self._watch or self._watch[row.unit_id]:
+                continue
+            if row.status == "done":
+                import json as _json
+
+                out.append(
+                    UnitOutcome(
+                        row.unit_id, ok=True, attempts=row.attempts,
+                        result=_json.loads(row.result_json),
+                    )
+                )
+                self._watch[row.unit_id] = True
+            elif row.status == "quarantined":
+                out.append(
+                    UnitOutcome(
+                        row.unit_id, ok=False, attempts=row.attempts,
+                        error=row.error or "quarantined",
+                    )
+                )
+                self._watch[row.unit_id] = True
+        return out
+
+    def _reap_and_respawn(self) -> None:
+        live = [p for p in self._procs if p.is_alive()]
+        died = len(self._procs) - len(live)
+        self._procs = live
+        if died and not self._cancelled and self.respawn_budget > 0:
+            remaining = any(not seen for seen in self._watch.values())
+            if remaining and not self._store.cancel_requested():
+                n = min(died, self.respawn_budget)
+                self.respawn_budget -= n
+                self._spawn(n)
+
+    def cancel(self) -> None:
+        self._cancelled = True
+        self._store.request_cancel()
+
+    def capabilities(self) -> BackendCapabilities:
+        return BackendCapabilities(
+            name="queue", parallel=self.workers != 1,
+            supports_cancel=True, writes_store=True,
+        )
+
+    def done(self) -> bool:
+        if all(self._watch.values()):
+            return True
+        if self._cancelled:
+            return not any(p.is_alive() for p in self._procs)
+        if self.workers == 0:
+            # Inline mode is done when nothing is claimable any more
+            # (cancelled, or every watched unit settled — handled above).
+            return self._store.cancel_requested()
+        if any(p.is_alive() for p in self._procs):
+            return False
+        # No live workers and unsettled units remain: done only once the
+        # respawn budget is spent (poll respawns while budget lasts).
+        return self.respawn_budget <= 0
+
+    def close(self) -> None:
+        for proc in self._procs:
+            if proc.is_alive():
+                proc.join(timeout=30.0)
+            if proc.is_alive():  # pragma: no cover - stuck worker
+                proc.terminate()
+        self._procs = []
+        if self._owns_store:
+            self._store.close()
+
+
+# --------------------------------------------------------------------- #
+# registry
+
+_BACKENDS = {
+    "inprocess": InProcessBackend,
+    "local": LocalPoolBackend,
+    "queue": QueueBackend,
+}
+
+
+def available_backends() -> tuple[str, ...]:
+    """Registered backend names, stable order (CLI choices, docs)."""
+    return tuple(_BACKENDS)
+
+
+def make_backend(name: str, **options) -> ExecutionBackend:
+    """Build a backend by registry name.
+
+    *options* are forwarded to the backend constructor; unknown names
+    raise :class:`~repro.util.errors.ConfigurationError` listing the
+    taxonomy, so CLI/service errors teach the valid choices.
+    """
+    try:
+        cls = _BACKENDS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown execution backend {name!r}; "
+            f"available: {', '.join(available_backends())}"
+        ) from None
+    return cls(**options)

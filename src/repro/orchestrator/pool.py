@@ -99,6 +99,13 @@ class WorkerPool:
         Extra attempts after the first failure before quarantining.
     backoff:
         Sleep before retry *k* is ``backoff * k`` seconds (linear).
+    should_stop:
+        Optional cooperative cancellation probe, polled between units.
+        When it returns True the pool stops launching new units, lets
+        in-flight ones finish (their callbacks still fire), and returns
+        early — unstarted units simply get no callback, which is how
+        :meth:`OrchestrationContext.cancel` turns into
+        ``CampaignInterrupted`` without killing anything mid-write.
     """
 
     def __init__(
@@ -107,6 +114,7 @@ class WorkerPool:
         workers: int = 1,
         retries: int = 1,
         backoff: float = 0.05,
+        should_stop: Callable[[], bool] | None = None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -116,6 +124,10 @@ class WorkerPool:
         self.workers = int(workers)
         self.retries = int(retries)
         self.backoff = float(backoff)
+        self.should_stop = should_stop
+
+    def _stopped(self) -> bool:
+        return self.should_stop is not None and self.should_stop()
 
     # ------------------------------------------------------------------ #
 
@@ -145,6 +157,8 @@ class WorkerPool:
 
     def _run_inline(self, payloads, on_result, on_failure) -> None:
         for uid, payload in payloads.items():
+            if self._stopped():
+                return
             attempts = 0
             while True:
                 attempts += 1
@@ -171,6 +185,12 @@ class WorkerPool:
         futures: dict[object, str] = {}
         try:
             while queue or futures:
+                if self._stopped():
+                    # Stop feeding; report what's already in flight, then
+                    # bail.  Cancelled futures never started a unit.
+                    queue.clear()
+                    if not futures:
+                        return
                 now = time.monotonic()
                 # Submit everything currently runnable (not in backoff).
                 deferred: list[str] = []

@@ -9,11 +9,14 @@ flows through this pipeline:
 
 1. **Resume** — units whose ID is already ``done`` in the
    :class:`~repro.orchestrator.store.RunStore` are loaded, not re-run.
-2. **Execute** — the rest fan out over the
-   :class:`~repro.orchestrator.pool.WorkerPool` (per-unit timeout, bounded
-   retry, quarantine); each completed unit is upserted into the store
-   *immediately*, so a kill at any instant loses at most the in-flight
-   units.
+2. **Execute** — the rest flow through a pluggable
+   :class:`~repro.orchestrator.backend.ExecutionBackend` (the default
+   ``local`` backend wraps the fault-contained
+   :class:`~repro.orchestrator.pool.WorkerPool`: per-unit timeout,
+   bounded retry, quarantine); each completed unit is upserted into the
+   store *immediately*, so a kill at any instant loses at most the
+   in-flight units.  ``backend="queue"`` instead lets several worker
+   processes steal leased units from the shared store.
 3. **Merge** — results are returned in seed order; per-unit telemetry
    summaries are absorbed into the ambient collector when one is armed,
    which is what lifts the old ``--telemetry ⇒ --workers 1`` restriction.
@@ -28,11 +31,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from collections.abc import Callable
+
 from repro.analysis.experiment import ExperimentSpec, RunResult, run_once
+from repro.orchestrator.backend import ExecutionBackend, make_backend
 from repro.orchestrator.context import current_orchestrator, use_orchestrator
 from repro.orchestrator.pool import (
     QuarantinedUnit,
-    WorkerPool,
     clear_unit_timeout,
     install_unit_timeout,
 )
@@ -51,10 +56,12 @@ __all__ = [
 
 
 class CampaignInterrupted(OrchestrationError):
-    """The unit budget (``max_units``) ran out mid-campaign.
+    """The campaign stopped before every unit ran.
 
-    Everything executed so far is already persisted; rerun with resume to
-    continue from the checkpoint.
+    Raised when the unit budget (``max_units``) runs out mid-campaign or
+    when :meth:`OrchestrationContext.cancel` is called.  Everything
+    executed so far is already persisted; rerun with resume to continue
+    from the checkpoint.
     """
 
 
@@ -110,6 +117,15 @@ class OrchestrationContext:
         resume tests and CI smoke use it to kill campaigns mid-sweep).
     backoff:
         Linear retry backoff factor, seconds.
+    backend:
+        Execution engine: a registry name (``"inprocess"``, ``"local"``,
+        ``"queue"``) or a ready :class:`ExecutionBackend` instance.
+        None resolves to ``"local"`` — the historical WorkerPool
+        behaviour, bit for bit.
+    on_progress:
+        Optional hook called (with this context) after each settled
+        unit batch — the HTTP service hangs live telemetry snapshots
+        off it.
 
     Attributes
     ----------
@@ -128,9 +144,12 @@ class OrchestrationContext:
     resume: bool = True
     max_units: int | None = None
     backoff: float = 0.05
+    backend: "str | ExecutionBackend | None" = None
+    on_progress: Callable[["OrchestrationContext"], None] | None = None
     executed_units: int = 0
     resumed_units: int = 0
     quarantined: list[QuarantinedUnit] = field(default_factory=list)
+    cancelled: bool = False
 
     def __enter__(self) -> "OrchestrationContext":
         self._token_ctx = use_orchestrator(self)
@@ -218,37 +237,14 @@ class OrchestrationContext:
                 for unit in to_run
             }
             by_id = {unit.unit_id: unit for unit in to_run}
+            self._drive_backend(payloads, by_id, results, telemetry)
 
-            def on_result(uid: str, document: dict, attempts: int) -> None:
-                unit = by_id[uid]
-                if self.store is not None:
-                    self.store.record_result(unit, document, attempts=attempts)
-                results[uid] = result_from_dict(unit.spec, unit.seed, document)
-                self.executed_units += 1
-                self._absorb(telemetry, results[uid])
-
-            def on_failure(uid: str, error: str, attempts: int) -> None:
-                unit = by_id[uid]
-                if self.store is not None:
-                    self.store.record_quarantine(unit, error, attempts=attempts)
-                self.quarantined.append(
-                    QuarantinedUnit(
-                        unit_id=uid,
-                        label=unit.spec.describe(),
-                        seed=unit.seed,
-                        attempts=attempts,
-                        error=error,
-                    )
-                )
-
-            pool = WorkerPool(
-                execute_unit,
-                workers=self.workers,
-                retries=self.retries,
-                backoff=self.backoff,
+        if self.cancelled:
+            raise CampaignInterrupted(
+                f"campaign cancelled after {self.executed_units} fresh "
+                f"unit(s); completed work is checkpointed — rerun with "
+                f"--resume to continue"
             )
-            pool.run(payloads, on_result, on_failure)
-
         if interrupted:
             raise CampaignInterrupted(
                 f"unit budget exhausted after {self.executed_units} fresh "
@@ -259,11 +255,101 @@ class OrchestrationContext:
 
     # ------------------------------------------------------------------ #
 
+    def _resolve_backend(self) -> ExecutionBackend:
+        """Build (or pass through) the execution backend for one batch."""
+        if isinstance(self.backend, ExecutionBackend):
+            return self.backend
+        name = self.backend or "local"
+        if name == "queue":
+            if self.store is None:
+                raise OrchestrationError(
+                    "backend='queue' needs a store: the shared RunStore is "
+                    "the work queue — pass store=/--store"
+                )
+            return make_backend(
+                "queue", store=self.store, workers=self.workers,
+                retries=self.retries, unit_timeout=self.unit_timeout,
+            )
+        if name == "local":
+            return make_backend(
+                "local", workers=self.workers, retries=self.retries,
+                backoff=self.backoff,
+            )
+        return make_backend(name, retries=self.retries, backoff=self.backoff)
+
+    def cancel(self) -> None:
+        """Stop the in-flight campaign (thread-safe, cooperative).
+
+        In-flight units finish and checkpoint; unstarted units stay
+        pending.  The driving :meth:`run_units` call then raises
+        :class:`CampaignInterrupted`, exactly like an exhausted unit
+        budget — resume continues from the checkpoint.
+        """
+        self.cancelled = True
+        backend = getattr(self, "_active_backend", None)
+        if backend is not None:
+            backend.cancel()
+
+    def _drive_backend(
+        self,
+        payloads: dict[str, dict],
+        by_id: dict[str, WorkUnit],
+        results: dict[str, RunResult],
+        telemetry: Telemetry | None,
+    ) -> None:
+        """Submit one batch and drain outcomes until the backend is done."""
+        backend = self._resolve_backend()
+        record = not backend.capabilities().writes_store
+        self._active_backend = backend
+        try:
+            if self.cancelled:
+                backend.cancel()
+            backend.submit_units(payloads)
+            while True:
+                outcomes = backend.poll()
+                for outcome in outcomes:
+                    unit = by_id[outcome.unit_id]
+                    if outcome.ok:
+                        if self.store is not None and record:
+                            self.store.record_result(
+                                unit, outcome.result, attempts=outcome.attempts
+                            )
+                        results[outcome.unit_id] = result_from_dict(
+                            unit.spec, unit.seed, outcome.result
+                        )
+                        self.executed_units += 1
+                        self._absorb(telemetry, results[outcome.unit_id])
+                    else:
+                        if self.store is not None and record:
+                            self.store.record_quarantine(
+                                unit, outcome.error, attempts=outcome.attempts
+                            )
+                        self.quarantined.append(
+                            QuarantinedUnit(
+                                unit_id=outcome.unit_id,
+                                label=unit.spec.describe(),
+                                seed=unit.seed,
+                                attempts=outcome.attempts,
+                                error=outcome.error,
+                            )
+                        )
+                if outcomes and self.on_progress is not None:
+                    self.on_progress(self)
+                if backend.done():
+                    break
+        finally:
+            self._active_backend = None
+            backend.close()
+
+    # ------------------------------------------------------------------ #
+
     @staticmethod
     def _absorb(telemetry: Telemetry | None, result: RunResult) -> None:
         summary = result.stats.telemetry
         if telemetry is not None and isinstance(summary, TelemetrySummary):
-            telemetry.absorb(summary)
+            # The seed orders gauge resolution: merged gauges are then a
+            # pure function of the unit set, not of completion order.
+            telemetry.absorb(summary, source=result.seed)
 
     def summary_line(self) -> str:
         """One-line progress digest for CLI epilogues."""

@@ -15,15 +15,27 @@ Unit lifecycle::
         │ └──retry×N──▶ quarantined (error recorded, sweep continues)
         └──(resume)───▶ skipped entirely when already done
 
+Schema v2 adds the *work-queue* columns (``lease_owner``,
+``lease_expires``, ``heartbeat_at``) that let several worker processes
+share one store: :meth:`RunStore.claim_units` atomically leases pending
+units to an owner, :meth:`RunStore.heartbeat` keeps live leases fresh,
+and expired leases are reclaimable by any other worker — a stalled
+worker's units simply flow back into the pending pool.  A v1 store is
+migrated in place on open (pure ``ALTER TABLE ... ADD COLUMN``; no row
+rewrites, so a v1 reader's data is never touched destructively).
+
 Exports: :meth:`RunStore.export_jsonl` (one self-contained JSON document
 per unit) and :meth:`RunStore.export_csv` (flat scalar summary per unit),
-both consumed by ``repro runs export``.
+both consumed by ``repro runs export``.  ``export_jsonl``'s
+*deterministic* mode omits wall-clock columns so two campaigns over the
+same units produce byte-identical files.
 """
 
 from __future__ import annotations
 
 import csv
 import json
+import time
 from dataclasses import dataclass
 from pathlib import Path
 import sqlite3
@@ -35,7 +47,12 @@ __all__ = ["STORE_SCHEMA_VERSION", "UnitRow", "RunStore"]
 
 #: Version of the SQLite layout itself (tables/columns), independent of the
 #: unit-content schema in :data:`repro.orchestrator.units.SCHEMA_VERSION`.
-STORE_SCHEMA_VERSION = 1
+#: v2 added the lease/heartbeat work-queue columns; v1 stores migrate in
+#: place on open.
+STORE_SCHEMA_VERSION = 2
+
+#: SQLite layout versions this code can open (older ones migrate forward).
+_MIGRATABLE_VERSIONS = ("1",)
 
 #: Unit states a row may be in.
 _STATUSES = ("pending", "done", "quarantined")
@@ -57,8 +74,17 @@ class UnitRow:
     created_at: str
     updated_at: str
 
-    def as_dict(self, include_payloads: bool = True) -> dict:
-        """JSON-ready form (the ``runs export --format jsonl`` document)."""
+    def as_dict(
+        self,
+        include_payloads: bool = True,
+        include_timestamps: bool = True,
+    ) -> dict:
+        """JSON-ready form (the ``runs export --format jsonl`` document).
+
+        ``include_timestamps=False`` drops the wall-clock columns, which
+        is what makes deterministic exports byte-comparable across
+        machines and runs.
+        """
         out = {
             "unit_id": self.unit_id,
             "kind": self.kind,
@@ -67,9 +93,10 @@ class UnitRow:
             "status": self.status,
             "attempts": self.attempts,
             "error": self.error,
-            "created_at": self.created_at,
-            "updated_at": self.updated_at,
         }
+        if include_timestamps:
+            out["created_at"] = self.created_at
+            out["updated_at"] = self.updated_at
         if include_payloads:
             out["spec"] = json.loads(self.spec_json)
             out["result"] = (
@@ -88,7 +115,11 @@ class RunStore:
         self._conn = sqlite3.connect(str(self.path))
         self._conn.execute("PRAGMA journal_mode=WAL")
         self._conn.execute("PRAGMA synchronous=NORMAL")
+        # Several QueueBackend workers share one database file; block (up
+        # to this long) on a writer's lock instead of failing immediately.
+        self._conn.execute("PRAGMA busy_timeout=10000")
         self._create()
+        self._migrate()
         self._check_schema()
 
     # ------------------------------------------------------------------ #
@@ -117,7 +148,10 @@ class RunStore:
                     result_json TEXT,
                     error TEXT,
                     created_at TEXT NOT NULL DEFAULT (datetime('now')),
-                    updated_at TEXT NOT NULL DEFAULT (datetime('now'))
+                    updated_at TEXT NOT NULL DEFAULT (datetime('now')),
+                    lease_owner TEXT,
+                    lease_expires REAL,
+                    heartbeat_at REAL
                 )
                 """
             )
@@ -131,6 +165,37 @@ class RunStore:
             self._conn.execute(
                 "INSERT OR IGNORE INTO meta (key, value) VALUES (?, ?)",
                 ("unit_schema_version", SCHEMA_VERSION),
+            )
+
+    def _migrate(self) -> None:
+        """Upgrade an older on-disk layout in place (v1 -> v2).
+
+        v2 only *adds* nullable columns, so the migration is a pure
+        ``ALTER TABLE ... ADD COLUMN`` — existing rows, IDs, and result
+        payloads are untouched and the store stays resumable.
+        """
+        row = self._conn.execute(
+            "SELECT value FROM meta WHERE key = 'store_schema_version'"
+        ).fetchone()
+        if row is None or row[0] not in _MIGRATABLE_VERSIONS:
+            return
+        with self._conn:
+            have = {
+                r[1]
+                for r in self._conn.execute("PRAGMA table_info(units)")
+            }
+            for column, decl in (
+                ("lease_owner", "TEXT"),
+                ("lease_expires", "REAL"),
+                ("heartbeat_at", "REAL"),
+            ):
+                if column not in have:
+                    self._conn.execute(
+                        f"ALTER TABLE units ADD COLUMN {column} {decl}"
+                    )
+            self._conn.execute(
+                "UPDATE meta SET value = ? WHERE key = 'store_schema_version'",
+                (str(STORE_SCHEMA_VERSION),),
             )
 
     def _check_schema(self) -> None:
@@ -203,6 +268,8 @@ class RunStore:
                     attempts = excluded.attempts,
                     result_json = excluded.result_json,
                     error = excluded.error,
+                    lease_owner = NULL,
+                    lease_expires = NULL,
                     updated_at = datetime('now')
                 """,
                 (unit_id, kind, label, seed, status, attempts,
@@ -236,6 +303,116 @@ class RunStore:
             unit.unit_id, kind, unit.label, unit.seed, unit.spec_json,
             "quarantined", attempts, None, error,
         )
+
+    # ------------------------------------------------------------------ #
+    # work-queue (schema v2): lease-based claims shared across processes
+
+    def claim_units(
+        self,
+        owner: str,
+        limit: int = 1,
+        lease_seconds: float = 60.0,
+        max_attempts: int | None = None,
+    ) -> list[UnitRow]:
+        """Atomically lease up to *limit* pending units to *owner*.
+
+        A unit is claimable when it is ``pending`` and unleased — or its
+        lease has expired, which is how a crashed or stalled worker's
+        units flow back into the pool.  Each claim increments the row's
+        attempt counter; when *max_attempts* is set, candidates that have
+        already burned that many claims are quarantined here instead of
+        leased (their worker evidently never lived long enough to report
+        a failure).  Claims are serialised by an immediate transaction,
+        so two workers never hold the same unit concurrently.
+        """
+        now = time.time()
+        claimed: list[UnitRow] = []
+        with self._conn:
+            self._conn.execute("BEGIN IMMEDIATE")
+            rows = self._conn.execute(
+                "SELECT unit_id, attempts FROM units"
+                " WHERE status = 'pending'"
+                "   AND (lease_owner IS NULL OR lease_expires < ?)"
+                " ORDER BY rowid LIMIT ?",
+                (now, limit),
+            ).fetchall()
+            for unit_id, attempts in rows:
+                if max_attempts is not None and attempts >= max_attempts:
+                    self._conn.execute(
+                        "UPDATE units SET status = 'quarantined',"
+                        " error = ?, lease_owner = NULL, lease_expires = NULL,"
+                        " updated_at = datetime('now') WHERE unit_id = ?",
+                        (
+                            f"exhausted {attempts} claim(s) without a result "
+                            "(worker crashed or stalled; lease reclaimed)",
+                            unit_id,
+                        ),
+                    )
+                    continue
+                self._conn.execute(
+                    "UPDATE units SET attempts = attempts + 1,"
+                    " lease_owner = ?, lease_expires = ?, heartbeat_at = ?,"
+                    " updated_at = datetime('now') WHERE unit_id = ?",
+                    (owner, now + lease_seconds, now, unit_id),
+                )
+                row = self.get(unit_id)
+                assert row is not None
+                claimed.append(row)
+        return claimed
+
+    def heartbeat(
+        self,
+        owner: str,
+        unit_ids: list[str],
+        lease_seconds: float = 60.0,
+    ) -> None:
+        """Refresh *owner*'s leases so live in-flight units stay claimed."""
+        if not unit_ids:
+            return
+        now = time.time()
+        marks = ",".join("?" * len(unit_ids))
+        with self._conn:
+            self._conn.execute(
+                f"UPDATE units SET lease_expires = ?, heartbeat_at = ?"
+                f" WHERE lease_owner = ? AND unit_id IN ({marks})",
+                (now + lease_seconds, now, owner, *unit_ids),
+            )
+
+    def release_unit(self, unit_id: str) -> None:
+        """Return a leased unit to the pool without recording an outcome."""
+        with self._conn:
+            self._conn.execute(
+                "UPDATE units SET lease_owner = NULL, lease_expires = NULL"
+                " WHERE unit_id = ?",
+                (unit_id,),
+            )
+
+    # ------------------------------------------------------------------ #
+    # control flags (campaign-level signalling through the shared store)
+
+    def set_control(self, key: str, value: str) -> None:
+        """Set a campaign control flag (e.g. cancellation) in the store."""
+        with self._conn:
+            self._conn.execute(
+                "INSERT INTO meta (key, value) VALUES (?, ?)"
+                " ON CONFLICT(key) DO UPDATE SET value = excluded.value",
+                (f"control:{key}", value),
+            )
+
+    def get_control(self, key: str) -> str | None:
+        """Read a control flag set by :meth:`set_control` (None if unset)."""
+        row = self._conn.execute(
+            "SELECT value FROM meta WHERE key = ?", (f"control:{key}",)
+        ).fetchone()
+        return row[0] if row is not None else None
+
+    def request_cancel(self) -> None:
+        """Ask every worker sharing this store to stop claiming units."""
+        self.set_control("cancel", "1")
+
+    def cancel_requested(self) -> bool:
+        """Whether :meth:`request_cancel` has been called on this store."""
+        return self.get_control("cancel") == "1"
 
     # ------------------------------------------------------------------ #
     # reads
@@ -309,9 +486,42 @@ class RunStore:
     # ------------------------------------------------------------------ #
     # exports
 
-    def export_jsonl(self, path: str | Path) -> int:
-        """Write one JSON document per unit; returns the line count."""
+    @staticmethod
+    def _strip_result_wall_clock(result: object) -> None:
+        """Drop per-run span timings (``*_s`` keys) from an embedded
+        telemetry block, in place.
+
+        Span *counts* are simulation-driven and stay; the timing moments
+        are wall clock, so a deterministic export must shed them the same
+        way it sheds the row timestamps.
+        """
+        if not isinstance(result, dict):
+            return
+        stats = result.get("stats")
+        telemetry = stats.get("telemetry") if isinstance(stats, dict) else None
+        spans = telemetry.get("spans") if isinstance(telemetry, dict) else None
+        if not isinstance(spans, dict):
+            return
+        for span in spans.values():
+            if isinstance(span, dict):
+                for key in [k for k in span if k.endswith("_s")]:
+                    del span[key]
+
+    def export_jsonl(
+        self, path: str | Path, deterministic: bool = False
+    ) -> int:
+        """Write one JSON document per unit; returns the line count.
+
+        *deterministic* omits every wall-clock field — the timestamp
+        columns and the per-run telemetry span timings embedded in
+        results — and sorts rows by unit ID instead of insertion order,
+        so two stores holding the same unit outcomes export byte-identical
+        files regardless of which worker, backend, or machine produced
+        them (the service byte-identity contract rides on this).
+        """
         rows = self.units()
+        if deterministic:
+            rows = sorted(rows, key=lambda r: r.unit_id)
         with open(path, "w", encoding="utf-8") as fh:
             fh.write(
                 json.dumps(
@@ -327,7 +537,10 @@ class RunStore:
                 + "\n"
             )
             for row in rows:
-                fh.write(json.dumps(row.as_dict(), sort_keys=True) + "\n")
+                doc = row.as_dict(include_timestamps=not deterministic)
+                if deterministic:
+                    self._strip_result_wall_clock(doc.get("result"))
+                fh.write(json.dumps(doc, sort_keys=True) + "\n")
         return len(rows) + 1
 
     def export_csv(self, path: str | Path) -> int:

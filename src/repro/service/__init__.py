@@ -1,0 +1,38 @@
+"""Async HTTP experiment service over the campaign fabric.
+
+Public surface:
+
+- :class:`~repro.service.app.ExperimentService` — the campaign registry
+  and its HTTP handlers (``POST /campaigns``, status, live telemetry
+  events, deterministic export, cancel);
+- :func:`~repro.service.server.run_service` /
+  :class:`~repro.service.server.BackgroundServer` — foreground
+  (``repro serve``) and in-process background serving;
+- :class:`~repro.service.client.ServiceClient` — the blocking stdlib
+  client ``repro submit`` and the tests drive the service with.
+
+Everything is standard library only (asyncio + http.client); see
+``docs/SERVICE.md`` for the endpoint contract, backend taxonomy, and
+the determinism guarantees service campaigns inherit.
+"""
+
+from __future__ import annotations
+
+from repro.service.app import CampaignRecord, ExperimentService, summary_records
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.http import HttpError, Request, Response, Router
+from repro.service.server import BackgroundServer, run_service
+
+__all__ = [
+    "CampaignRecord",
+    "ExperimentService",
+    "summary_records",
+    "ServiceClient",
+    "ServiceError",
+    "HttpError",
+    "Request",
+    "Response",
+    "Router",
+    "BackgroundServer",
+    "run_service",
+]

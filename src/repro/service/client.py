@@ -1,0 +1,157 @@
+"""A blocking stdlib client for the experiment service.
+
+``repro submit`` and the endpoint tests drive the service through this
+(``http.client``, no third-party HTTP stack).  The streaming reader
+understands chunked transfer, so :meth:`ServiceClient.events` can tail
+the live telemetry feed line by line.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections.abc import Iterator
+from http.client import HTTPConnection
+from urllib.parse import urlsplit
+
+from repro.util.errors import OrchestrationError
+
+__all__ = ["ServiceClient", "ServiceError"]
+
+#: Terminal campaign states (anything else is still moving).
+TERMINAL_STATES = {"done", "failed", "cancelled", "interrupted"}
+
+
+class ServiceError(OrchestrationError):
+    """An experiment-service request failed (non-2xx response)."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+
+
+class ServiceClient:
+    """Talk to a running experiment service at *base_url*."""
+
+    def __init__(self, base_url: str, timeout: float = 600.0) -> None:
+        parts = urlsplit(base_url if "//" in base_url else f"http://{base_url}")
+        if parts.scheme != "http":
+            raise ServiceError(0, f"only http:// is supported, got {base_url!r}")
+        self.host = parts.hostname or "127.0.0.1"
+        self.port = parts.port or 80
+        self.timeout = timeout
+
+    # ---------------------------------------------------------------- #
+
+    def _request(
+        self, method: str, path: str, document: dict | None = None
+    ) -> dict:
+        conn = HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            body = (
+                json.dumps(document).encode("utf-8")
+                if document is not None
+                else None
+            )
+            conn.request(
+                method, path, body=body,
+                headers={"Content-Type": "application/json"} if body else {},
+            )
+            response = conn.getresponse()
+            payload = response.read().decode("utf-8")
+            if response.status >= 400:
+                try:
+                    message = json.loads(payload).get("error", payload)
+                except json.JSONDecodeError:
+                    message = payload
+                raise ServiceError(response.status, message)
+            return json.loads(payload) if payload else {}
+        finally:
+            conn.close()
+
+    # ---------------------------------------------------------------- #
+
+    def health(self) -> dict:
+        """``GET /healthz`` — liveness and campaign count."""
+        return self._request("GET", "/healthz")
+
+    def submit(self, document: dict) -> dict:
+        """Submit a campaign document; returns the created campaign."""
+        return self._request("POST", "/campaigns", document)
+
+    def campaigns(self) -> list[dict]:
+        """``GET /campaigns`` — every campaign's status document."""
+        return self._request("GET", "/campaigns")["campaigns"]
+
+    def campaign(self, campaign_id: str) -> dict:
+        """``GET /campaigns/{id}`` — one campaign's status document."""
+        return self._request("GET", f"/campaigns/{campaign_id}")
+
+    def cancel(self, campaign_id: str) -> dict:
+        """``DELETE /campaigns/{id}`` — cooperative cancel."""
+        return self._request("DELETE", f"/campaigns/{campaign_id}")
+
+    def wait(
+        self, campaign_id: str, timeout: float = 600.0, poll: float = 0.1
+    ) -> dict:
+        """Poll until the campaign reaches a terminal state."""
+        deadline = time.monotonic() + timeout
+        while True:
+            doc = self.campaign(campaign_id)
+            if doc["state"] in TERMINAL_STATES:
+                return doc
+            if time.monotonic() > deadline:
+                raise ServiceError(
+                    0, f"campaign {campaign_id} still {doc['state']!r} "
+                    f"after {timeout:g}s"
+                )
+            time.sleep(poll)
+
+    def export(self, campaign_id: str, deterministic: bool = True) -> bytes:
+        """Fetch the campaign's RunStore JSONL export."""
+        flag = "1" if deterministic else "0"
+        conn = HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            conn.request(
+                "GET", f"/campaigns/{campaign_id}/export?deterministic={flag}"
+            )
+            response = conn.getresponse()
+            payload = response.read()
+            if response.status >= 400:
+                raise ServiceError(response.status, payload.decode("utf-8"))
+            return payload
+        finally:
+            conn.close()
+
+    def events(
+        self, campaign_id: str, max_lines: int | None = None
+    ) -> Iterator[str]:
+        """Tail the live telemetry feed; yields JSONL lines as they land.
+
+        Ends when the server closes the stream (campaign finished) or
+        after *max_lines* lines — whichever comes first.
+        """
+        conn = HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            conn.request("GET", f"/campaigns/{campaign_id}/events")
+            response = conn.getresponse()
+            if response.status >= 400:
+                raise ServiceError(
+                    response.status, response.read().decode("utf-8")
+                )
+            yielded = 0
+            # http.client de-chunks transparently; readline() returns
+            # b"" only at end of stream.
+            while True:
+                line = response.readline()
+                if not line:
+                    return
+                text = line.decode("utf-8").rstrip("\n")
+                if not text:
+                    continue
+                yield text
+                yielded += 1
+                if max_lines is not None and yielded >= max_lines:
+                    return
+        finally:
+            conn.close()

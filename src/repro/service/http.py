@@ -1,0 +1,249 @@
+"""A zero-dependency asyncio HTTP/1.1 mini-router.
+
+Just enough HTTP for the experiment service — no third-party framework
+in the base image, and the endpoints need only:
+
+- request-line + header parsing with a bounded ``Content-Length`` body;
+- path templates with ``{placeholder}`` segments
+  (``/campaigns/{campaign_id}/events``);
+- fixed JSON responses and **chunked** streaming responses (the live
+  telemetry feed), written incrementally as an async iterator yields.
+
+Connections are one-shot (``Connection: close``): the clients here are
+the ``repro submit`` CLI, tests, and curl — none of which need
+keep-alive, and one-shot semantics keep the state machine trivial.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import re
+from collections.abc import AsyncIterator, Awaitable, Callable
+from dataclasses import dataclass, field
+from urllib.parse import parse_qsl, urlsplit
+
+__all__ = ["Request", "Response", "Router", "serve"]
+
+#: Refuse request bodies beyond this (the service only ever receives
+#: campaign documents, which are tiny).
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+_REASONS = {
+    200: "OK",
+    201: "Created",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    500: "Internal Server Error",
+}
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request."""
+
+    method: str
+    path: str
+    query: dict[str, str]
+    headers: dict[str, str]
+    body: bytes
+    params: dict[str, str] = field(default_factory=dict)
+
+    def json(self) -> dict:
+        """Decode the body as a JSON object (400 on anything else)."""
+        try:
+            doc = json.loads(self.body.decode("utf-8") or "{}")
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise HttpError(400, f"request body is not valid JSON: {exc}")
+        if not isinstance(doc, dict):
+            raise HttpError(400, "request body must be a JSON object")
+        return doc
+
+
+@dataclass
+class Response:
+    """One response: fixed bytes, or a chunked stream."""
+
+    status: int = 200
+    body: bytes = b""
+    content_type: str = "application/json"
+    stream: AsyncIterator[bytes] | None = None
+
+    @staticmethod
+    def json(document: object, status: int = 200) -> "Response":
+        """A JSON response (sorted keys, trailing newline)."""
+        payload = json.dumps(document, sort_keys=True, indent=2) + "\n"
+        return Response(status=status, body=payload.encode("utf-8"))
+
+    @staticmethod
+    def text(message: str, status: int = 200) -> "Response":
+        """A plain-text response."""
+        return Response(
+            status=status,
+            body=message.encode("utf-8"),
+            content_type="text/plain; charset=utf-8",
+        )
+
+
+class HttpError(Exception):
+    """Raise inside a handler to produce a JSON error response."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+Handler = Callable[[Request], Awaitable[Response]]
+
+
+def _compile(template: str) -> re.Pattern[str]:
+    pattern = re.sub(r"\{(\w+)\}", r"(?P<\1>[^/]+)", template)
+    return re.compile(f"^{pattern}$")
+
+
+class Router:
+    """Method + path-template dispatch table."""
+
+    def __init__(self) -> None:
+        self._routes: list[tuple[str, re.Pattern[str], Handler]] = []
+
+    def route(self, method: str, template: str):
+        """Decorator registering an async handler for METHOD template."""
+
+        def register(handler: Handler) -> Handler:
+            self._routes.append((method.upper(), _compile(template), handler))
+            return handler
+
+        return register
+
+    def resolve(self, method: str, path: str) -> tuple[Handler, dict[str, str]]:
+        """Match a request; raises 404 (no path) or 405 (wrong method)."""
+        path_matched = False
+        for route_method, pattern, handler in self._routes:
+            match = pattern.match(path)
+            if match is None:
+                continue
+            path_matched = True
+            if route_method == method.upper():
+                return handler, match.groupdict()
+        if path_matched:
+            raise HttpError(405, f"method {method} not allowed for {path}")
+        raise HttpError(404, f"no route for {path}")
+
+
+async def _read_request(reader: asyncio.StreamReader) -> Request | None:
+    request_line = await reader.readline()
+    if not request_line:
+        return None
+    try:
+        method, target, _version = request_line.decode("latin-1").split(None, 2)
+    except ValueError:
+        raise HttpError(400, "malformed request line")
+    headers: dict[str, str] = {}
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, sep, value = line.decode("latin-1").partition(":")
+        if sep:
+            headers[name.strip().lower()] = value.strip()
+    length = int(headers.get("content-length", "0") or "0")
+    if length > MAX_BODY_BYTES:
+        raise HttpError(400, f"request body exceeds {MAX_BODY_BYTES} bytes")
+    body = await reader.readexactly(length) if length else b""
+    parts = urlsplit(target)
+    query = dict(parse_qsl(parts.query))
+    return Request(
+        method=method.upper(),
+        path=parts.path,
+        query=query,
+        headers=headers,
+        body=body,
+    )
+
+
+async def _write_response(
+    writer: asyncio.StreamWriter, response: Response
+) -> None:
+    reason = _REASONS.get(response.status, "Unknown")
+    head = [f"HTTP/1.1 {response.status} {reason}"]
+    head.append(f"Content-Type: {response.content_type}")
+    head.append("Connection: close")
+    if response.stream is None:
+        head.append(f"Content-Length: {len(response.body)}")
+        head.append("")
+        head.append("")
+        writer.write("\r\n".join(head).encode("latin-1") + response.body)
+        await writer.drain()
+        return
+    head.append("Transfer-Encoding: chunked")
+    head.append("")
+    head.append("")
+    writer.write("\r\n".join(head).encode("latin-1"))
+    await writer.drain()
+    async for chunk in response.stream:
+        if not chunk:
+            continue
+        writer.write(f"{len(chunk):x}\r\n".encode("latin-1"))
+        writer.write(chunk + b"\r\n")
+        await writer.drain()
+    writer.write(b"0\r\n\r\n")
+    await writer.drain()
+
+
+def _error_response(exc: HttpError) -> Response:
+    return Response.json(
+        {"error": exc.message, "status": exc.status}, status=exc.status
+    )
+
+
+async def _handle_connection(
+    router: Router,
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+) -> None:
+    try:
+        try:
+            request = await _read_request(reader)
+            if request is None:
+                return
+            handler, params = router.resolve(request.method, request.path)
+            request.params = params
+            response = await handler(request)
+        except HttpError as exc:
+            response = _error_response(exc)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            return
+        except Exception as exc:  # noqa: BLE001 - boundary: report, don't die
+            response = Response.json(
+                {"error": f"{type(exc).__name__}: {exc}", "status": 500},
+                status=500,
+            )
+        try:
+            await _write_response(writer, response)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            return
+    finally:
+        try:
+            writer.close()
+            await writer.wait_closed()
+        except (ConnectionError, OSError):  # pragma: no cover - teardown race
+            pass
+
+
+async def serve(
+    router: Router, host: str = "127.0.0.1", port: int = 0
+) -> asyncio.AbstractServer:
+    """Start serving *router*; returns the listening server.
+
+    ``port=0`` binds an ephemeral port — read it back from
+    ``server.sockets[0].getsockname()[1]`` (tests and the loopback
+    client do).
+    """
+    return await asyncio.start_server(
+        lambda r, w: _handle_connection(router, r, w), host=host, port=port
+    )

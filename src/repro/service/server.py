@@ -1,0 +1,101 @@
+"""Run an :class:`ExperimentService` — foreground or background thread.
+
+:func:`run_service` is the ``repro serve`` entry point (blocks until
+interrupted).  :class:`BackgroundServer` runs the same server on a
+dedicated event-loop thread and reports the bound port — what the test
+suite and the CI smoke use to drive a real loopback server in-process.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+from repro.service.app import ExperimentService
+from repro.service.http import serve
+
+__all__ = ["BackgroundServer", "run_service"]
+
+
+def run_service(
+    service: ExperimentService, host: str = "127.0.0.1", port: int = 8642
+) -> int:
+    """Serve until interrupted (Ctrl-C); returns an exit code."""
+
+    async def main() -> None:
+        server = await serve(service.router, host=host, port=port)
+        bound = server.sockets[0].getsockname()
+        print(f"[serve] listening on http://{bound[0]}:{bound[1]}")
+        print(f"[serve] data dir: {service.data_dir}")
+        async with server:
+            await server.serve_forever()
+
+    try:
+        asyncio.run(main())
+    except KeyboardInterrupt:
+        print("\n[serve] stopped")
+    return 0
+
+
+class BackgroundServer:
+    """The service server on its own event-loop thread.
+
+    >>> server = BackgroundServer(ExperimentService())
+    >>> server.start()           # binds an ephemeral port
+    >>> server.port              # doctest: +SKIP
+    54321
+    >>> server.stop()
+    """
+
+    def __init__(
+        self,
+        service: ExperimentService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.service = service
+        self.host = host
+        self.port = port
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._ready = threading.Event()
+
+    def start(self) -> "BackgroundServer":
+        """Boot the event-loop thread; blocks until the port is bound."""
+        self._thread = threading.Thread(
+            target=self._run, name="repro-service", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout=30.0):  # pragma: no cover - hang guard
+            raise RuntimeError("service server failed to start")
+        return self
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def _run(self) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self._loop = loop
+
+        async def boot() -> asyncio.AbstractServer:
+            server = await serve(self.service.router, self.host, self.port)
+            self.port = server.sockets[0].getsockname()[1]
+            return server
+
+        server = loop.run_until_complete(boot())
+        self._ready.set()
+        try:
+            loop.run_forever()
+        finally:
+            server.close()
+            loop.run_until_complete(server.wait_closed())
+            loop.close()
+
+    def stop(self) -> None:
+        """Stop the loop and join the thread (idempotent)."""
+        if self._loop is not None:
+            self._loop.call_soon_threadsafe(self._loop.stop)
+        if self._thread is not None:
+            self._thread.join(timeout=30.0)

@@ -123,8 +123,9 @@ class IdealChannel:
             if rng is not None:
                 raise TypeError("pass either rng or the deprecated loss_rng, not both")
             warnings.warn(
-                "IdealChannel(loss_rng=...) is deprecated; use rng=...",
-                DeprecationWarning,
+                "IdealChannel(loss_rng=...) is deprecated and will be removed "
+                "in repro 2.0; use rng=...",
+                FutureWarning,
                 stacklevel=2,
             )
             rng = loss_rng  # type: ignore[assignment]
@@ -155,8 +156,9 @@ class IdealChannel:
     def loss_rng(self) -> np.random.Generator | None:
         """Deprecated alias of :attr:`rng` (read-only)."""
         warnings.warn(
-            "IdealChannel.loss_rng is deprecated; use .rng",
-            DeprecationWarning,
+            "IdealChannel.loss_rng is deprecated and will be removed in "
+            "repro 2.0; use .rng",
+            FutureWarning,
             stacklevel=2,
         )
         return self.rng

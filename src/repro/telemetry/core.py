@@ -198,6 +198,9 @@ class Telemetry:
         self.events = EventLog(maxsize=max_events)
         self.spans: dict[str, SpanStats] = {}
         self._span_stack: list[_Span] = []
+        # Best (source, value) per gauge key across sourced absorbs; see
+        # the deterministic-resolution rule in :meth:`absorb`.
+        self._gauge_sources: dict[str, tuple[int | float, float]] = {}
 
     # ------------------------------------------------------------------ #
     # recording
@@ -250,26 +253,42 @@ class Telemetry:
         """Timing context for phase *name* (nests; monotonic clock)."""
         return _Span(self, name)
 
-    def absorb(self, summary: TelemetrySummary) -> None:
+    def absorb(
+        self, summary: TelemetrySummary, source: int | float | None = None
+    ) -> None:
         """Merge a worker's frozen summary into this live collector.
 
         The multi-process merge seam: repetition fan-out traces each run
         with a process-local collector and ships back its
         :class:`TelemetrySummary`; absorbing them in the parent makes
         ``--telemetry`` work at any worker count.  Counters, span
-        aggregates, and per-kind event totals merge exactly; gauges take
-        the absorbed value (last writer wins); histogram merges keep
-        count/total/min/max/mean exact but fold the worker's spread at its
-        mean, so a merged ``std`` is a lower bound.  Individual worker
-        events are not shipped (summaries are bounded); they appear in
-        ``events_dropped`` rather than the retained ring buffer.
+        aggregates, per-kind event totals, and histograms merge exactly
+        (summaries carry ``sumsq``, so the merged standard deviation is
+        the true one; summaries written before ``sumsq`` existed fall
+        back to folding the worker's spread at its mean — the old lower
+        bound).  Individual worker events are not shipped (summaries are
+        bounded); they appear in ``events_dropped`` rather than the
+        retained ring buffer.
+
+        *source* orders gauge resolution: when given (the orchestrator
+        passes the unit's seed), each gauge keeps the value of the
+        maximal ``(source, value)`` pair ever absorbed, so the merged
+        gauge is a pure function of the absorbed set — independent of
+        completion order at any worker count.  Without a source the
+        absorbed value simply overwrites (last writer wins).
         """
         for key, value in summary.counters:
             name, labels = _parse_series_key(key)
             self.registry.counter(name, **labels).inc(value)
         for key, value in summary.gauges:
             name, labels = _parse_series_key(key)
-            self.registry.gauge(name, **labels).set(value)
+            if source is None:
+                self.registry.gauge(name, **labels).set(value)
+                continue
+            best = self._gauge_sources.get(key)
+            if best is None or (source, value) > best:
+                self._gauge_sources[key] = (source, value)
+                self.registry.gauge(name, **labels).set(value)
         for key, stats in summary.histograms:
             values = dict(stats)
             if not values.get("count"):
@@ -278,7 +297,9 @@ class Telemetry:
             hist = self.registry.histogram(name, **labels)
             hist.count += int(values["count"])
             hist.total += values["total"]
-            hist.sumsq += values["count"] * values["mean"] ** 2
+            hist.sumsq += values.get(
+                "sumsq", values["count"] * values["mean"] ** 2
+            )
             hist.min = min(hist.min, values["min"])
             hist.max = max(hist.max, values["max"])
         for name, stats in summary.spans:
@@ -355,7 +376,9 @@ class NullTelemetry(Telemetry):
     ) -> None:
         """No-op."""
 
-    def absorb(self, summary: TelemetrySummary) -> None:
+    def absorb(
+        self, summary: TelemetrySummary, source: int | float | None = None
+    ) -> None:
         """No-op."""
 
     def span(self, name: str) -> "_NullSpan":

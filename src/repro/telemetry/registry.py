@@ -92,15 +92,24 @@ class Histogram:
         return math.sqrt(max(var, 0.0))
 
     def as_dict(self) -> dict[str, float]:
-        """Plain-dict summary (JSON/export friendly)."""
+        """Plain-dict summary (JSON/export friendly).
+
+        Carries ``sumsq`` alongside the moments so merging two summaries
+        (:meth:`repro.telemetry.Telemetry.absorb`) can reconstruct the
+        exact merged standard deviation instead of a lower bound.
+        """
         if not self.count:
-            return {"count": 0, "total": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0}
+            return {
+                "count": 0, "total": 0.0, "min": 0.0, "max": 0.0,
+                "mean": 0.0, "sumsq": 0.0,
+            }
         return {
             "count": self.count,
             "total": self.total,
             "min": self.min,
             "max": self.max,
             "mean": self.mean,
+            "sumsq": self.sumsq,
         }
 
 

@@ -23,6 +23,9 @@ __all__ = ["validate_records", "validate_jsonl"]
 
 _METRIC_KINDS = {"counter", "gauge", "histogram"}
 _HISTOGRAM_KEYS = {"count", "total", "min", "max", "mean"}
+#: ``sumsq`` rides along so merged standard deviations stay exact; streams
+#: written before it existed (or by trimmed exporters) remain valid.
+_HISTOGRAM_OPTIONAL = {"sumsq"}
 _SPAN_KEYS = {"count", "total_s", "self_s", "mean_s", "min_s", "max_s"}
 
 
@@ -44,7 +47,9 @@ def _check_metric(record: dict, where: str, errors: list[str]) -> None:
         errors.append(f"{where}: labels must map strings to strings")
     value = record.get("value")
     if kind == "histogram":
-        if not isinstance(value, dict) or set(value) != _HISTOGRAM_KEYS:
+        if not isinstance(value, dict) or not (
+            _HISTOGRAM_KEYS <= set(value) <= _HISTOGRAM_KEYS | _HISTOGRAM_OPTIONAL
+        ):
             errors.append(f"{where}: histogram value must have keys {sorted(_HISTOGRAM_KEYS)}")
         elif not all(_is_number(v) for v in value.values()):
             errors.append(f"{where}: histogram fields must be numeric")

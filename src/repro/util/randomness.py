@@ -52,8 +52,9 @@ class SeedSequenceFactory:
                     "pass either seed or the deprecated root_seed, not both"
                 )
             warnings.warn(
-                "SeedSequenceFactory(root_seed=...) is deprecated; use seed=...",
-                DeprecationWarning,
+                "SeedSequenceFactory(root_seed=...) is deprecated and will be "
+                "removed in repro 2.0; use seed=...",
+                FutureWarning,
                 stacklevel=2,
             )
             seed = root_seed  # type: ignore[assignment]
@@ -70,8 +71,9 @@ class SeedSequenceFactory:
     def root_seed(self) -> int:
         """Deprecated alias of :attr:`seed` (read-only)."""
         warnings.warn(
-            "SeedSequenceFactory.root_seed is deprecated; use .seed",
-            DeprecationWarning,
+            "SeedSequenceFactory.root_seed is deprecated and will be removed "
+            "in repro 2.0; use .seed",
+            FutureWarning,
             stacklevel=2,
         )
         return self._root_seed

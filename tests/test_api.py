@@ -71,7 +71,7 @@ class TestRunStats:
 
     def test_channel_stats_dict_view_deprecated_but_identical(self):
         result = simulate(_spec(), seed=1)
-        with pytest.warns(DeprecationWarning, match="channel_stats is deprecated"):
+        with pytest.warns(FutureWarning, match="channel_stats is deprecated"):
             legacy = result.channel_stats
         assert legacy == result.stats.as_dict()
         # legacy dict spells out exactly the channel + cache counters

@@ -20,7 +20,6 @@ from repro.mobility.base import Area
 from repro.orchestrator import (
     OrchestrationContext,
     RunStore,
-    WorkerPool,
     WorkUnit,
     content_unit_id,
     execute_unit,
@@ -28,7 +27,11 @@ from repro.orchestrator import (
     result_to_dict,
     unit_id,
 )
-from repro.orchestrator.pool import clear_unit_timeout, install_unit_timeout
+from repro.orchestrator.pool import (
+    WorkerPool,
+    clear_unit_timeout,
+    install_unit_timeout,
+)
 from repro.orchestrator.runner import CampaignInterrupted
 from repro.sim.config import ScenarioConfig
 from repro.util.errors import (

@@ -101,14 +101,14 @@ class TestIdealChannel:
 
     def test_loss_rng_kwarg_deprecated_but_equivalent(self):
         gen = np.random.default_rng(0)
-        with pytest.warns(DeprecationWarning, match="use rng="):
+        with pytest.warns(FutureWarning, match="use rng="):
             legacy = IdealChannel(hello_loss_rate=0.2, loss_rng=gen)
         assert legacy.rng is gen
 
     def test_loss_rng_property_deprecated(self):
         gen = np.random.default_rng(0)
         ch = IdealChannel(hello_loss_rate=0.2, rng=gen)
-        with pytest.warns(DeprecationWarning, match="loss_rng is deprecated"):
+        with pytest.warns(FutureWarning, match="loss_rng is deprecated"):
             assert ch.loss_rng is gen
 
     def test_rng_and_loss_rng_together_rejected(self):

@@ -19,6 +19,7 @@ from repro.telemetry import (
     NullTelemetry,
     Telemetry,
     TelemetryEvent,
+    TelemetrySummary,
     current_telemetry,
     summary_table,
     use_telemetry,
@@ -72,6 +73,7 @@ class TestHistogram:
         assert math.isnan(h.mean) and math.isnan(h.std)
         assert h.as_dict() == {
             "count": 0, "total": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0,
+            "sumsq": 0.0,
         }
 
 
@@ -261,6 +263,65 @@ class TestEventBatch:
         b.event_batch("hello_received", 1, t=2.0, node=1, sender=0)
         assert list(a.events) == list(b.events)
         assert a.events.kind_counts() == b.events.kind_counts()
+
+
+class TestAbsorbMergeExactness:
+    def test_merged_histogram_std_is_exact(self):
+        whole = Telemetry()
+        for v in (1.0, 2.0, 7.0, 9.0, 100.0):
+            whole.observe("latency", v)
+        parent = Telemetry()
+        left, right = Telemetry(), Telemetry()
+        for v in (1.0, 2.0):
+            left.observe("latency", v)
+        for v in (7.0, 9.0, 100.0):
+            right.observe("latency", v)
+        parent.absorb(left.summary())
+        parent.absorb(right.summary())
+        merged = parent.registry.histogram("latency")
+        reference = whole.registry.histogram("latency")
+        assert merged.sumsq == reference.sumsq
+        assert merged.std == reference.std
+
+    def test_absorb_tolerates_summaries_without_sumsq(self):
+        # Stored summaries written before sumsq existed fall back to the
+        # documented lower bound (spread folded at the worker's mean).
+        worker = Telemetry()
+        worker.observe("latency", 2.0)
+        worker.observe("latency", 4.0)
+        summary = worker.summary()
+        trimmed = summary.as_dict()
+        for name, stats in trimmed["histograms"].items():
+            stats.pop("sumsq")
+        parent = Telemetry()
+        parent.absorb(TelemetrySummary.from_dict(trimmed))
+        hist = parent.registry.histogram("latency")
+        assert hist.count == 2 and hist.total == 6.0
+        assert hist.sumsq == 2 * 3.0**2  # count * mean^2, the lower bound
+
+    def test_sourced_gauge_merge_is_order_independent(self):
+        summaries = []
+        for seed, depth in [(3, 5.0), (1, 9.0), (2, 7.0)]:
+            worker = Telemetry()
+            worker.gauge("depth", depth)
+            summaries.append((seed, worker.summary()))
+        forward, backward = Telemetry(), Telemetry()
+        for seed, summary in summaries:
+            forward.absorb(summary, source=seed)
+        for seed, summary in reversed(summaries):
+            backward.absorb(summary, source=seed)
+        # max (source, value) pair wins: seed 3 carries depth 5.0.
+        assert forward.registry.gauge("depth").value == 5.0
+        assert backward.registry.gauge("depth").value == 5.0
+
+    def test_unsourced_gauge_merge_stays_last_writer(self):
+        a, b = Telemetry(), Telemetry()
+        a.gauge("depth", 5.0)
+        b.gauge("depth", 2.0)
+        parent = Telemetry()
+        parent.absorb(a.summary())
+        parent.absorb(b.summary())
+        assert parent.registry.gauge("depth").value == 2.0
 
 
 class TestNullTelemetry:

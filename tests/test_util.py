@@ -174,11 +174,11 @@ class TestSeedSequenceFactory:
 
     def test_root_seed_property_deprecated_but_working(self):
         factory = SeedSequenceFactory(42)
-        with pytest.warns(DeprecationWarning, match="root_seed is deprecated"):
+        with pytest.warns(FutureWarning, match="root_seed is deprecated"):
             assert factory.root_seed == 42
 
     def test_root_seed_kwarg_deprecated_but_equivalent(self):
-        with pytest.warns(DeprecationWarning, match="use seed="):
+        with pytest.warns(FutureWarning, match="use seed="):
             legacy = SeedSequenceFactory(root_seed=42)
         assert legacy.seed == 42
         assert (
