@@ -221,6 +221,60 @@ def bench_hello_pipeline(
     }
 
 
+GOSSIP_SIZES = (100, 1000)
+
+
+def bench_gossip(n: int, seed: int = 7, warm_t: float = 3.0) -> dict:
+    """Warmup wall time and dissemination counters of the gossip mechanism.
+
+    The same scenario runs under view synchronization as the control, so
+    the row reads as "what the epidemic layer costs on top of an
+    otherwise identical world".  The gossip world's determinism is
+    asserted (two same-seed builds, identical counters) before timing.
+    """
+    scale = Scale(
+        name="bench-gossip",
+        n_nodes=n,
+        area_side=_side(n),
+        duration=warm_t + 2.0,
+        sample_rate=1.0,
+        repetitions=1,
+    )
+    spec = ExperimentSpec(
+        protocol="rng",
+        mechanism="gossip",
+        mean_speed=20.0,
+        config=scale.config(),
+    )
+
+    def timed(s):
+        world = build_world(s, seed)
+        t0 = time.perf_counter()
+        world.run_until(warm_t)
+        return world, time.perf_counter() - t0
+
+    gossip_world, gossip_s = timed(spec)
+    twin, _ = timed(spec)
+    if gossip_world.gossip_stats() != twin.gossip_stats():
+        raise AssertionError(f"gossip counters not deterministic at n={n}")
+    _, viewsync_s = timed(spec.with_(mechanism="view-sync"))
+    stats = gossip_world.gossip_stats()
+    print(
+        f"gossip n={n:<5} view-sync={viewsync_s:7.2f} s   "
+        f"gossip={gossip_s:7.2f} s   {gossip_s / viewsync_s:6.2f}x   "
+        f"(rounds={stats['gossip_rounds']}, "
+        f"messages={stats['gossip_messages']}, "
+        f"merged={stats['gossip_merged']})"
+    )
+    return {
+        "n": n,
+        "viewsync_warmup_s": round(viewsync_s, 3),
+        "gossip_warmup_s": round(gossip_s, 3),
+        "overhead_factor": round(gossip_s / viewsync_s, 2),
+        **stats,
+    }
+
+
 SCALE_SIZES = (2000, 5000, 10000)
 
 
@@ -287,6 +341,10 @@ def run_benchmark(smoke: bool = False) -> dict:
     # Model-filter overhead rows: same pipeline under log-distance
     # shadowing (superset query + keyed predicate).
     hello_model_sizes = (300,) if smoke else (1000,)
+    # Gossip rows run at the paper scale and 10x even in smoke mode: the
+    # overhead-vs-view-sync factor is the tracked number, and it only
+    # means something at the sizes the figures report.
+    gossip_sizes = GOSSIP_SIZES
     results = {
         "redecide_all": {str(n): bench_redecide(n) for n in redecide_sizes},
         "rng_kernel": {str(m): bench_rng_kernel(m) for m in kernel_sizes},
@@ -295,6 +353,7 @@ def run_benchmark(smoke: bool = False) -> dict:
             str(n): bench_hello_pipeline(n, propagation="log-distance")
             for n in hello_model_sizes
         },
+        "gossip": {str(n): bench_gossip(n) for n in gossip_sizes},
         "scale_pipeline": {str(n): bench_scale_pipeline(n) for n in scale_sizes},
     }
     return {
@@ -307,6 +366,7 @@ def run_benchmark(smoke: bool = False) -> dict:
             "kernel_sizes": list(kernel_sizes),
             "hello_sizes": list(hello_sizes),
             "hello_model_sizes": list(hello_model_sizes),
+            "gossip_sizes": list(gossip_sizes),
             "scale_sizes": list(scale_sizes),
         },
         "results": results,

@@ -267,6 +267,12 @@ class RunStats:
         Injected-disturbance counters; all zero unless *faults_armed*.
     faults_armed:
         Whether a :class:`~repro.faults.FaultSchedule` was in force.
+    gossip_*:
+        Anti-entropy dissemination counters
+        (:meth:`~repro.sim.world.NetworkWorld.gossip_stats`); emitted by
+        :meth:`as_dict` only when *gossip_armed*, i.e. the run used the
+        gossip consistency mechanism, so every other mechanism's dict —
+        and every pinned digest of it — is untouched.
     propagation:
         Name of the run's propagation model (``"unit-disk"`` by
         default); together with ``propagation_losses`` emitted by
@@ -295,6 +301,11 @@ class RunStats:
     fault_delayed_deliveries: int = 0
     fault_noisy_positions: int = 0
     faults_armed: bool = False
+    gossip_rounds: int = 0
+    gossip_messages: int = 0
+    gossip_merged: int = 0
+    gossip_maydays: int = 0
+    gossip_armed: bool = False
     telemetry: TelemetrySummary | None = None
 
     @classmethod
@@ -306,7 +317,9 @@ class RunStats:
             **world.channel.stats.as_dict(),
             **world.manager.cache_info(),
             **world.fault_stats(),
+            **world.gossip_stats(),
             faults_armed=world.fault_injector is not None,
+            gossip_armed=world.gossip is not None,
             propagation=world.propagation.name,
             telemetry=telemetry.summary() if telemetry is not None else None,
         )
@@ -341,6 +354,13 @@ class RunStats:
                 fault_stale_discards=self.fault_stale_discards,
                 fault_delayed_deliveries=self.fault_delayed_deliveries,
                 fault_noisy_positions=self.fault_noisy_positions,
+            )
+        if self.gossip_armed:
+            out.update(
+                gossip_rounds=self.gossip_rounds,
+                gossip_messages=self.gossip_messages,
+                gossip_merged=self.gossip_merged,
+                gossip_maydays=self.gossip_maydays,
             )
         return out
 

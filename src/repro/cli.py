@@ -30,10 +30,12 @@ from repro.analysis.figures import (
     generate_fig9,
     generate_fig10,
 )
+from repro.analysis.overhead_study import generate_overhead_study
 from repro.analysis.plotting import figure_chart
 from repro.analysis.report import format_kv, write_csv
 from repro.analysis.scales import PAPER, QUICK, SMOKE, STANDARD, Scale
 from repro.analysis.tables import generate_table1
+from repro.core.consistency import available_mechanisms
 from repro.protocols import available_protocols
 from repro.sim.propagation import available_propagation_models
 
@@ -64,6 +66,9 @@ _FIGURES = {
     ],
     "fig10": lambda scale, seed, workers: [
         generate_fig10(scale, base_seed=seed, workers=workers)
+    ],
+    "overhead": lambda scale, seed, workers: [
+        generate_overhead_study(scale, base_seed=seed, workers=workers)
     ],
 }
 
@@ -219,6 +224,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--mechanism", action="append", dest="mechanisms", metavar="NAME",
+        choices=available_mechanisms(),
         help="restrict to this mechanism (repeatable; default: all shipped)",
     )
     p.add_argument(
@@ -259,7 +265,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--protocol", choices=available_protocols(), default="rng")
     p.add_argument(
         "--mechanism",
-        choices=["baseline", "view-sync", "proactive", "reactive", "weak"],
+        choices=available_mechanisms(),
         default="baseline",
     )
     p.add_argument("--buffer", type=float, default=0.0, help="buffer width, m")
@@ -318,7 +324,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--protocol", choices=available_protocols(), default="rng")
     p.add_argument(
         "--mechanism",
-        choices=["baseline", "view-sync", "proactive", "reactive", "weak"],
+        choices=available_mechanisms(),
         default="baseline",
     )
     p.add_argument("--buffer", type=float, default=0.0, help="buffer width, m")

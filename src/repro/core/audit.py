@@ -50,7 +50,15 @@ def audit_world(world: NetworkWorld) -> list[Violation]:
     now = world.engine.now
     cfg = world.config
     policy = world.manager.buffer_policy
-    weak_mode = world.manager.mechanism.name == "weak"
+    mechanism = world.manager.mechanism
+    weak_mode = mechanism.name == "weak"
+    # Anti-entropy relays can land a Hello that was *sent* before the
+    # decision but arrived (merged) only after it — the believed distance
+    # below would then be computed from an entry the decision never saw.
+    # Bound that retroactive drift by the mechanism's staleness window.
+    gossip_staleness = (
+        mechanism.staleness_bound(cfg.n_nodes) if mechanism.name == "gossip" else 0.0
+    )
     # Advertised positions may carry injected GPS noise (bounded by the
     # fault schedule's PositionNoise amplitudes); widen the drift slack by
     # the worst case at each end so noise alone never trips invariant 2.
@@ -112,6 +120,7 @@ def audit_world(world: NetworkWorld) -> list[Violation]:
                 slack = (
                     2.0 * cfg.max_hello_interval * world.mobility.max_speed()
                     + 2.0 * noise_bound
+                    + 2.0 * gossip_staleness * world.mobility.max_speed()
                 )
                 if dist > decision.actual_range + slack + 1e-6:
                     violations.append(

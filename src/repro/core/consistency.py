@@ -19,18 +19,26 @@ node base its logical-neighbor decision on, and when does it re-decide?*
 - :class:`WeakConsistency` — no synchronization: keep ``k`` recent Hellos,
   evaluate the protocol's *conservative* (enhanced-condition) mode
   (Theorem 4).
+- :class:`GossipConsistency` — anti-entropy epidemic dissemination: views
+  converge by periodic digest exchange and monotone last-writer-wins
+  merge (:mod:`repro.gossip`) rather than by every node hearing every
+  neighbor directly; decisions read the merged view exactly like
+  view synchronization, lagging by at most ``rounds_to_converge ×
+  interval`` (see ``docs/GOSSIP.md``).
 """
 
 from __future__ import annotations
 
+import inspect
+import math
 from abc import ABC, abstractmethod
 
 from repro.core.framework import SelectionResult
 from repro.core.tables import NeighborTable
 from repro.core.views import Hello
 from repro.protocols.base import TopologyControlProtocol
-from repro.util.errors import ViewError
-from repro.util.validate import check_int_range
+from repro.util.errors import ConfigurationError, ViewError
+from repro.util.validate import check_int_range, check_positive
 
 __all__ = [
     "ConsistencyMechanism",
@@ -39,6 +47,8 @@ __all__ = [
     "ProactiveConsistency",
     "ReactiveConsistency",
     "WeakConsistency",
+    "GossipConsistency",
+    "available_mechanisms",
     "make_mechanism",
 ]
 
@@ -233,6 +243,91 @@ class WeakConsistency(ConsistencyMechanism):
         return f"WeakConsistency(history_depth={self.history_depth})"
 
 
+class GossipConsistency(ConsistencyMechanism):
+    """Anti-entropy epidemic views (ROADMAP item 4; see docs/GOSSIP.md).
+
+    Hello state spreads by periodic push–pull digest exchange with
+    ``fanout`` sampled in-range peers, merged monotonically
+    (last-writer-wins per sender), with age-based peer removal and a
+    mayday re-request when the local view goes silent.  The decision
+    itself is view-synchronization-shaped: the latest expiry-filtered
+    entries plus the node's previously advertised own position — only the
+    *transport* of those entries is epidemic.  The dissemination driver
+    (:class:`~repro.gossip.GossipEngine`) is wired by the world whenever
+    this mechanism is selected.
+
+    Parameters
+    ----------
+    fanout:
+        Peers sampled per round (without replacement) from the nodes in
+        normal Hello range.
+    interval:
+        Gossip round period in seconds (per node, jitter-started from
+        the dedicated ``"gossip"`` seed stream).
+    removal_age:
+        Entries older than this are neither advertised in digests nor
+        relayed, so silent peers age out of circulation; defaults to the
+        scenario's Hello expiry.
+    mayday_after:
+        Silence (no live neighbors while in-range peers exist) tolerated
+        before a full-view re-request; defaults to ``2 × interval``.
+    """
+
+    name = "gossip"
+
+    def __init__(
+        self,
+        fanout: int = 2,
+        interval: float = 1.0,
+        removal_age: float | None = None,
+        mayday_after: float | None = None,
+    ) -> None:
+        self.fanout = check_int_range("fanout", fanout, 1)
+        self.interval = check_positive("interval", interval)
+        self.removal_age = (
+            None if removal_age is None else check_positive("removal_age", removal_age)
+        )
+        self.mayday_after = (
+            None
+            if mayday_after is None
+            else check_positive("mayday_after", mayday_after)
+        )
+
+    def decide(self, protocol, table, now, current_hello, version=None):
+        own = table.last_advertised
+        if own is None:
+            own = current_hello
+        view = table.latest_view(now, own_hello=own)
+        return protocol.select(view)
+
+    def decision_fingerprint(self, table, now, current_hello, version=None):
+        # Every gossip merge records through the table and therefore bumps
+        # its mutation counter, so the live-view token invalidates cached
+        # decisions exactly when epidemic state arrives.
+        own = table.last_advertised or current_hello
+        return (self.name, table.live_view_token(now), own.position)
+
+    def staleness_bound(self, n_nodes: int) -> float:
+        """Worst-case extra view lag in seconds at population *n_nodes*.
+
+        Push–pull epidemics infect all *n* nodes in
+        ``ceil(log_{fanout+1}(n))`` rounds with high probability; one
+        extra round absorbs the exchange's in-flight hops.  Oracles widen
+        their Theorem 5 slack by this much for gossip runs.
+        """
+        rounds = (
+            math.ceil(math.log(max(int(n_nodes), 2)) / math.log(self.fanout + 1.0))
+            + 1
+        )
+        return rounds * self.interval
+
+    def __repr__(self) -> str:
+        return (
+            f"GossipConsistency(fanout={self.fanout}, interval={self.interval}, "
+            f"removal_age={self.removal_age}, mayday_after={self.mayday_after})"
+        )
+
+
 _MECHANISMS = {
     cls.name: cls
     for cls in (
@@ -241,8 +336,15 @@ _MECHANISMS = {
         ProactiveConsistency,
         ReactiveConsistency,
         WeakConsistency,
+        GossipConsistency,
     )
 }
+
+
+def available_mechanisms() -> tuple[str, ...]:
+    """Registered mechanism names, sorted — the single source of truth
+    for CLI choices and the fuzzer's mechanism axis."""
+    return tuple(sorted(_MECHANISMS))
 
 
 def make_mechanism(name: str, **kwargs) -> ConsistencyMechanism:
@@ -253,4 +355,13 @@ def make_mechanism(name: str, **kwargs) -> ConsistencyMechanism:
         raise ViewError(
             f"unknown consistency mechanism {name!r}; available: {sorted(_MECHANISMS)}"
         ) from None
-    return cls(**kwargs)
+    try:
+        return cls(**kwargs)
+    except TypeError as exc:
+        accepted = [
+            p for p in inspect.signature(cls.__init__).parameters if p != "self"
+        ]
+        raise ConfigurationError(
+            f"invalid parameters {sorted(kwargs)} for consistency mechanism "
+            f"{name!r}; accepted parameters: {accepted or 'none'}"
+        ) from exc

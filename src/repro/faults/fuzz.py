@@ -37,7 +37,11 @@ import numpy as np
 from repro.analysis.experiment import ExperimentSpec, build_mobility
 from repro.core.audit import audit_world
 from repro.core.buffer_zone import BufferZonePolicy, buffer_width
-from repro.core.consistency import ViewSynchronization, make_mechanism
+from repro.core.consistency import (
+    ViewSynchronization,
+    available_mechanisms,
+    make_mechanism,
+)
 from repro.core.manager import MobilitySensitiveTopologyControl
 from repro.core.views import LocalView
 from repro.faults.oracles import OracleFinding, check_instant
@@ -74,8 +78,10 @@ __all__ = [
     "load_case",
 ]
 
-#: Shipped mechanisms the fuzzer samples by default.
-MECHANISMS = ("baseline", "view-sync", "proactive", "reactive", "weak")
+#: Shipped mechanisms the fuzzer samples by default — derived from the
+#: consistency registry so a newly registered mechanism joins the axis
+#: automatically instead of drifting out of sync with the CLI.
+MECHANISMS = available_mechanisms()
 #: Protocol sample — cheap, structurally diverse (sparsifier, tree, cone).
 PROTOCOLS = ("rng", "mst", "spt2")
 #: Propagation-model sample; the unit disk is over-weighted because it is

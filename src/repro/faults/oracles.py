@@ -58,8 +58,11 @@ __all__ = [
 #: Mechanisms whose ``decide`` filters the view through the expiry window,
 #: making the freshness oracle applicable.  Versioned mechanisms
 #: (proactive/reactive) deliberately read expired Hellos, so the oracle
-#: would false-positive on them.
-FRESHNESS_MECHANISMS = frozenset({"baseline", "view-sync", "weak", "broken-view-sync"})
+#: would false-positive on them.  Gossip qualifies: epidemically merged
+#: entries land in the same expiry-filtered latest view.
+FRESHNESS_MECHANISMS = frozenset(
+    {"baseline", "view-sync", "weak", "broken-view-sync", "gossip"}
+)
 
 
 @dataclass(frozen=True)
@@ -99,6 +102,20 @@ def _interval_stretch(world: NetworkWorld) -> float:
 def _noise_bound(world: NetworkWorld) -> float:
     inj = world.fault_injector
     return 0.0 if inj is None else inj.position_noise_bound()
+
+
+def _gossip_staleness(world: NetworkWorld) -> float:
+    """Extra view lag the gossip mechanism may legitimately carry.
+
+    Anti-entropy views converge in ``rounds_to_converge × interval``
+    (:meth:`~repro.core.consistency.GossipConsistency.staleness_bound`);
+    until then a node may decide from a relayed Hello that old.  Zero for
+    every other mechanism, so their slack values are unchanged.
+    """
+    mech = world.manager.mechanism
+    if mech.name != "gossip":
+        return 0.0
+    return mech.staleness_bound(world.config.n_nodes)
 
 
 def audit_oracle(world: NetworkWorld) -> list[OracleFinding]:
@@ -179,6 +196,9 @@ def theorem5_slack(world: NetworkWorld) -> float:
         # Stochastic reception: each missed draw defers the view refresh
         # by one Hello generation at each endpoint.
         + 2.0 * v_max * world.propagation.staleness_allowance(cfg)
+        # Epidemic dissemination: gossip views may lag behind direct
+        # delivery by up to rounds_to_converge × gossip_interval.
+        + 2.0 * v_max * _gossip_staleness(world)
         + 1e-6
     )
 
@@ -205,6 +225,7 @@ def theorem5_oracle(world: NetworkWorld) -> list[OracleFinding]:
         cfg.hello_expiry
         + _interval_stretch(world) * cfg.max_hello_interval
         + world.propagation.staleness_allowance(cfg)
+        + _gossip_staleness(world)
     )
     slack = theorem5_slack(world)
     delay_sum = 0.0

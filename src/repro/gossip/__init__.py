@@ -1,0 +1,18 @@
+"""Anti-entropy gossip dissemination (the fourth consistency mechanism).
+
+The mechanism class itself, :class:`~repro.core.consistency.GossipConsistency`,
+lives in the consistency registry; this package holds the epidemic
+machinery it rides on — the pure digest/merge primitives and the
+engine-scheduled round driver.  See ``docs/GOSSIP.md`` for the protocol,
+determinism contract and staleness bound.
+"""
+
+from repro.gossip.digest import entries_newer_than, merge_entries, view_digest
+from repro.gossip.engine import GossipEngine
+
+__all__ = [
+    "GossipEngine",
+    "entries_newer_than",
+    "merge_entries",
+    "view_digest",
+]

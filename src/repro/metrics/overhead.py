@@ -35,6 +35,10 @@ class OverheadReport:
     stored_hellos_per_node:
         Mean retained Hello records per node (memory cost of weak
         consistency's histories and the proactive scheme's versions).
+    gossip_rate:
+        Anti-entropy messages (digests, deltas, pushes, maydays) per node
+        per second — nonzero only for the gossip mechanism, whose epidemic
+        traffic rides beside the Hello stream instead of inside it.
     """
 
     hello_rate: float
@@ -42,6 +46,7 @@ class OverheadReport:
     delivery_rate: float
     packet_decision_rate: float
     stored_hellos_per_node: float
+    gossip_rate: float = 0.0
 
     def row(self) -> dict:
         """Flat dict row for tables."""
@@ -51,6 +56,7 @@ class OverheadReport:
             "rx_per_node_s": self.delivery_rate,
             "pkt_decisions_per_node_s": self.packet_decision_rate,
             "stored_hellos": self.stored_hellos_per_node,
+            "gossip_per_node_s": self.gossip_rate,
         }
 
 
@@ -65,10 +71,12 @@ def measure_overhead(world: NetworkWorld) -> OverheadReport:
         for nbr in node.table.known_neighbors()
     )
     packet_decisions = sum(node.packet_decisions for node in world.nodes)
+    gossip_messages = 0 if world.gossip is None else world.gossip.messages
     return OverheadReport(
         hello_rate=stats.hello_messages / n / elapsed,
         sync_rate=stats.sync_messages / n / elapsed,
         delivery_rate=stats.deliveries / n / elapsed,
         packet_decision_rate=packet_decisions / n / elapsed,
         stored_hellos_per_node=stored / n,
+        gossip_rate=gossip_messages / n / elapsed,
     )

@@ -33,6 +33,7 @@ from repro.geometry.csr import CSRGraph
 from repro.geometry.grid import DENSE_THRESHOLD, GraphBackend
 from repro.geometry.points import pairwise_distances
 from repro.geometry.sparse import IncrementalNeighborhoods, neighborhood_csr
+from repro.gossip import GossipEngine
 from repro.mobility.base import MobilityModel
 from repro.sim.clock import ClockSet
 from repro.sim.config import ScenarioConfig
@@ -571,6 +572,12 @@ class NetworkWorld:
         # re-enter the geometry kernel (dirty-region recomputation).
         self._neighbor_builders: dict[float, IncrementalNeighborhoods] = {}
         self._setup_hello_schedule()
+        # Anti-entropy dissemination driver — armed only for the gossip
+        # mechanism, so every other mechanism never touches its seed
+        # stream and stays byte-identical.
+        self.gossip: GossipEngine | None = None
+        if manager.mechanism.name == "gossip":
+            self.gossip = GossipEngine(self, seeds.rng("gossip"))
 
     # ------------------------------------------------------------------ #
     # positions
@@ -1111,6 +1118,10 @@ class NetworkWorld:
     def fault_stats(self) -> dict[str, int]:
         """Injected-fault counters (empty when no schedule is armed)."""
         return {} if self.fault_injector is None else self.fault_injector.as_dict()
+
+    def gossip_stats(self) -> dict[str, int]:
+        """Anti-entropy dissemination counters (empty unless gossip)."""
+        return {} if self.gossip is None else self.gossip.as_dict()
 
     def hello_pipeline_stats(self) -> dict[str, int]:
         """Batched-pipeline counters (empty on the scalar route)."""

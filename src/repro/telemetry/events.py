@@ -34,6 +34,8 @@ EVENT_KINDS: frozenset[str] = frozenset(
         "range_change",  # a decision changed the node's extended range
         "fault",  # an injector seam fired (action field says which)
         "flood",  # a delivery probe ran (source, delivery ratio)
+        "gossip_exchange",  # an anti-entropy push-pull completed (pulled/pushed counts)
+        "gossip_mayday",  # a silent-view node re-requested full views from peers
     }
 )
 
